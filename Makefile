@@ -1,0 +1,39 @@
+GO ?= go
+
+.PHONY: all build vet test race short bench experiments examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./... -count=1
+
+race:
+	$(GO) test ./... -count=1 -race
+
+short:
+	$(GO) test ./... -count=1 -short
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/farm
+	$(GO) run ./examples/failover
+	$(GO) run ./examples/airvehicle
+	$(GO) run ./examples/metacompute
+
+cover:
+	$(GO) test ./internal/... -cover -count=1
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,56 @@
+// Command experiments regenerates the paper's figures and claim
+// benchmarks (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+// paper-versus-measured record).
+//
+// Usage:
+//
+//	experiments             # run everything
+//	experiments -run fig3   # one experiment
+//	experiments -list       # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sensorcer/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id to run (or 'all')")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var toRun []experiments.Experiment
+	if *run == "all" {
+		toRun = experiments.All()
+	} else {
+		e, ok := experiments.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *run)
+			os.Exit(2)
+		}
+		toRun = []experiments.Experiment{e}
+	}
+
+	failed := 0
+	for _, e := range toRun {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", e.ID, err)
+			failed++
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,204 @@
+// Command sensorcerd runs SenSORCER network components as standalone
+// processes, connected over srpc — the cross-process deployment mode.
+//
+// Start a lookup service:
+//
+//	sensorcerd lus -listen 127.0.0.1:4160
+//
+// Start a simulated SPOT sensor node that registers with it:
+//
+//	sensorcerd esp -name Neem-Sensor -lus 127.0.0.1:4160 -seed 1
+//
+// Then browse the network from a third process:
+//
+//	sensorbrowser -lus 127.0.0.1:4160
+//
+// Components keep their registration leases renewed; killing an esp
+// process makes its service expire from the lookup service within the
+// lease term, exactly the paper's crash semantics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sensorcer/internal/attr"
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/discovery"
+	"sensorcer/internal/lease"
+	"sensorcer/internal/registry"
+	"sensorcer/internal/remote"
+	"sensorcer/internal/sensor"
+	"sensorcer/internal/sensor/probe"
+	"sensorcer/internal/spot"
+	"sensorcer/internal/srpc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "lus":
+		runLUS(os.Args[2:])
+	case "esp":
+		runESP(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  sensorcerd lus -listen host:port
+  sensorcerd esp -name <name> -lus host:port [-seed n] [-interval 1s]`)
+	os.Exit(2)
+}
+
+func runLUS(args []string) {
+	fs := flag.NewFlagSet("lus", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:4160", "srpc listen address")
+	leaseMax := fs.Duration("lease-max", 30*time.Second, "maximum registration lease")
+	token := fs.String("token", "", "shared secret required from clients (empty = open)")
+	announce := fs.String("announce", "", "UDP address to send discovery announcements to (optional)")
+	groups := fs.String("groups", discovery.PublicGroup, "comma-separated discovery groups")
+	fs.Parse(args)
+
+	clock := clockwork.Real()
+	lus := registry.New(*listen, clock,
+		registry.WithLeasePolicy(lease.Policy{Max: *leaseMax}))
+	defer lus.Close()
+
+	server := srpc.NewServer()
+	if *token != "" {
+		server.SetToken(*token)
+	}
+	if err := server.Listen(*listen); err != nil {
+		fatal(err)
+	}
+	defer server.Close()
+	remote.ServeRegistrar(server, lus)
+
+	// Sweep expired registrations periodically so crashed providers
+	// disappear even with no lookup traffic.
+	stop := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				lus.SweepNow()
+			case <-stop:
+				return
+			}
+		}
+	}()
+	defer close(stop)
+
+	if *announce != "" {
+		ann, err := discovery.NewAnnouncer(*announce, discovery.Packet{
+			ID:      lus.ID(),
+			Name:    lus.Name(),
+			Groups:  strings.Split(*groups, ","),
+			Locator: server.Addr(),
+		}, 2*time.Second)
+		if err != nil {
+			fatal(err)
+		}
+		defer ann.Stop()
+		fmt.Printf("announcing to %s (groups %s)\n", *announce, *groups)
+	}
+
+	fmt.Printf("lookup service %s serving on %s (lease max %v)\n", lus.ID().Short(), server.Addr(), *leaseMax)
+	waitForSignal()
+}
+
+func runESP(args []string) {
+	fs := flag.NewFlagSet("esp", flag.ExitOnError)
+	name := fs.String("name", "Spot-Sensor", "sensor service name")
+	lusAddr := fs.String("lus", "127.0.0.1:4160", "lookup service locator")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	interval := fs.Duration("interval", time.Second, "background sample interval (0 = on demand)")
+	listen := fs.String("listen", "127.0.0.1:0", "srpc export address")
+	leaseDur := fs.Duration("lease", 10*time.Second, "registration lease to request")
+	token := fs.String("token", "", "shared secret for the deployment (empty = open)")
+	fs.Parse(args)
+
+	clock := clockwork.Real()
+	device := spot.NewDevice(spot.Config{Name: *name, Clock: clock})
+	device.Attach(spot.NewTemperatureModel(22, 6, 0, 0.3, *seed))
+	opts := []sensor.ESPOption{sensor.WithClock(clock)}
+	if *interval > 0 {
+		opts = append(opts, sensor.WithSampleInterval(*interval))
+	}
+	esp := sensor.NewESP(*name, probe.NewSpotProbe(*name, device, "temperature", nil), opts...)
+	esp.Start()
+	defer esp.Close()
+
+	server := srpc.NewServer()
+	if *token != "" {
+		server.SetToken(*token)
+	}
+	if err := server.Listen(*listen); err != nil {
+		fatal(err)
+	}
+	defer server.Close()
+	desc := remote.ServeAccessor(server, *name, esp)
+
+	rc, err := dialRegistrar(*lusAddr, *token)
+	if err != nil {
+		fatal(err)
+	}
+	defer rc.Close()
+	info := esp.Describe()
+	reg, err := rc.Register(registry.ServiceItem{
+		Service: desc,
+		Types:   []string{sensor.AccessorType},
+		Attributes: attr.Set{
+			attr.Name(*name),
+			attr.SensorType(info.Kind, info.Unit),
+			attr.ServiceType(sensor.CategoryElementary),
+		},
+	}, *leaseDur)
+	if err != nil {
+		fatal(err)
+	}
+	renewals := lease.NewRenewalManager(clock, lease.WithRequest(*leaseDur),
+		lease.WithFailureHandler(func(_ *lease.Lease, err error) {
+			fmt.Fprintf(os.Stderr, "lease renewal failed: %v\n", err)
+		}))
+	defer renewals.Stop()
+	renewals.Manage(&reg.Lease)
+
+	fmt.Printf("%s exporting on %s, registered at %s as %s\n",
+		*name, server.Addr(), *lusAddr, reg.ServiceID.Short())
+	waitForSignal()
+	// Orderly departure.
+	_ = rc.Deregister(reg.ServiceID)
+}
+
+// dialRegistrar connects to a lookup service, with or without a token.
+func dialRegistrar(addr, token string) (*remote.RegistrarClient, error) {
+	if token != "" {
+		return remote.NewRegistrarClientWithToken(addr, token, 5*time.Second)
+	}
+	return remote.NewRegistrarClient(addr, 5*time.Second)
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	fmt.Println("\nshutting down")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sensorcerd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package sensorcer is a from-scratch Go reproduction of "SenSORCER: A
+// Framework for Managing Sensor-Federated Networks" (Bhosale & Sobolewski,
+// ICPP Workshops 2009): a service-oriented sensor federation in which
+// elementary sensor providers wrap device probes, composite providers
+// aggregate them with runtime compute-expressions, and a façade manages
+// the logical network — all on top of reimplemented Jini (lookup,
+// discovery, leases, events, transactions, tuple space), Rio (cybernodes,
+// provision monitor, QoS placement, failover) and SORCER
+// (exertion-oriented programming with push/pull federation) substrates.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-versus-measured record, and examples/ for runnable entry points.
+// The root bench_test.go holds one benchmark per reproduced figure/claim.
+package sensorcer

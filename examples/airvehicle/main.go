@@ -1,0 +1,157 @@
+// Airvehicle: the paper's stated next step ("we are planning for
+// large-scale air vehicles distributed applications", §VIII, funded by the
+// AFRL Air Vehicles Directorate). Three simulated vehicles each carry
+// temperature, humidity and vibration sensors; a ground station collects a
+// fleet health picture two ways:
+//
+//  1. direct federated reads through per-vehicle composite services, and
+//  2. an exertion job in pull mode: tasks dropped into the exertion space
+//     and drained by per-vehicle space workers — SORCER's Spacer
+//     federation, which load-balances across vehicles without the ground
+//     station ever binding to one.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/discovery"
+	"sensorcer/internal/lease"
+	"sensorcer/internal/registry"
+	"sensorcer/internal/sensor"
+	"sensorcer/internal/sensor/probe"
+	"sensorcer/internal/sorcer"
+	"sensorcer/internal/space"
+	"sensorcer/internal/spot"
+)
+
+func main() {
+	clock := clockwork.Real()
+	bus := discovery.NewBus()
+	lus := registry.New("ground-station", clock)
+	defer lus.Close()
+	defer bus.Announce(lus)()
+	mgr := discovery.NewManager(bus)
+	defer mgr.Terminate()
+	exerter := sorcer.NewExerter(sorcer.NewAccessor(mgr))
+
+	vehicles := []string{"raven-1", "raven-2", "raven-3"}
+	sp := space.New(clock, lease.Policy{Max: time.Minute})
+	defer sp.Close()
+	var workers []*sorcer.SpaceWorker
+
+	for vi, vehicle := range vehicles {
+		seed := int64(vi + 1)
+		// On-board sensor suite.
+		dev := spot.NewDevice(spot.Config{Name: vehicle, Clock: clock})
+		dev.Attach(spot.NewTemperatureModel(-5, 3, float64(vi), 0.4, seed))
+		dev.Attach(spot.NewHumidityModel(40, 10, 2, seed+100))
+
+		var members []string
+		for _, kind := range []string{"temperature", "humidity"} {
+			name := fmt.Sprintf("%s/%s", vehicle, kind)
+			esp := sensor.NewESP(name, probe.NewSpotProbe(name, dev, kind, nil))
+			defer esp.Close()
+			defer esp.Publish(clock, mgr).Terminate()
+			members = append(members, name)
+		}
+		// Vibration from a synthetic model (different sensor technology,
+		// same framework — §VII technology independence).
+		vibName := vehicle + "/vibration"
+		vib := sensor.NewESP(vibName, probe.NewSyntheticProbe(vibName,
+			spot.NewTemperatureModel(0.2, 0.1, 0, 0.05, seed+200), clock, nil))
+		defer vib.Close()
+		defer vib.Publish(clock, mgr).Terminate()
+		members = append(members, vibName)
+
+		// Per-vehicle health composite: normalized stress score.
+		facadeless := sensor.NewCSP(vehicle + "/health")
+		for _, m := range members {
+			acc := mustAccessor(mgr, m)
+			if _, err := facadeless.AddChild(acc); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// a=temp, b=humidity, c=vibration: alarm-ish scalar.
+		if err := facadeless.SetExpression("abs(a + 5)/10 + b/100 + c*2"); err != nil {
+			log.Fatal(err)
+		}
+		defer facadeless.Publish(clock, mgr).Terminate()
+
+		// Each vehicle also works the exertion space for its telemetry
+		// service type.
+		telemetry := sorcer.NewProvider(vehicle+"/telemetry", "Telemetry")
+		telemetry.RegisterOp("snapshot", func(vehicle string, csp *sensor.CSP) sorcer.Operation {
+			return func(ctx *sorcer.Context) error {
+				r, err := csp.GetValue()
+				if err != nil {
+					return err
+				}
+				ctx.Put("telemetry/vehicle", vehicle)
+				ctx.Put("telemetry/health", r.Value)
+				return nil
+			}
+		}(vehicle, facadeless))
+		workers = append(workers, sorcer.NewSpaceWorker(sp, telemetry, "Telemetry"))
+	}
+	defer func() {
+		for _, w := range workers {
+			w.Stop()
+		}
+	}()
+
+	facade := sensor.NewFacade("Ground Station", clock, mgr)
+	defer facade.Publish().Terminate()
+
+	// 1. Direct federated reads.
+	fmt.Println("direct federated reads:")
+	for _, v := range vehicles {
+		r, err := facade.Network().GetValue(v + "/health")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s health=%.3f\n", v+"/health", r.Value)
+	}
+
+	// 2. Pull-mode exertion job: one snapshot task per vehicle, drained
+	// from the exertion space by the vehicles themselves.
+	spacer := sorcer.NewSpacer("Ground-Spacer", sp, sorcer.WithTaskTimeout(10*time.Second))
+	defer sorcer.PublishServicer(clock, mgr, spacer, spacer.ID(), spacer.Name(),
+		[]string{sorcer.SpacerType}, nil).Terminate()
+
+	var tasks []sorcer.Exertion
+	for range vehicles {
+		tasks = append(tasks, sorcer.NewTask("snapshot",
+			sorcer.Sig("Telemetry", "snapshot"), nil))
+	}
+	job := sorcer.NewJob("fleet-sweep", sorcer.Strategy{
+		Flow: sorcer.Parallel, Access: sorcer.Pull,
+	}, tasks...)
+	res, err := exerter.Exert(job, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npull-mode fleet sweep (exertion space):")
+	served := map[string]int{}
+	for _, ex := range job.Exertions() {
+		v, _ := ex.Context().StringAt("telemetry/vehicle")
+		h, _ := ex.Context().Float("telemetry/health")
+		fmt.Printf("  task %-10s served by %-8s health=%.3f\n", ex.Name(), v, h)
+		served[v]++
+	}
+	fmt.Printf("job status: %v, %d vehicles participated\n", res.Status(), len(served))
+}
+
+func mustAccessor(mgr *discovery.Manager, name string) sensor.DataAccessor {
+	for _, reg := range mgr.Registrars() {
+		if item, err := reg.LookupOne(registry.ByName(name, sensor.AccessorType)); err == nil {
+			if acc, ok := item.Service.(sensor.DataAccessor); ok {
+				return acc
+			}
+		}
+	}
+	log.Fatalf("accessor %q not found", name)
+	return nil
+}

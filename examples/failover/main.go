@@ -1,0 +1,82 @@
+// Failover: the Rio provisioning story of §IV-C — "fault tolerance
+// achieved by dynamically allocating the service to a different compute
+// node (cybernode), if the original node fails."
+//
+// A composite sensor service is provisioned with QoS onto one of three
+// cybernodes; the hosting node is killed; the provision monitor detects
+// the death, re-provisions the service onto a survivor, and reads through
+// the façade keep working under the same service name.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sensorcer/internal/event"
+	"sensorcer/internal/rio"
+	"sensorcer/internal/sensor"
+	"sensorcer/internal/testbed"
+)
+
+func main() {
+	d := testbed.New(testbed.Config{Sensors: 4, Cybernodes: 3})
+	defer d.Close()
+	nm := d.Facade.Network()
+
+	// Watch provisioning events like an operator console would.
+	d.Monitor.Events().Register(event.AnyEvent, event.ListenerFunc(func(ev event.RemoteEvent) error {
+		n, _ := ev.Payload.(rio.ProvisionNotice)
+		kind := map[uint64]string{
+			rio.EventProvisioned: "PROVISIONED",
+			rio.EventRelocated:   "RELOCATED",
+			rio.EventPending:     "PENDING",
+			rio.EventNodeLost:    "NODE-LOST",
+		}[ev.EventID]
+		fmt.Printf("  [monitor] %-11s element=%s node=%s %s\n", kind, n.Element, n.Node, n.Detail)
+		return nil
+	}), time.Hour)
+
+	// Provision the composite with a QoS floor.
+	fmt.Println("provisioning Fleet-Average with QoS {MinCPUs: 2}:")
+	if err := nm.ProvisionComposite("Fleet-Average",
+		d.SensorNames(), "", sensor.QoSSpec{MinCPUs: 2}); err != nil {
+		log.Fatal(err)
+	}
+	r, err := nm.GetValue("Fleet-Average")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial read: %.2f\n\n", r.Value)
+
+	// Find and kill the hosting node.
+	var victim *rio.Cybernode
+	for _, n := range d.Nodes {
+		if len(n.Services()) > 0 {
+			victim = n
+			break
+		}
+	}
+	fmt.Printf("killing %s (hosting Fleet-Average):\n", victim.Name())
+	start := time.Now()
+	victim.Kill()
+
+	// The service keeps answering under its name.
+	for {
+		if r, err = nm.GetValue("Fleet-Average"); err == nil {
+			break
+		}
+		if time.Since(start) > 5*time.Second {
+			log.Fatal("failover did not complete")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Printf("\nservice answering again after %v: %.2f\n", time.Since(start).Round(time.Microsecond), r.Value)
+
+	st, err := d.Monitor.Status("sensorcer/Fleet-Average")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployment: planned=%d actual=%d on %v\n", st[0].Planned, st[0].Actual, st[0].Nodes)
+	fmt.Printf("surviving cybernodes: %d of %d\n", len(d.Monitor.Nodes()), len(d.Nodes))
+}

@@ -1,0 +1,125 @@
+// Farm: the paper's motivating agricultural scenario (§II motivation 2 —
+// "in agricultural area, where the sensors are located at different
+// locations on the farms ... the data collection specialist has to collect
+// the data from the sensors, directly visiting those places").
+//
+// Here the specialist never leaves the desk: twelve field sensors across
+// three zones publish themselves; zone composites and a farm-wide
+// composite aggregate them; the browser panel answers "what is the status
+// of the sensor in place" remotely; and when a field device's battery
+// dies, the failure is visible immediately instead of after a drive to
+// the field.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"sensorcer/internal/attr"
+	"sensorcer/internal/browser"
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/discovery"
+	"sensorcer/internal/registry"
+	"sensorcer/internal/sensor"
+	"sensorcer/internal/sensor/calib"
+	"sensorcer/internal/sensor/probe"
+	"sensorcer/internal/spot"
+)
+
+func main() {
+	clock := clockwork.Real()
+	bus := discovery.NewBus()
+	lus := registry.New("farm-lus", clock)
+	defer lus.Close()
+	defer bus.Announce(lus)()
+	mgr := discovery.NewManager(bus)
+	defer mgr.Terminate()
+
+	// Three zones, four sensors each; one sensor gets a nearly dead
+	// battery to demonstrate field-failure visibility.
+	zones := []string{"orchard", "vineyard", "pasture"}
+	var weakDevice *spot.Device
+	for zi, zone := range zones {
+		for i := 0; i < 4; i++ {
+			name := fmt.Sprintf("%s-%d", zone, i+1)
+			cfg := spot.Config{Name: name, Clock: clock}
+			if zone == "pasture" && i == 3 {
+				cfg.BatteryMicroJ = 30 // enough for ~5 samples, then dead
+			}
+			device := spot.NewDevice(cfg)
+			if cfg.BatteryMicroJ > 0 {
+				weakDevice = device
+			}
+			device.Attach(spot.NewTemperatureModel(
+				18+float64(zi)*2, 5, float64(i)*0.5, 0.3, int64(zi*10+i+1)))
+			// Field probes carry a per-device linear calibration.
+			chain := calib.Chain{calib.Linear{Gain: 1, Offset: float64(i) * 0.05}, calib.Clamp{Lo: -40, Hi: 60}}
+			esp := sensor.NewESP(name, probe.NewSpotProbe(name, device, "temperature", chain))
+			defer esp.Close()
+			defer esp.Publish(clock, mgr, attr.Location("farm", zone, fmt.Sprint(i+1))).Terminate()
+		}
+	}
+
+	facade := sensor.NewFacade("Farm Facade", clock, mgr)
+	defer facade.Publish().Terminate()
+	nm := facade.Network()
+
+	// Zone composites and a farm-wide composite over them.
+	for _, zone := range zones {
+		var members []string
+		for i := 0; i < 4; i++ {
+			members = append(members, fmt.Sprintf("%s-%d", zone, i+1))
+		}
+		if _, err := nm.ComposeService(zone+"-mean", members, ""); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := nm.ComposeService("farm-mean",
+		[]string{"orchard-mean", "vineyard-mean", "pasture-mean"}, "(a + b + c)/3"); err != nil {
+		log.Fatal(err)
+	}
+	// A frost alarm: 1 when any zone mean is below 16 degrees.
+	if _, err := nm.ComposeService("frost-alarm",
+		[]string{"orchard-mean", "vineyard-mean", "pasture-mean"},
+		"min(a, b, c) < 16 ? 1 : 0"); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("zone and farm means:")
+	for _, name := range []string{"orchard-mean", "vineyard-mean", "pasture-mean", "farm-mean", "frost-alarm"} {
+		r, err := nm.GetValue(name)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("  %-14s %6.2f\n", name, r.Value)
+	}
+
+	// Run the weak sensor's battery down: the next pasture read reports a
+	// concrete device failure with the failing sensor named.
+	for i := 0; i < 5; i++ {
+		weakDevice.Sample("temperature")
+	}
+	fmt.Println("\nafter pasture-4's battery dies:")
+	if _, err := nm.GetValue("pasture-mean"); err != nil {
+		fmt.Printf("  pasture-mean read fails fast: %v\n", err)
+	}
+	// The specialist regroups the zone without the dead node — pure
+	// logical reconfiguration, no field visit.
+	if err := nm.RemoveFromComposite("pasture-mean", "pasture-4"); err != nil {
+		log.Fatal(err)
+	}
+	r, err := nm.GetValue("pasture-mean")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  after dropping pasture-4 from the group: %.2f\n", r.Value)
+
+	// Fig. 2-style status panel, from the desk.
+	ctl := browser.NewController(facade, mgr)
+	out, err := ctl.Execute("info farm-mean")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n" + strings.TrimRight(out, "\n"))
+}

@@ -1,0 +1,147 @@
+// Metacompute: exertion-oriented programming (§IV-D) on its own, without
+// sensors — the SORCER substrate that makes SenSORCER possible. A tiny
+// engineering workflow runs three ways:
+//
+//  1. elementary tasks bound by federated method invocation (with
+//     automatic re-binding when a provider fails mid-collaboration),
+//  2. a sequential job whose context pipes feed one step's output into
+//     the next step's input, coordinated by a Jobber, and
+//  3. a parallel pull-mode job drained from the exertion space by
+//     self-paced workers, coordinated by a Spacer.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/discovery"
+	"sensorcer/internal/lease"
+	"sensorcer/internal/registry"
+	"sensorcer/internal/sorcer"
+	"sensorcer/internal/space"
+)
+
+func main() {
+	clock := clockwork.Real()
+	bus := discovery.NewBus()
+	lus := registry.New("metacompute-lus", clock)
+	defer lus.Close()
+	defer bus.Announce(lus)()
+	mgr := discovery.NewManager(bus)
+	defer mgr.Terminate()
+	exerter := sorcer.NewExerter(sorcer.NewAccessor(mgr))
+
+	// Domain providers: a "Calc" type with a few operations.
+	calc := sorcer.NewProvider("Calc-1", "Calc")
+	calc.RegisterOp("square", func(ctx *sorcer.Context) error {
+		x, err := ctx.Float("in/x")
+		if err != nil {
+			return err
+		}
+		ctx.Put("out/y", x*x)
+		return nil
+	})
+	calc.RegisterOp("sqrt", func(ctx *sorcer.Context) error {
+		x, err := ctx.Float("in/x")
+		if err != nil {
+			return err
+		}
+		if x < 0 {
+			return errors.New("negative input")
+		}
+		ctx.Put("out/y", math.Sqrt(x))
+		return nil
+	})
+	defer calc.Publish(clock, mgr, nil).Terminate()
+
+	// A flaky twin that fails its first two calls: FMI re-binds to Calc-1.
+	var calls atomic.Int64
+	flaky := sorcer.NewProvider("Calc-flaky", "Calc")
+	flaky.RegisterOp("square", func(ctx *sorcer.Context) error {
+		if calls.Add(1) <= 2 {
+			return errors.New("injected transient failure")
+		}
+		x, _ := ctx.Float("in/x")
+		ctx.Put("out/y", x*x)
+		return nil
+	})
+	defer flaky.Publish(clock, mgr, nil).Terminate()
+
+	// 1. Elementary task: the requestor never names a provider — the
+	// signature type is enough, and failures re-bind transparently.
+	fmt.Println("1. elementary tasks (federated method invocation):")
+	for i := 0; i < 3; i++ {
+		task := sorcer.NewTask("square", sorcer.Sig("Calc", "square"),
+			sorcer.NewContextFrom("in/x", float64(i+3)))
+		res, err := exerter.Exert(task, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		y, _ := res.Context().Float("out/y")
+		fmt.Printf("   square(%d) = %.0f  (status %v)\n", i+3, y, res.Status())
+	}
+
+	// 2. Sequential job with a context pipe: sqrt(square(7)).
+	fmt.Println("\n2. sequential job with context pipes (Jobber):")
+	first := sorcer.NewTask("step1", sorcer.Sig("Calc", "square"), sorcer.NewContextFrom("in/x", 7.0))
+	second := sorcer.NewTask("step2", sorcer.Sig("Calc", "sqrt"), nil)
+	job := sorcer.NewJob("chain", sorcer.Strategy{
+		Flow:   sorcer.Sequential,
+		Access: sorcer.Push,
+		Pipes:  []sorcer.Pipe{{FromIndex: 0, FromPath: "out/y", ToIndex: 1, ToPath: "in/x"}},
+	}, first, second)
+	res, err := exerter.Exert(job, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	y, _ := res.Context().Float("step2/out/y")
+	fmt.Printf("   sqrt(square(7)) = %.0f\n", y)
+
+	// 3. Pull-mode parallel job: the requestor drops tasks into the
+	// exertion space; three workers take them at their own pace.
+	fmt.Println("\n3. parallel pull-mode job (Spacer + exertion space):")
+	sp := space.New(clock, lease.Policy{Max: time.Minute})
+	defer sp.Close()
+	var workers []*sorcer.SpaceWorker
+	for i := 0; i < 3; i++ {
+		w := sorcer.NewProvider(fmt.Sprintf("Worker-%d", i+1), "Calc")
+		w.RegisterOp("square", func(ctx *sorcer.Context) error {
+			x, _ := ctx.Float("in/x")
+			ctx.Put("out/y", x*x)
+			return nil
+		})
+		w.SetConcurrency(1)
+		workers = append(workers, sorcer.NewSpaceWorker(sp, w, "Calc"))
+	}
+	defer func() {
+		for _, w := range workers {
+			w.Stop()
+		}
+	}()
+	spacer := sorcer.NewSpacer("Spacer-1", sp, sorcer.WithTaskTimeout(10*time.Second))
+	defer sorcer.PublishServicer(clock, mgr, spacer, spacer.ID(), spacer.Name(),
+		[]string{sorcer.SpacerType}, nil).Terminate()
+
+	var tasks []sorcer.Exertion
+	for i := 1; i <= 9; i++ {
+		tasks = append(tasks, sorcer.NewTask(fmt.Sprintf("sq-%d", i),
+			sorcer.Sig("Calc", "square"), sorcer.NewContextFrom("in/x", float64(i))))
+	}
+	pullJob := sorcer.NewJob("sweep", sorcer.Strategy{Flow: sorcer.Parallel, Access: sorcer.Pull}, tasks...)
+	start := time.Now()
+	if _, err := exerter.Exert(pullJob, nil); err != nil {
+		log.Fatal(err)
+	}
+	sum := 0.0
+	for _, ex := range pullJob.Exertions() {
+		v, _ := ex.Context().Float("out/y")
+		sum += v
+	}
+	fmt.Printf("   sum of squares 1..9 = %.0f in %v (3 workers drained the space)\n",
+		sum, time.Since(start).Round(time.Microsecond))
+}

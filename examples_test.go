@@ -1,0 +1,52 @@
+package sensorcer
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example end to end — examples are the
+// public face of the library and must not rot. Skipped under -short.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	examples := map[string][]string{
+		"quickstart":  {"Greenhouse-Average", "services on the network"},
+		"farm":        {"farm-mean", "battery", "after dropping pasture-4"},
+		"failover":    {"PROVISIONED", "NODE-LOST", "answering again"},
+		"airvehicle":  {"pull-mode fleet sweep", "job status: DONE"},
+		"metacompute": {"sqrt(square(7)) = 7", "sum of squares 1..9 = 285"},
+		"fieldradio":  {"radio-collected sensors", "field-mean =", "battery after the campaign"},
+	}
+	for name, wants := range examples {
+		name, wants := name, wants
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			done := make(chan struct{})
+			var out []byte
+			var err error
+			go func() {
+				out, err = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(2 * time.Minute):
+				cmd.Process.Kill()
+				t.Fatal("example timed out")
+			}
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			for _, want := range wants {
+				if !strings.Contains(string(out), want) {
+					t.Fatalf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}

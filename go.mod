@@ -1,0 +1,3 @@
+module sensorcer
+
+go 1.22

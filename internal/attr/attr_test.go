@@ -1,0 +1,251 @@
+package attr
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndGet(t *testing.T) {
+	e := New("Location", "building", "CP TTU", "floor", "3", "room", "310")
+	if e.Type != "Location" {
+		t.Fatalf("Type = %q", e.Type)
+	}
+	v, ok := e.Get("building")
+	if !ok || v != "CP TTU" {
+		t.Fatalf("Get(building) = %v, %v", v, ok)
+	}
+	if _, ok := e.Get("missing"); ok {
+		t.Fatal("Get(missing) reported present")
+	}
+}
+
+func TestNewPanicsOnOddArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on odd kv args")
+		}
+	}()
+	New("X", "k")
+}
+
+func TestNewPanicsOnNonStringKey(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-string key")
+		}
+	}()
+	New("X", 42, "v")
+}
+
+func TestEntryMatchesWildcardFields(t *testing.T) {
+	candidate := Location("CP TTU", "3", "310")
+	tmpl := New(TypeLocation, "building", "CP TTU") // floor, room wildcarded
+	if !tmpl.Matches(candidate) {
+		t.Fatal("partial template should match")
+	}
+	tmplWrong := New(TypeLocation, "building", "Other")
+	if tmplWrong.Matches(candidate) {
+		t.Fatal("mismatching field should not match")
+	}
+	tmplType := New("Comment", "building", "CP TTU")
+	if tmplType.Matches(candidate) {
+		t.Fatal("different type should not match")
+	}
+}
+
+func TestEmptyTemplateEntryMatchesSameType(t *testing.T) {
+	tmpl := Entry{Type: TypeSensorType}
+	if !tmpl.Matches(SensorType("temperature", "celsius")) {
+		t.Fatal("empty-field template of same type should match")
+	}
+}
+
+func TestNumericNormalization(t *testing.T) {
+	e := New("Q", "n", 3)
+	tmplInt64 := New("Q", "n", int64(3))
+	if !tmplInt64.Matches(e) {
+		t.Fatal("int vs int64 should match")
+	}
+	f := New("Q", "x", float32(1.5))
+	if !New("Q", "x", 1.5).Matches(f) {
+		t.Fatal("float32 vs float64 should match")
+	}
+}
+
+func TestEntryEqual(t *testing.T) {
+	a := Location("B", "1", "2")
+	b := Location("B", "1", "2")
+	if !a.Equal(b) {
+		t.Fatal("identical entries not Equal")
+	}
+	c := New(TypeLocation, "building", "B")
+	if a.Equal(c) {
+		t.Fatal("entries with different field counts reported Equal")
+	}
+}
+
+func TestEntryWithAndClone(t *testing.T) {
+	a := Name("Neem-Sensor")
+	b := a.With("name", "Jade-Sensor")
+	if NameOf(Set{a}) != "Neem-Sensor" {
+		t.Fatal("With mutated the receiver")
+	}
+	if NameOf(Set{b}) != "Jade-Sensor" {
+		t.Fatal("With did not set the field")
+	}
+	empty := Entry{Type: "T"}
+	w := empty.With("k", "v")
+	if v, ok := w.Get("k"); !ok || v != "v" {
+		t.Fatal("With on nil-fields entry failed")
+	}
+}
+
+func TestSetMatchesTemplate(t *testing.T) {
+	s := Set{
+		Name("Coral-Sensor"),
+		SensorType("temperature", "celsius"),
+		Location("CP TTU", "3", "310"),
+	}
+	cases := []struct {
+		tmpl Set
+		want bool
+	}{
+		{nil, true},
+		{Set{}, true},
+		{Set{Name("Coral-Sensor")}, true},
+		{Set{New(TypeSensorType, "kind", "temperature")}, true},
+		{Set{Name("Coral-Sensor"), New(TypeLocation, "floor", "3")}, true},
+		{Set{Name("Other")}, false},
+		{Set{New("Unknown")}, false},
+		{Set{New(TypeSensorType, "kind", "humidity")}, false},
+	}
+	for i, c := range cases {
+		if got := s.MatchesTemplate(c.tmpl); got != c.want {
+			t.Errorf("case %d: MatchesTemplate(%v) = %v, want %v", i, c.tmpl, got, c.want)
+		}
+	}
+}
+
+func TestSetFindAndReplace(t *testing.T) {
+	s := Set{Name("A"), Comment("old")}
+	s2 := s.Replace(Comment("new"))
+	e, ok := s2.Find(TypeComment)
+	if !ok {
+		t.Fatal("Comment not found after Replace")
+	}
+	if v, _ := e.Get("comment"); v != "new" {
+		t.Fatalf("comment = %v", v)
+	}
+	// Replace appends when absent.
+	s3 := s2.Replace(ServiceType("FACADE"))
+	if _, ok := s3.Find(TypeServiceType); !ok {
+		t.Fatal("Replace did not append new type")
+	}
+	// Original set untouched.
+	if e, _ := s.Find(TypeComment); func() Value { v, _ := e.Get("comment"); return v }() != "old" {
+		t.Fatal("Replace mutated original set")
+	}
+}
+
+func TestReplaceCollapsesDuplicates(t *testing.T) {
+	s := Set{Comment("a"), Comment("b")}
+	s2 := s.Replace(Comment("c"))
+	n := 0
+	for _, e := range s2 {
+		if e.Type == TypeComment {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("got %d Comment entries, want 1", n)
+	}
+}
+
+func TestStringStable(t *testing.T) {
+	e := New("Z", "b", 2, "a", 1)
+	if got := e.String(); got != "Z{a=1, b=2}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestNameOfMissing(t *testing.T) {
+	if NameOf(Set{Comment("x")}) != "" {
+		t.Fatal("NameOf on nameless set should be empty")
+	}
+}
+
+func TestJSONRoundTripMatching(t *testing.T) {
+	// After a trip through JSON (the RPC layer), numeric fields decode as
+	// float64; matching must still work thanks to normalization... for
+	// float-valued fields. Integer fields should be written as int64 by
+	// convention; this test pins the float behavior.
+	s := Set{New("Q", "x", 1.5), Name("N")}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Set
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.MatchesTemplate(Set{New("Q", "x", 1.5)}) {
+		t.Fatal("JSON round trip broke float matching")
+	}
+	if NameOf(back) != "N" {
+		t.Fatal("JSON round trip broke string fields")
+	}
+}
+
+func TestCloneSetIndependence(t *testing.T) {
+	s := Set{Name("A")}
+	c := CloneSet(s)
+	c[0].Fields["name"] = "B"
+	if NameOf(s) != "A" {
+		t.Fatal("CloneSet shares field maps")
+	}
+	if CloneSet(nil) != nil {
+		t.Fatal("CloneSet(nil) should be nil")
+	}
+}
+
+// Property: an entry always matches itself, and matching is reflexive over
+// generated field sets.
+func TestPropertySelfMatch(t *testing.T) {
+	f := func(typ string, keys []string, vals []int64) bool {
+		e := Entry{Type: typ, Fields: map[string]Value{}}
+		for i, k := range keys {
+			if i < len(vals) {
+				e.Fields[k] = vals[i]
+			}
+		}
+		return e.Matches(e) && e.Equal(e)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a template with a strict subset of fields still matches.
+func TestPropertySubsetTemplateMatches(t *testing.T) {
+	f := func(vals map[string]int64, drop uint8) bool {
+		full := Entry{Type: "T", Fields: map[string]Value{}}
+		for k, v := range vals {
+			full.Fields[k] = v
+		}
+		tmpl := full.Clone()
+		// Drop up to `drop` fields from the template.
+		n := int(drop % 4)
+		for k := range tmpl.Fields {
+			if n == 0 {
+				break
+			}
+			delete(tmpl.Fields, k)
+			n--
+		}
+		return tmpl.Matches(full)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,297 @@
+// Package browser implements the Sensor Browser of the paper's Fig. 2: a
+// zero-install, lightweight service UI attached to the SenSORCER Façade.
+// Per §V-B it follows the MVC pattern: the Model holds the sensor-network
+// configuration data, the View renders it (as text here — the paper used
+// a Swing service UI inside Inca X), and the Controller maps user commands
+// onto façade operations. It carries no heavy processing: "for the most
+// part, the service UI just takes the input from the user and gives back
+// result from the SenSORCER network" (§VII).
+package browser
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sensorcer/internal/discovery"
+	"sensorcer/internal/registry"
+	"sensorcer/internal/sensor"
+)
+
+// SensorValue is one row of the "Sensor Value" panel.
+type SensorValue struct {
+	Name  string
+	Value float64
+	Unit  string
+	Err   string
+	// Health is the device condition (battery level) when the sensor
+	// reports one.
+	Health    float64
+	HasHealth bool
+}
+
+// healthReporter matches sensor services able to report device condition
+// (ESPs over SPOT probes implement it).
+type healthReporter interface {
+	Health() (float64, bool)
+}
+
+// ServiceDetail is the "Sensor Service Information" panel.
+type ServiceDetail struct {
+	Name       string
+	Category   string
+	ID         string
+	Contained  []sensor.ChildInfo
+	Expression string
+	Attributes []string
+}
+
+// Model is the browser's data: the network configuration as last
+// refreshed.
+type Model struct {
+	Registrars []string
+	Services   []sensor.ServiceEntry
+	Values     []SensorValue
+	Selected   *ServiceDetail
+}
+
+// Controller mediates between user commands and the façade.
+type Controller struct {
+	facade *sensor.Facade
+	mgr    *discovery.Manager
+}
+
+// NewController attaches a browser controller to a façade.
+func NewController(facade *sensor.Facade, mgr *discovery.Manager) *Controller {
+	return &Controller{facade: facade, mgr: mgr}
+}
+
+// Refresh rebuilds the model from the live network: registrar names, the
+// full service list, and a value sample from every sensor service.
+func (c *Controller) Refresh() *Model {
+	m := &Model{}
+	var regs []registry.Registrar
+	if c.mgr != nil {
+		regs = c.mgr.Registrars()
+	}
+	for _, r := range regs {
+		m.Registrars = append(m.Registrars, r.Name())
+	}
+	sort.Strings(m.Registrars)
+	m.Services = c.facade.ListServices()
+	for _, e := range c.facade.SensorEntries() {
+		sv := SensorValue{Name: e.Name}
+		r, err := c.facade.Network().GetValue(e.Name)
+		if err != nil {
+			sv.Err = err.Error()
+		} else {
+			sv.Value = r.Value
+			sv.Unit = r.Unit
+		}
+		if acc, err := c.facade.Network().FindAccessor(e.Name); err == nil {
+			if hr, ok := acc.(healthReporter); ok {
+				if level, has := hr.Health(); has {
+					sv.Health, sv.HasHealth = level, true
+				}
+			}
+		}
+		m.Values = append(m.Values, sv)
+	}
+	return m
+}
+
+// Select builds the detail panel for a named service.
+func (c *Controller) Select(name string) (*ServiceDetail, error) {
+	for _, e := range c.facade.ListServices() {
+		if e.Name != name {
+			continue
+		}
+		d := &ServiceDetail{
+			Name:     e.Name,
+			Category: e.Category,
+			ID:       e.ID.String(),
+		}
+		for _, a := range e.Attributes {
+			d.Attributes = append(d.Attributes, a.String())
+		}
+		sort.Strings(d.Attributes)
+		if e.Category == sensor.CategoryComposite {
+			kids, expr, err := c.facade.Network().CompositeInfo(name)
+			if err == nil {
+				d.Contained = kids
+				d.Expression = expr
+			}
+		}
+		return d, nil
+	}
+	return nil, fmt.Errorf("%w: %q", sensor.ErrUnknownService, name)
+}
+
+// Execute parses and runs one browser command, returning rendered output.
+// Commands mirror the buttons of the paper's UI: "Get Sensor List",
+// "Get Value", "Compose Service", "Add Expression", "Create Service".
+func (c *Controller) Execute(line string) (string, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", nil
+	}
+	cmd, args := fields[0], fields[1:]
+	nm := c.facade.Network()
+	switch cmd {
+	case "list":
+		return RenderServiceList(c.Refresh()), nil
+	case "values":
+		return RenderValues(c.Refresh().Values), nil
+	case "info":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: info <service>")
+		}
+		d, err := c.Select(args[0])
+		if err != nil {
+			return "", err
+		}
+		return RenderDetail(d), nil
+	case "value":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: value <service>")
+		}
+		r, err := nm.GetValue(args[0])
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s = %.3f %s", args[0], r.Value, r.Unit), nil
+	case "compose":
+		if len(args) < 2 {
+			return "", fmt.Errorf("usage: compose <name> <child> [child...]")
+		}
+		if _, err := nm.ComposeService(args[0], args[1:], ""); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("composed %s over %s", args[0], strings.Join(args[1:], ", ")), nil
+	case "add":
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: add <composite> <child>")
+		}
+		v, err := nm.AddToComposite(args[0], args[1])
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("added %s to %s as variable %s", args[1], args[0], v), nil
+	case "expr":
+		if len(args) < 2 {
+			return "", fmt.Errorf("usage: expr <composite> <expression>")
+		}
+		expression := strings.Join(args[1:], " ")
+		if err := nm.SetExpression(args[0], expression); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("expression of %s set to %q", args[0], expression), nil
+	case "provision":
+		if len(args) < 2 {
+			return "", fmt.Errorf("usage: provision <name> <child> [child...]")
+		}
+		if err := nm.ProvisionComposite(args[0], args[1:], "", sensor.QoSSpec{}); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("provisioned %s", args[0]), nil
+	case "scale":
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: scale <provisioned-composite> <instances>")
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil {
+			return "", fmt.Errorf("usage: scale <provisioned-composite> <instances>")
+		}
+		if err := nm.ScaleComposite(args[0], n); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("scaled %s to %d instance(s)", args[0], n), nil
+	case "remove":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: remove <service>")
+		}
+		if err := nm.RemoveService(args[0]); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("removed %s", args[0]), nil
+	case "help":
+		return helpText, nil
+	default:
+		return "", fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+const helpText = `commands:
+  list                                  show all services (Fig. 2 service tree)
+  values                                read every sensor service
+  info <service>                        service detail panel
+  value <service>                       read one service
+  compose <name> <child> [child...]     create a composite service
+  add <composite> <child>               compose another service in
+  expr <composite> <expression>         set the compute-expression
+  provision <name> <child> [child...]   provision a composite via Rio
+  scale <name> <instances>              rescale a provisioned composite
+  remove <service>                      remove a composite created here
+  help                                  this text`
+
+// RenderServiceList renders the Fig. 2-style service tree.
+func RenderServiceList(m *Model) string {
+	var b strings.Builder
+	b.WriteString("Lookup services\n")
+	for _, r := range m.Registrars {
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+	b.WriteString("Services\n")
+	for _, e := range m.Services {
+		tag := e.Category
+		if tag == "" {
+			tag = "INFRASTRUCTURE"
+		}
+		fmt.Fprintf(&b, "  [%-14s] %s\n", tag, e.Name)
+	}
+	return b.String()
+}
+
+// RenderValues renders the "Sensor Value" panel.
+func RenderValues(values []SensorValue) string {
+	var b strings.Builder
+	b.WriteString("Sensor Value\n")
+	for _, v := range values {
+		if v.Err != "" {
+			fmt.Fprintf(&b, "  %-20s <error: %s>\n", v.Name, v.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "  %-20s %8.3f %s", v.Name, v.Value, v.Unit)
+		if v.HasHealth {
+			fmt.Fprintf(&b, "  [battery %3.0f%%]", v.Health*100)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderDetail renders the "Sensor Service Information" panel.
+func RenderDetail(d *ServiceDetail) string {
+	var b strings.Builder
+	b.WriteString("Sensor Service Information\n")
+	fmt.Fprintf(&b, "  Sensor Name:: %s\n", d.Name)
+	fmt.Fprintf(&b, "  Service Type:: %s\n", d.Category)
+	fmt.Fprintf(&b, "  Service ID:: %s\n", d.ID)
+	if len(d.Contained) > 0 {
+		b.WriteString("  Contained Services:\n")
+		for _, ch := range d.Contained {
+			fmt.Fprintf(&b, "    %s = %s\n", ch.Var, ch.Name)
+		}
+	}
+	if d.Expression != "" {
+		fmt.Fprintf(&b, "  Compute Expression: %s\n", d.Expression)
+	}
+	if len(d.Attributes) > 0 {
+		b.WriteString("  Attributes:\n")
+		for _, a := range d.Attributes {
+			fmt.Fprintf(&b, "    %s\n", a)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,266 @@
+package browser
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/discovery"
+	"sensorcer/internal/registry"
+	"sensorcer/internal/rio"
+	"sensorcer/internal/sensor"
+	"sensorcer/internal/sensor/probe"
+	"sensorcer/internal/spot"
+)
+
+var epoch = time.Date(2009, 10, 6, 17, 26, 0, 0, time.UTC)
+
+type rig struct {
+	controller *Controller
+	facade     *sensor.Facade
+	monitor    *rio.Monitor
+	nodes      []*rio.Cybernode
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	bus := discovery.NewBus()
+	lus := registry.New("persimmon.cs.ttu.edu:4160", clockwork.NewFake(epoch))
+	cancel := bus.Announce(lus)
+	mgr := discovery.NewManager(bus)
+
+	var cleanup []func()
+	for name, v := range map[string]float64{
+		"Neem-Sensor": 20, "Jade-Sensor": 22, "Diamond-Sensor": 24, "Coral-Sensor": 26,
+	} {
+		e := sensor.NewESP(name, probe.NewReplayProbe(name, "temperature", "celsius", []float64{v}, true, nil))
+		j := e.Publish(clockwork.Real(), mgr)
+		cleanup = append(cleanup, j.Terminate, func() { e.Close() })
+	}
+	facade := sensor.NewFacade("SenSORCER Facade", clockwork.Real(), mgr)
+	fj := facade.Publish()
+
+	factories := rio.NewFactoryRegistry()
+	monitor := rio.NewMonitor(clockwork.Real(), nil)
+	nm := facade.Network()
+	nm.AttachProvisioner(sensor.NewProvisioner(monitor, factories, clockwork.Real(), mgr, nm.FindAccessor))
+	node := rio.NewCybernode("Cybernode-1", rio.Capability{CPUs: 4}, factories)
+	monitor.RegisterCybernode(node, time.Minute)
+
+	t.Cleanup(func() {
+		fj.Terminate()
+		for _, f := range cleanup {
+			f()
+		}
+		monitor.Close()
+		mgr.Terminate()
+		cancel()
+		lus.Close()
+	})
+	return &rig{
+		controller: NewController(facade, mgr),
+		facade:     facade,
+		monitor:    monitor,
+		nodes:      []*rio.Cybernode{node},
+	}
+}
+
+func TestRefreshModel(t *testing.T) {
+	r := newRig(t)
+	m := r.controller.Refresh()
+	if len(m.Registrars) != 1 || m.Registrars[0] != "persimmon.cs.ttu.edu:4160" {
+		t.Fatalf("Registrars = %v", m.Registrars)
+	}
+	if len(m.Values) != 4 {
+		t.Fatalf("Values = %d rows", len(m.Values))
+	}
+	for _, v := range m.Values {
+		if v.Err != "" || v.Value == 0 {
+			t.Fatalf("value row = %+v", v)
+		}
+	}
+}
+
+func TestListCommandRendersTree(t *testing.T) {
+	r := newRig(t)
+	out, err := r.controller.Execute("list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Lookup services", "persimmon.cs.ttu.edu:4160",
+		"[ELEMENTARY", "Neem-Sensor", "Coral-Sensor",
+		"[FACADE", "SenSORCER Facade",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPaperWorkflowThroughBrowser(t *testing.T) {
+	// Drive the §VI experiment entirely through browser commands.
+	r := newRig(t)
+	c := r.controller
+	steps := []string{
+		"compose Composite-Service Neem-Sensor Jade-Sensor Diamond-Sensor",
+		"expr Composite-Service (a + b + c)/3",
+		"provision New-Composite Composite-Service Coral-Sensor",
+		"expr New-Composite (a + b)/2",
+	}
+	for _, s := range steps {
+		if _, err := c.Execute(s); err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+	}
+	out, err := c.Execute("value New-Composite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "24.000") {
+		t.Fatalf("value output = %q, want 24.000", out)
+	}
+	// Detail panel shows composition and expression (Fig. 3 panel).
+	out, err = c.Execute("info New-Composite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Sensor Name:: New-Composite",
+		"Service Type:: COMPOSITE",
+		"a = Composite-Service",
+		"b = Coral-Sensor",
+		"Compute Expression: (a + b)/2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("info output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestValuesCommand(t *testing.T) {
+	r := newRig(t)
+	out, err := r.controller.Execute("values")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Jade-Sensor") || !strings.Contains(out, "22.000") {
+		t.Fatalf("values output:\n%s", out)
+	}
+}
+
+func TestAddAndRemoveCommands(t *testing.T) {
+	r := newRig(t)
+	c := r.controller
+	if _, err := c.Execute("compose g Neem-Sensor"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Execute("add g Coral-Sensor")
+	if err != nil || !strings.Contains(out, "variable b") {
+		t.Fatalf("add = %q, %v", out, err)
+	}
+	if _, err := c.Execute("remove g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Execute("value g"); err == nil {
+		t.Fatal("removed composite still readable")
+	}
+}
+
+func TestCommandErrors(t *testing.T) {
+	r := newRig(t)
+	c := r.controller
+	bad := []string{
+		"info", "value", "compose x", "add x", "expr x", "provision x",
+		"remove", "bogus", "value ghost", "info ghost",
+	}
+	for _, s := range bad {
+		if _, err := c.Execute(s); err == nil {
+			t.Fatalf("%q accepted", s)
+		}
+	}
+	// Blank and help are fine.
+	if out, err := c.Execute(""); err != nil || out != "" {
+		t.Fatal("blank command misbehaved")
+	}
+	if out, err := c.Execute("help"); err != nil || !strings.Contains(out, "compose") {
+		t.Fatal("help broken")
+	}
+}
+
+func TestSelectDetailForElementary(t *testing.T) {
+	r := newRig(t)
+	d, err := r.controller.Select("Neem-Sensor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Category != sensor.CategoryElementary || len(d.Attributes) == 0 {
+		t.Fatalf("detail = %+v", d)
+	}
+	rendered := RenderDetail(d)
+	if !strings.Contains(rendered, "Service ID::") {
+		t.Fatalf("rendered detail:\n%s", rendered)
+	}
+}
+
+func TestValuesPanelShowsErrors(t *testing.T) {
+	bus := discovery.NewBus()
+	lus := registry.New("lus", clockwork.NewFake(epoch))
+	defer lus.Close()
+	defer bus.Announce(lus)()
+	mgr := discovery.NewManager(bus)
+	defer mgr.Terminate()
+	dead := sensor.NewESP("dead", probe.NewReplayProbe("dead", "k", "u", nil, false, nil))
+	defer dead.Close()
+	defer dead.Publish(clockwork.Real(), mgr).Terminate()
+	facade := sensor.NewFacade("f", clockwork.Real(), mgr)
+	c := NewController(facade, mgr)
+	out, err := c.Execute("values")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "<error:") {
+		t.Fatalf("values output missing error row:\n%s", out)
+	}
+}
+
+func TestValuesPanelShowsBattery(t *testing.T) {
+	bus := discovery.NewBus()
+	lus := registry.New("lus", clockwork.NewFake(epoch))
+	defer lus.Close()
+	defer bus.Announce(lus)()
+	mgr := discovery.NewManager(bus)
+	defer mgr.Terminate()
+	dev := spot.NewDevice(spot.Config{Name: "b", BatteryMicroJ: 1000})
+	dev.Attach(spot.ConstantModel{Value: 20, UnitName: "celsius", KindName: "temperature"})
+	e := sensor.NewESP("Battery-Sensor", probe.NewSpotProbe("Battery-Sensor", dev, "temperature", nil))
+	defer e.Close()
+	defer e.Publish(clockwork.Real(), mgr).Terminate()
+	facade := sensor.NewFacade("f", clockwork.Real(), mgr)
+	out, err := NewController(facade, mgr).Execute("values")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[battery") {
+		t.Fatalf("values output missing battery column:\n%s", out)
+	}
+}
+
+func TestScaleCommand(t *testing.T) {
+	r := newRig(t)
+	c := r.controller
+	if _, err := c.Execute("provision hs Neem-Sensor Coral-Sensor"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Execute("scale hs 2")
+	if err != nil || !strings.Contains(out, "scaled hs to 2") {
+		t.Fatalf("scale = %q, %v", out, err)
+	}
+	if _, err := c.Execute("scale hs two"); err == nil {
+		t.Fatal("non-numeric count accepted")
+	}
+	if _, err := c.Execute("scale"); err == nil {
+		t.Fatal("missing args accepted")
+	}
+}

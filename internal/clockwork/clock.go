@@ -1,0 +1,205 @@
+// Package clockwork provides an injectable clock abstraction so that
+// time-dependent components (leases, discovery announcements, provisioning
+// heartbeats) can be tested deterministically without sleeping.
+//
+// Production code uses Real(); tests use NewFake(start) and advance time
+// manually with Advance. Timers created from a fake clock fire synchronously
+// during Advance, in expiry order, which makes lease-expiry and
+// failure-detection tests exact.
+package clockwork
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the subset of package time used throughout sensorcer.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the then-current time once d
+	// has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// NewTimer returns a Timer that fires once after d.
+	NewTimer(d time.Duration) Timer
+	// Sleep blocks until d has elapsed.
+	Sleep(d time.Duration)
+	// Since returns the time elapsed since t.
+	Since(t time.Time) time.Duration
+}
+
+// Timer is the timer surface needed by lease and provisioning code.
+type Timer interface {
+	// C returns the channel on which the expiry time is delivered.
+	C() <-chan time.Time
+	// Reset re-arms the timer to fire after d. It reports whether the
+	// timer had been active.
+	Reset(d time.Duration) bool
+	// Stop disarms the timer. It reports whether the timer had been
+	// active.
+	Stop() bool
+}
+
+// Real returns a Clock backed by the real time package.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (realClock) Since(t time.Time) time.Duration        { return time.Since(t) }
+
+func (realClock) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) C() <-chan time.Time        { return rt.t.C }
+func (rt realTimer) Reset(d time.Duration) bool { return rt.t.Reset(d) }
+func (rt realTimer) Stop() bool                 { return rt.t.Stop() }
+
+// Fake is a manually advanced Clock for tests.
+type Fake struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+}
+
+// NewFake returns a Fake clock whose current time is start.
+func NewFake(start time.Time) *Fake { return &Fake{now: start} }
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Since implements Clock.
+func (f *Fake) Since(t time.Time) time.Duration { return f.Now().Sub(t) }
+
+// After implements Clock.
+func (f *Fake) After(d time.Duration) <-chan time.Time { return f.NewTimer(d).C() }
+
+// Sleep on a fake clock returns immediately; tests drive time with Advance.
+// Blocking here would deadlock single-goroutine tests, so Sleep is a no-op
+// that still observes ordering via Gosched-like semantics.
+func (f *Fake) Sleep(d time.Duration) {}
+
+// NewTimer implements Clock.
+func (f *Fake) NewTimer(d time.Duration) Timer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ft := &fakeTimer{
+		clock:  f,
+		ch:     make(chan time.Time, 1),
+		when:   f.now.Add(d),
+		active: true,
+	}
+	if d <= 0 {
+		ft.active = false
+		ft.ch <- f.now
+		return ft
+	}
+	f.timers = append(f.timers, ft)
+	return ft
+}
+
+// Advance moves the fake clock forward by d, firing every timer whose
+// deadline falls within the window, in deadline order.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	target := f.now.Add(d)
+	for {
+		var next *fakeTimer
+		for _, t := range f.timers {
+			if !t.active || t.when.After(target) {
+				continue
+			}
+			if next == nil || t.when.Before(next.when) {
+				next = t
+			}
+		}
+		if next == nil {
+			break
+		}
+		f.now = next.when
+		next.active = false
+		select {
+		case next.ch <- f.now:
+		default:
+		}
+	}
+	f.now = target
+	// Compact the timer list, dropping fired/stopped timers.
+	live := f.timers[:0]
+	for _, t := range f.timers {
+		if t.active {
+			live = append(live, t)
+		}
+	}
+	f.timers = live
+	f.mu.Unlock()
+}
+
+// Set jumps the fake clock to t (which must not be earlier than Now),
+// firing timers as with Advance.
+func (f *Fake) Set(t time.Time) {
+	d := t.Sub(f.Now())
+	if d < 0 {
+		d = 0
+	}
+	f.Advance(d)
+}
+
+// PendingTimers reports how many timers are armed; useful for leak checks.
+func (f *Fake) PendingTimers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, t := range f.timers {
+		if t.active {
+			n++
+		}
+	}
+	return n
+}
+
+type fakeTimer struct {
+	clock  *Fake
+	ch     chan time.Time
+	when   time.Time
+	active bool
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	was := t.active
+	t.active = false
+	return was
+}
+
+func (t *fakeTimer) Reset(d time.Duration) bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	was := t.active
+	t.when = t.clock.now.Add(d)
+	if d <= 0 {
+		t.active = false
+		select {
+		case t.ch <- t.clock.now:
+		default:
+		}
+		return was
+	}
+	if !was {
+		t.active = true
+		t.clock.timers = append(t.clock.timers, t)
+	} else {
+		t.active = true
+	}
+	return was
+}

@@ -1,0 +1,165 @@
+package clockwork
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2009, 10, 6, 17, 26, 0, 0, time.UTC) // the paper's screenshot timestamp
+
+func TestFakeNowAdvance(t *testing.T) {
+	f := NewFake(epoch)
+	if !f.Now().Equal(epoch) {
+		t.Fatalf("Now = %v, want %v", f.Now(), epoch)
+	}
+	f.Advance(90 * time.Second)
+	want := epoch.Add(90 * time.Second)
+	if !f.Now().Equal(want) {
+		t.Fatalf("Now = %v, want %v", f.Now(), want)
+	}
+}
+
+func TestFakeTimerFires(t *testing.T) {
+	f := NewFake(epoch)
+	tm := f.NewTimer(10 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	f.Advance(9 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired early")
+	default:
+	}
+	f.Advance(2 * time.Second)
+	select {
+	case at := <-tm.C():
+		want := epoch.Add(10 * time.Second)
+		if !at.Equal(want) {
+			t.Fatalf("fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("timer did not fire")
+	}
+}
+
+func TestFakeTimerOrder(t *testing.T) {
+	f := NewFake(epoch)
+	t1 := f.NewTimer(3 * time.Second)
+	t2 := f.NewTimer(1 * time.Second)
+	t3 := f.NewTimer(2 * time.Second)
+	f.Advance(5 * time.Second)
+	at1 := <-t1.C()
+	at2 := <-t2.C()
+	at3 := <-t3.C()
+	if !at2.Before(at3) || !at3.Before(at1) {
+		t.Fatalf("fire order wrong: %v %v %v", at1, at2, at3)
+	}
+}
+
+func TestFakeTimerStop(t *testing.T) {
+	f := NewFake(epoch)
+	tm := f.NewTimer(time.Second)
+	if !tm.Stop() {
+		t.Fatal("Stop on active timer should report true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	f.Advance(2 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+func TestFakeTimerReset(t *testing.T) {
+	f := NewFake(epoch)
+	tm := f.NewTimer(time.Second)
+	tm.Stop()
+	if tm.Reset(2*time.Second) != false {
+		t.Fatal("Reset on stopped timer should report false")
+	}
+	f.Advance(3 * time.Second)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("reset timer did not fire")
+	}
+}
+
+func TestFakeZeroDurationTimerFiresImmediately(t *testing.T) {
+	f := NewFake(epoch)
+	tm := f.NewTimer(0)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("zero-duration timer should fire immediately")
+	}
+}
+
+func TestFakeAfter(t *testing.T) {
+	f := NewFake(epoch)
+	ch := f.After(time.Minute)
+	f.Advance(time.Minute)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("After channel did not deliver")
+	}
+}
+
+func TestFakePendingTimers(t *testing.T) {
+	f := NewFake(epoch)
+	f.NewTimer(time.Second)
+	f.NewTimer(time.Hour)
+	if got := f.PendingTimers(); got != 2 {
+		t.Fatalf("PendingTimers = %d, want 2", got)
+	}
+	f.Advance(2 * time.Second)
+	if got := f.PendingTimers(); got != 1 {
+		t.Fatalf("PendingTimers after advance = %d, want 1", got)
+	}
+}
+
+func TestFakeSet(t *testing.T) {
+	f := NewFake(epoch)
+	tm := f.NewTimer(time.Hour)
+	f.Set(epoch.Add(2 * time.Hour))
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("Set did not fire timer")
+	}
+	if !f.Now().Equal(epoch.Add(2 * time.Hour)) {
+		t.Fatalf("Now = %v", f.Now())
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	c := Real()
+	before := c.Now()
+	tm := c.NewTimer(time.Millisecond)
+	<-tm.C()
+	if c.Since(before) <= 0 {
+		t.Fatal("Since must be positive after timer fired")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after fire should report false")
+	}
+}
+
+func TestFakeSinceAndSleep(t *testing.T) {
+	f := NewFake(epoch)
+	f.Sleep(time.Hour) // no-op by contract
+	if f.Since(epoch) != 0 {
+		t.Fatalf("Since = %v, want 0", f.Since(epoch))
+	}
+	f.Advance(time.Minute)
+	if f.Since(epoch) != time.Minute {
+		t.Fatalf("Since = %v, want 1m", f.Since(epoch))
+	}
+}

@@ -1,0 +1,227 @@
+// Package collect implements the measure→communicate leg of the paper's
+// MC² approach (§V-A) for radio-attached field sensors: a FieldNode
+// samples its device, batches readings into the compact wire format and
+// transmits them over the lossy 802.15.4 link; a Collector receives
+// frames, decodes batches, and re-exposes each field sensor as a standard
+// SensorDataAccessor — so even sensors too weak to host a service
+// participate in the federation through their collection point. This is
+// the integration path for the "legacy sensors and their protocols"
+// the paper wants wrapped "without any changes to underlying codes"
+// (§III-B).
+package collect
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/sensor"
+	"sensorcer/internal/sensor/probe"
+	"sensorcer/internal/spot"
+	"sensorcer/internal/wire"
+)
+
+// MaxBatch is the largest batch guaranteed to fit one radio frame: a
+// compact reading costs at most ~12 B (worst-case varints), so 8 readings
+// stay under spot.MaxPayload with the batch header.
+const MaxBatch = 8
+
+// FieldNode samples one quantity on a device and ships batches to a
+// collector over the device's radio link.
+type FieldNode struct {
+	device *spot.Device
+	kind   string
+	dest   uint16
+	batch  int
+
+	mu      sync.Mutex
+	pending []wire.Reading
+	seq     uint8
+	// retries bounds retransmissions of a lost frame.
+	retries int
+}
+
+// NewFieldNode creates a node batching up to batch readings (clamped to
+// MaxBatch) toward the collector's radio address.
+func NewFieldNode(device *spot.Device, kind string, dest uint16, batch int) *FieldNode {
+	if batch <= 0 || batch > MaxBatch {
+		batch = MaxBatch
+	}
+	return &FieldNode{device: device, kind: kind, dest: dest, batch: batch, retries: 2}
+}
+
+// Sample takes one measurement and queues it; a full batch is transmitted
+// immediately.
+func (n *FieldNode) Sample() error {
+	v, at, err := n.device.Sample(n.kind)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.pending = append(n.pending, wire.Reading{
+		SensorID:  n.device.Addr(),
+		Timestamp: at,
+		Value:     v,
+	})
+	full := len(n.pending) >= n.batch
+	n.mu.Unlock()
+	if full {
+		return n.Flush()
+	}
+	return nil
+}
+
+// Flush transmits any pending readings, retrying lost frames up to the
+// retry budget. Pending readings are dropped only after all retries fail
+// (fresh data will follow; the battery is the scarce resource).
+func (n *FieldNode) Flush() error {
+	n.mu.Lock()
+	if len(n.pending) == 0 {
+		n.mu.Unlock()
+		return nil
+	}
+	batch := n.pending
+	n.pending = nil
+	n.seq++
+	seq := n.seq
+	n.mu.Unlock()
+
+	payload, err := wire.EncodeCompact(batch)
+	if err != nil {
+		return fmt.Errorf("collect: encoding batch: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; attempt <= n.retries; attempt++ {
+		lastErr = n.device.Transmit(n.dest, seq, payload)
+		if lastErr == nil {
+			return nil
+		}
+		if !errors.Is(lastErr, spot.ErrLinkLost) {
+			return lastErr // battery/off errors don't retry
+		}
+	}
+	return fmt.Errorf("collect: batch lost after %d attempts: %w", n.retries+1, lastErr)
+}
+
+// Pending reports queued-but-unsent readings.
+func (n *FieldNode) Pending() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.pending)
+}
+
+// Collector receives batches from many field nodes and exposes each as a
+// SensorDataAccessor.
+type Collector struct {
+	clock clockwork.Clock
+
+	mu       sync.Mutex
+	stores   map[uint16]*sensor.RingStore
+	meta     map[uint16]probe.Info
+	frames   uint64
+	readings uint64
+	unknown  uint64
+}
+
+// NewCollector creates an empty collector; attach Receive to each link:
+//
+//	link.SetReceiver(collector.Receive)
+func NewCollector(clock clockwork.Clock) *Collector {
+	if clock == nil {
+		clock = clockwork.Real()
+	}
+	return &Collector{
+		clock:  clock,
+		stores: make(map[uint16]*sensor.RingStore),
+		meta:   make(map[uint16]probe.Info),
+	}
+}
+
+// Track registers a field sensor's metadata under its radio address;
+// frames from untracked addresses are counted and dropped.
+func (c *Collector) Track(addr uint16, name, kind, unit string) {
+	c.mu.Lock()
+	c.stores[addr] = sensor.NewRingStore(256)
+	c.meta[addr] = probe.Info{Name: name, Technology: "radio-collected", Kind: kind, Unit: unit}
+	c.mu.Unlock()
+}
+
+// Receive ingests one radio frame (spot.Link receiver signature).
+func (c *Collector) Receive(f spot.Frame) {
+	batch, err := wire.DecodeCompact(f.Payload)
+	if err != nil {
+		return // corrupt or foreign frame
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.frames++
+	for _, r := range batch {
+		store, ok := c.stores[r.SensorID]
+		if !ok {
+			c.unknown++
+			continue
+		}
+		info := c.meta[r.SensorID]
+		store.Add(probe.Reading{
+			Sensor:    info.Name,
+			Kind:      info.Kind,
+			Unit:      info.Unit,
+			Value:     r.Value,
+			Timestamp: r.Timestamp,
+		})
+		c.readings++
+	}
+}
+
+// Stats reports received frames, stored readings and readings from
+// untracked addresses.
+func (c *Collector) Stats() (frames, readings, unknown uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.frames, c.readings, c.unknown
+}
+
+// ErrNoData is returned when a tracked sensor has not reported yet.
+var ErrNoData = errors.New("collect: no readings received yet")
+
+// Accessor returns the DataAccessor view of one tracked field sensor,
+// suitable for publishing in a lookup service or composing into a CSP.
+func (c *Collector) Accessor(addr uint16) (sensor.DataAccessor, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	store, ok := c.stores[addr]
+	if !ok {
+		return nil, fmt.Errorf("collect: address %#x not tracked", addr)
+	}
+	return &collectedAccessor{info: c.meta[addr], store: store}, nil
+}
+
+// collectedAccessor serves collected readings through the standard
+// interface.
+type collectedAccessor struct {
+	info  probe.Info
+	store *sensor.RingStore
+}
+
+// SensorName implements sensor.DataAccessor.
+func (a *collectedAccessor) SensorName() string { return a.info.Name }
+
+// GetValue implements sensor.DataAccessor.
+func (a *collectedAccessor) GetValue() (probe.Reading, error) {
+	r, ok := a.store.Latest()
+	if !ok {
+		return probe.Reading{}, fmt.Errorf("%w: %s", ErrNoData, a.info.Name)
+	}
+	return r, nil
+}
+
+// GetReadings implements sensor.DataAccessor.
+func (a *collectedAccessor) GetReadings(n int) []probe.Reading {
+	return a.store.LastN(n)
+}
+
+// Describe implements sensor.DataAccessor.
+func (a *collectedAccessor) Describe() probe.Info { return a.info }
+
+var _ sensor.DataAccessor = (*collectedAccessor)(nil)

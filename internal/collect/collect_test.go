@@ -1,0 +1,225 @@
+package collect
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"sensorcer/internal/attr"
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/discovery"
+	"sensorcer/internal/registry"
+	"sensorcer/internal/sensor"
+	"sensorcer/internal/spot"
+)
+
+var epoch = time.Date(2009, 10, 6, 12, 0, 0, 0, time.UTC)
+
+// rig: one device on a perfect link into a collector.
+func newRig(t *testing.T, lossRate float64) (*clockwork.Fake, *spot.Device, *FieldNode, *Collector) {
+	t.Helper()
+	fc := clockwork.NewFake(epoch)
+	link := spot.NewLink(lossRate, 0, 7)
+	dev := spot.NewDevice(spot.Config{Name: "Field-1", Addr: 0x2001, Clock: fc, Link: link})
+	dev.Attach(spot.ConstantModel{Value: 21.5, UnitName: "celsius", KindName: "temperature"})
+	collector := NewCollector(fc)
+	collector.Track(0x2001, "Field-1", "temperature", "celsius")
+	link.SetReceiver(collector.Receive)
+	node := NewFieldNode(dev, "temperature", 0x1, 4)
+	return fc, dev, node, collector
+}
+
+func TestBatchDeliveredAtBatchSize(t *testing.T) {
+	fc, _, node, collector := newRig(t, 0)
+	for i := 0; i < 3; i++ {
+		if err := node.Sample(); err != nil {
+			t.Fatal(err)
+		}
+		fc.Advance(time.Second)
+	}
+	if f, r, _ := collector.Stats(); f != 0 || r != 0 {
+		t.Fatalf("early delivery: frames=%d readings=%d", f, r)
+	}
+	if node.Pending() != 3 {
+		t.Fatalf("Pending = %d", node.Pending())
+	}
+	if err := node.Sample(); err != nil { // 4th fills the batch
+		t.Fatal(err)
+	}
+	frames, readings, unknown := collector.Stats()
+	if frames != 1 || readings != 4 || unknown != 0 {
+		t.Fatalf("stats = %d/%d/%d", frames, readings, unknown)
+	}
+	if node.Pending() != 0 {
+		t.Fatal("pending not cleared after flush")
+	}
+}
+
+func TestAccessorServesCollectedReadings(t *testing.T) {
+	fc, _, node, collector := newRig(t, 0)
+	acc, err := collector.Accessor(0x2001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.GetValue(); !errors.Is(err, ErrNoData) {
+		t.Fatalf("err = %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		node.Sample()
+		fc.Advance(time.Second)
+	}
+	r, err := acc.GetValue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 21.5 || r.Sensor != "Field-1" || r.Unit != "celsius" {
+		t.Fatalf("reading = %+v", r)
+	}
+	if got := acc.GetReadings(0); len(got) != 4 {
+		t.Fatalf("GetReadings = %d", len(got))
+	}
+	// Timestamps survive the wire (ms resolution).
+	first := acc.GetReadings(0)[0]
+	if !first.Timestamp.Equal(epoch) {
+		t.Fatalf("timestamp = %v", first.Timestamp)
+	}
+	info := acc.Describe()
+	if info.Technology != "radio-collected" {
+		t.Fatalf("Describe = %+v", info)
+	}
+	if acc.SensorName() != "Field-1" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestFlushPartialBatch(t *testing.T) {
+	_, _, node, collector := newRig(t, 0)
+	node.Sample()
+	node.Sample()
+	if err := node.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, readings, _ := statsOf(collector); readings != 2 {
+		t.Fatalf("readings = %d", readings)
+	}
+	// Flushing empty is a no-op.
+	if err := node.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func statsOf(c *Collector) (uint64, uint64, uint64) { return c.Stats() }
+
+func TestRetransmitOnLoss(t *testing.T) {
+	// 50% loss: with 2 retries per batch nearly all batches arrive.
+	fc, _, node, collector := newRig(t, 0.5)
+	delivered := 0
+	for i := 0; i < 200; i++ {
+		if err := node.Sample(); err != nil && !strings.Contains(err.Error(), "batch lost") {
+			t.Fatal(err)
+		}
+		fc.Advance(time.Second)
+	}
+	node.Flush()
+	_, readings, _ := collector.Stats()
+	delivered = int(readings)
+	if delivered < 150 {
+		t.Fatalf("only %d/200 readings delivered despite retries", delivered)
+	}
+}
+
+func TestUntrackedAddressCounted(t *testing.T) {
+	fc := clockwork.NewFake(epoch)
+	link := spot.NewLink(0, 0, 1)
+	dev := spot.NewDevice(spot.Config{Name: "ghost", Addr: 0x9999, Clock: fc, Link: link})
+	dev.Attach(spot.ConstantModel{Value: 1, KindName: "temperature"})
+	collector := NewCollector(fc)
+	link.SetReceiver(collector.Receive)
+	node := NewFieldNode(dev, "temperature", 0x1, 1)
+	if err := node.Sample(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, unknown := collector.Stats(); unknown != 1 {
+		t.Fatalf("unknown = %d", unknown)
+	}
+	if _, err := collector.Accessor(0x9999); err == nil {
+		t.Fatal("untracked accessor granted")
+	}
+}
+
+func TestCorruptFrameIgnored(t *testing.T) {
+	collector := NewCollector(clockwork.NewFake(epoch))
+	collector.Receive(spot.Frame{Payload: []byte("garbage")})
+	if f, _, _ := collector.Stats(); f != 0 {
+		t.Fatal("corrupt frame counted")
+	}
+}
+
+func TestBatteryDeathStopsSampling(t *testing.T) {
+	fc := clockwork.NewFake(epoch)
+	link := spot.NewLink(0, 0, 1)
+	dev := spot.NewDevice(spot.Config{Name: "weak", Addr: 0x1, Clock: fc, Link: link, BatteryMicroJ: 20})
+	dev.Attach(spot.ConstantModel{Value: 1, KindName: "temperature"})
+	node := NewFieldNode(dev, "temperature", 0x2, 2)
+	var lastErr error
+	for i := 0; i < 20 && lastErr == nil; i++ {
+		lastErr = node.Sample()
+	}
+	if !errors.Is(lastErr, spot.ErrBatteryDead) {
+		t.Fatalf("err = %v", lastErr)
+	}
+}
+
+func TestCollectedSensorJoinsFederation(t *testing.T) {
+	// End to end: a radio-collected field sensor appears in the lookup
+	// service and composes into a CSP like any other sensor service.
+	fc, _, node, collector := newRig(t, 0)
+	for i := 0; i < 4; i++ {
+		node.Sample()
+		fc.Advance(time.Second)
+	}
+	acc, err := collector.Accessor(0x2001)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bus := discovery.NewBus()
+	lus := registry.New("lus", fc)
+	defer lus.Close()
+	defer bus.Announce(lus)()
+	mgr := discovery.NewManager(bus)
+	defer mgr.Terminate()
+	if _, err := lus.Register(registry.ServiceItem{
+		Service:    acc,
+		Types:      []string{sensor.AccessorType},
+		Attributes: attr.Set{attr.Name("Field-1"), attr.SensorType("temperature", "celsius")},
+	}, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	facade := sensor.NewFacade("f", clockwork.Real(), mgr)
+	fr, err := facade.Network().GetValue("Field-1")
+	if err != nil || fr.Value != 21.5 {
+		t.Fatalf("facade read of collected sensor = %+v, %v", fr, err)
+	}
+
+	csp := sensor.NewCSP("edge-composite", sensor.WithCSPClock(fc))
+	if _, err := csp.AddChild(acc); err != nil {
+		t.Fatal(err)
+	}
+	r, err := csp.GetValue()
+	if err != nil || r.Value != 21.5 {
+		t.Fatalf("composite over collected sensor = %+v, %v", r, err)
+	}
+}
+
+func TestBatchClampedToMax(t *testing.T) {
+	fc := clockwork.NewFake(epoch)
+	link := spot.NewLink(0, 0, 1)
+	dev := spot.NewDevice(spot.Config{Name: "d", Addr: 0x1, Clock: fc, Link: link})
+	dev.Attach(spot.ConstantModel{Value: 1, KindName: "temperature"})
+	node := NewFieldNode(dev, "temperature", 0x2, 1000)
+	if node.batch != MaxBatch {
+		t.Fatalf("batch = %d, want clamped %d", node.batch, MaxBatch)
+	}
+}

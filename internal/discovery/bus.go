@@ -1,0 +1,157 @@
+// Package discovery implements the Jini discovery/join protocols that let
+// sensorcer services find lookup services without configuration. Two
+// transports are provided:
+//
+//   - Bus: an in-process "multicast segment". Lookup services announce
+//     themselves into named groups; Managers subscribe to groups and learn
+//     of arrivals and departures. This is the default transport for
+//     single-process federations, examples and tests.
+//   - UDP (udp.go): a real announcement protocol over UDP for
+//     cross-process deployments, with the same group semantics.
+//
+// On top of either transport, Manager implements the LookupDiscovery
+// pattern (discovered/discarded callbacks) and JoinManager keeps a service
+// registered — with its lease renewed — on every discovered registrar,
+// which is how providers in the paper "appear and go away in the network
+// dynamically" (§VII).
+package discovery
+
+import (
+	"sync"
+
+	"sensorcer/internal/ids"
+	"sensorcer/internal/registry"
+)
+
+// AllGroups is the wildcard group name: a Manager configured with it
+// discovers every announced registrar, and a registrar announced into it is
+// visible to every Manager.
+const AllGroups = "*"
+
+// PublicGroup is the conventional group for sensorcer federations.
+const PublicGroup = "sensorcer"
+
+// Bus is an in-process discovery segment. It is safe for concurrent use.
+type Bus struct {
+	mu        sync.Mutex
+	announced map[ids.ServiceID]*announcement
+	watchers  map[*watcher]bool
+}
+
+type announcement struct {
+	reg    registry.Registrar
+	groups map[string]bool
+}
+
+type watcher struct {
+	groups     map[string]bool
+	discovered func(registry.Registrar)
+	discarded  func(registry.Registrar)
+}
+
+// NewBus creates an empty discovery segment.
+func NewBus() *Bus {
+	return &Bus{
+		announced: make(map[ids.ServiceID]*announcement),
+		watchers:  make(map[*watcher]bool),
+	}
+}
+
+// groupsMatch reports whether a watcher interested in want sees an
+// announcement into have (either side may use the AllGroups wildcard).
+func groupsMatch(want, have map[string]bool) bool {
+	if want[AllGroups] || have[AllGroups] {
+		return true
+	}
+	for g := range want {
+		if have[g] {
+			return true
+		}
+	}
+	return false
+}
+
+func groupSet(groups []string) map[string]bool {
+	m := make(map[string]bool, len(groups))
+	for _, g := range groups {
+		m[g] = true
+	}
+	if len(m) == 0 {
+		m[PublicGroup] = true
+	}
+	return m
+}
+
+// Announce makes reg discoverable in the given groups (PublicGroup when
+// none are named) and returns a cancel function that withdraws the
+// announcement, notifying watchers of the departure.
+func (b *Bus) Announce(reg registry.Registrar, groups ...string) (cancel func()) {
+	ann := &announcement{reg: reg, groups: groupSet(groups)}
+	b.mu.Lock()
+	b.announced[reg.ID()] = ann
+	var notify []func(registry.Registrar)
+	for w := range b.watchers {
+		if groupsMatch(w.groups, ann.groups) {
+			notify = append(notify, w.discovered)
+		}
+	}
+	b.mu.Unlock()
+	for _, fn := range notify {
+		fn(reg)
+	}
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			b.mu.Lock()
+			delete(b.announced, reg.ID())
+			var drops []func(registry.Registrar)
+			for w := range b.watchers {
+				if groupsMatch(w.groups, ann.groups) {
+					drops = append(drops, w.discarded)
+				}
+			}
+			b.mu.Unlock()
+			for _, fn := range drops {
+				fn(reg)
+			}
+		})
+	}
+}
+
+// watch subscribes to group announcements; existing matching announcements
+// are replayed synchronously. The returned cancel removes the subscription.
+func (b *Bus) watch(groups []string, discovered, discarded func(registry.Registrar)) (cancel func()) {
+	w := &watcher{groups: groupSet(groups), discovered: discovered, discarded: discarded}
+	b.mu.Lock()
+	b.watchers[w] = true
+	var replay []registry.Registrar
+	for _, ann := range b.announced {
+		if groupsMatch(w.groups, ann.groups) {
+			replay = append(replay, ann.reg)
+		}
+	}
+	b.mu.Unlock()
+	for _, reg := range replay {
+		discovered(reg)
+	}
+	return func() {
+		b.mu.Lock()
+		delete(b.watchers, w)
+		b.mu.Unlock()
+	}
+}
+
+// Registrars returns the registrars currently announced into the groups.
+func (b *Bus) Registrars(groups ...string) []registry.Registrar {
+	want := groupSet(groups)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []registry.Registrar
+	for _, ann := range b.announced {
+		if groupsMatch(want, ann.groups) {
+			out = append(out, ann.reg)
+		}
+	}
+	return out
+}

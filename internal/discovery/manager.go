@@ -1,0 +1,110 @@
+package discovery
+
+import (
+	"sync"
+
+	"sensorcer/internal/ids"
+	"sensorcer/internal/registry"
+)
+
+// Manager tracks the set of lookup services discovered in a group set,
+// delivering discovered/discarded callbacks — the LookupDiscoveryManager of
+// the Jini programming model, and the "Lookup Discovery Service" slot in
+// the paper's Fig. 2 service list.
+type Manager struct {
+	mu         sync.Mutex
+	registrars map[ids.ServiceID]registry.Registrar
+	discovered []func(registry.Registrar)
+	discarded  []func(registry.Registrar)
+	cancel     func()
+	terminated bool
+}
+
+// NewManager starts discovery on the bus for the given groups (PublicGroup
+// when none given). Call Terminate when done.
+func NewManager(bus *Bus, groups ...string) *Manager {
+	m := &Manager{registrars: make(map[ids.ServiceID]registry.Registrar)}
+	m.cancel = bus.watch(groups, m.onDiscovered, m.onDiscarded)
+	return m
+}
+
+func (m *Manager) onDiscovered(reg registry.Registrar) {
+	m.mu.Lock()
+	if m.terminated || m.registrars[reg.ID()] != nil {
+		m.mu.Unlock()
+		return
+	}
+	m.registrars[reg.ID()] = reg
+	cbs := append([]func(registry.Registrar){}, m.discovered...)
+	m.mu.Unlock()
+	for _, fn := range cbs {
+		fn(reg)
+	}
+}
+
+func (m *Manager) onDiscarded(reg registry.Registrar) {
+	m.mu.Lock()
+	if m.registrars[reg.ID()] == nil {
+		m.mu.Unlock()
+		return
+	}
+	delete(m.registrars, reg.ID())
+	cbs := append([]func(registry.Registrar){}, m.discarded...)
+	m.mu.Unlock()
+	for _, fn := range cbs {
+		fn(reg)
+	}
+}
+
+// OnDiscovered registers a callback for newly discovered registrars. Known
+// registrars are replayed immediately so late subscribers miss nothing.
+func (m *Manager) OnDiscovered(fn func(registry.Registrar)) {
+	m.mu.Lock()
+	m.discovered = append(m.discovered, fn)
+	replay := make([]registry.Registrar, 0, len(m.registrars))
+	for _, reg := range m.registrars {
+		replay = append(replay, reg)
+	}
+	m.mu.Unlock()
+	for _, reg := range replay {
+		fn(reg)
+	}
+}
+
+// OnDiscarded registers a callback for registrars that leave the network.
+func (m *Manager) OnDiscarded(fn func(registry.Registrar)) {
+	m.mu.Lock()
+	m.discarded = append(m.discarded, fn)
+	m.mu.Unlock()
+}
+
+// Registrars snapshots the currently known registrars.
+func (m *Manager) Registrars() []registry.Registrar {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]registry.Registrar, 0, len(m.registrars))
+	for _, reg := range m.registrars {
+		out = append(out, reg)
+	}
+	return out
+}
+
+// Discard drops a registrar from the managed set (e.g. after it failed an
+// operation); discarded callbacks fire. If the registrar is announced again
+// it will be re-discovered by a fresh announcement.
+func (m *Manager) Discard(reg registry.Registrar) { m.onDiscarded(reg) }
+
+// Terminate stops discovery. Callbacks will no longer fire.
+func (m *Manager) Terminate() {
+	m.mu.Lock()
+	if m.terminated {
+		m.mu.Unlock()
+		return
+	}
+	m.terminated = true
+	cancel := m.cancel
+	m.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}

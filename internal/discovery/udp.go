@@ -1,0 +1,285 @@
+package discovery
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/ids"
+	"sensorcer/internal/registry"
+)
+
+// The UDP discovery protocol mirrors Jini's multicast announcement
+// protocol: each lookup service periodically datagrams an announcement
+// carrying its identity, groups, and a unicast locator (host:port of its
+// RPC endpoint). Listeners track announcements and expire registrars whose
+// announcements stop arriving. The protocol is transport-agnostic about
+// the registrar handle itself: a Resolver turns a locator string into a
+// registry.Registrar (an srpc client in real deployments, a test double in
+// tests).
+
+// protocolMagic distinguishes sensorcer announcements from stray datagrams.
+const protocolMagic = "SNSRCR1"
+
+// Packet is the wire form of one announcement.
+type Packet struct {
+	Magic   string        `json:"magic"`
+	ID      ids.ServiceID `json:"id"`
+	Name    string        `json:"name"`
+	Groups  []string      `json:"groups"`
+	Locator string        `json:"locator"`
+}
+
+// EncodePacket serializes an announcement.
+func EncodePacket(p Packet) ([]byte, error) {
+	p.Magic = protocolMagic
+	return json.Marshal(p)
+}
+
+// ErrBadPacket reports a datagram that is not a sensorcer announcement.
+var ErrBadPacket = errors.New("discovery: not a sensorcer announcement")
+
+// DecodePacket parses and validates an announcement datagram.
+func DecodePacket(b []byte) (Packet, error) {
+	var p Packet
+	if err := json.Unmarshal(b, &p); err != nil {
+		return Packet{}, fmt.Errorf("%w: %v", ErrBadPacket, err)
+	}
+	if p.Magic != protocolMagic {
+		return Packet{}, fmt.Errorf("%w: magic %q", ErrBadPacket, p.Magic)
+	}
+	if p.ID.IsZero() {
+		return Packet{}, fmt.Errorf("%w: zero registrar id", ErrBadPacket)
+	}
+	return p, nil
+}
+
+// Announcer periodically datagrams a registrar announcement to a UDP
+// destination (multicast group or unicast listener).
+type Announcer struct {
+	conn     *net.UDPConn
+	packet   []byte
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewAnnouncer starts announcing to dst (e.g. "239.77.86.9:4160" or
+// "127.0.0.1:4160") every interval. The first announcement is sent
+// immediately.
+func NewAnnouncer(dst string, p Packet, interval time.Duration) (*Announcer, error) {
+	addr, err := net.ResolveUDPAddr("udp", dst)
+	if err != nil {
+		return nil, fmt.Errorf("discovery: resolve %s: %w", dst, err)
+	}
+	conn, err := net.DialUDP("udp", nil, addr)
+	if err != nil {
+		return nil, fmt.Errorf("discovery: dial %s: %w", dst, err)
+	}
+	buf, err := EncodePacket(p)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	a := &Announcer{
+		conn:     conn,
+		packet:   buf,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go a.loop()
+	return a, nil
+}
+
+func (a *Announcer) loop() {
+	defer close(a.done)
+	ticker := time.NewTicker(a.interval)
+	defer ticker.Stop()
+	a.conn.Write(a.packet)
+	for {
+		select {
+		case <-ticker.C:
+			a.conn.Write(a.packet)
+		case <-a.stop:
+			return
+		}
+	}
+}
+
+// Stop halts announcements and closes the socket.
+func (a *Announcer) Stop() {
+	close(a.stop)
+	<-a.done
+	a.conn.Close()
+}
+
+// Resolver converts an announcement locator into a registrar handle.
+type Resolver func(locator string) (registry.Registrar, error)
+
+// UDPListener receives announcements on a UDP socket and maintains the set
+// of live registrars, expiring any whose announcements stop for longer
+// than the configured timeout. Discovered registrars are delivered to an
+// attached Bus, so Managers and Joins work identically over UDP and
+// in-process transports.
+type UDPListener struct {
+	conn    *net.UDPConn
+	resolve Resolver
+	bus     *Bus
+	clock   clockwork.Clock
+	timeout time.Duration
+	groups  map[string]bool
+
+	mu      sync.Mutex
+	entries map[ids.ServiceID]*udpEntry
+	closed  bool
+	done    chan struct{}
+	reaped  chan struct{}
+}
+
+type udpEntry struct {
+	lastSeen time.Time
+	cancel   func()
+}
+
+// NewUDPListener binds addr (e.g. "127.0.0.1:0") and feeds announcements
+// for the given groups into bus. timeout governs expiry of silent
+// registrars.
+func NewUDPListener(addr string, groups []string, bus *Bus, resolve Resolver, clock clockwork.Clock, timeout time.Duration) (*UDPListener, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("discovery: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("discovery: listen %s: %w", addr, err)
+	}
+	l := &UDPListener{
+		conn:    conn,
+		resolve: resolve,
+		bus:     bus,
+		clock:   clock,
+		timeout: timeout,
+		groups:  groupSet(groups),
+		entries: make(map[ids.ServiceID]*udpEntry),
+		done:    make(chan struct{}),
+		reaped:  make(chan struct{}),
+	}
+	go l.readLoop()
+	go l.reapLoop()
+	return l, nil
+}
+
+// Addr returns the bound UDP address, useful when listening on port 0.
+func (l *UDPListener) Addr() string { return l.conn.LocalAddr().String() }
+
+func (l *UDPListener) readLoop() {
+	defer close(l.done)
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := l.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		p, err := DecodePacket(buf[:n])
+		if err != nil {
+			continue // not ours
+		}
+		l.handle(p)
+	}
+}
+
+func (l *UDPListener) handle(p Packet) {
+	if !groupsMatch(l.groups, groupSet(p.Groups)) {
+		return
+	}
+	now := l.clock.Now()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	if e, ok := l.entries[p.ID]; ok {
+		e.lastSeen = now
+		l.mu.Unlock()
+		return
+	}
+	// Placeholder so concurrent announcements don't double-resolve.
+	e := &udpEntry{lastSeen: now}
+	l.entries[p.ID] = e
+	l.mu.Unlock()
+
+	reg, err := l.resolve(p.Locator)
+	if err != nil || reg == nil {
+		l.mu.Lock()
+		delete(l.entries, p.ID)
+		l.mu.Unlock()
+		return
+	}
+	cancel := l.bus.Announce(reg, p.Groups...)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		cancel()
+		return
+	}
+	e.cancel = cancel
+	l.mu.Unlock()
+}
+
+func (l *UDPListener) reapLoop() {
+	defer close(l.reaped)
+	for {
+		timer := l.clock.NewTimer(l.timeout / 2)
+		select {
+		case <-timer.C():
+		case <-l.done:
+			timer.Stop()
+			return
+		}
+		now := l.clock.Now()
+		var cancels []func()
+		l.mu.Lock()
+		for id, e := range l.entries {
+			if now.Sub(e.lastSeen) > l.timeout {
+				if e.cancel != nil {
+					cancels = append(cancels, e.cancel)
+				}
+				delete(l.entries, id)
+			}
+		}
+		l.mu.Unlock()
+		for _, c := range cancels {
+			c()
+		}
+	}
+}
+
+// Close stops listening and withdraws every discovered registrar from the
+// bus.
+func (l *UDPListener) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	var cancels []func()
+	for _, e := range l.entries {
+		if e.cancel != nil {
+			cancels = append(cancels, e.cancel)
+		}
+	}
+	l.entries = map[ids.ServiceID]*udpEntry{}
+	l.mu.Unlock()
+	l.conn.Close()
+	<-l.done
+	<-l.reaped
+	for _, c := range cancels {
+		c()
+	}
+}

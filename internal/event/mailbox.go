@@ -1,0 +1,208 @@
+package event
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/ids"
+	"sensorcer/internal/lease"
+)
+
+// Mailbox is the store-and-forward event service from the paper's Fig. 2:
+// a client registers a leased Box, hands the Box (which implements
+// Listener) to event generators, and later either drains stored events
+// (pull) or enables forwarding to a live listener (push). Events that
+// arrive while the box is disabled are retained up to a capacity bound.
+type Mailbox struct {
+	id     ids.ServiceID
+	leases *lease.Table
+	cap    int
+
+	mu    sync.Mutex
+	boxes map[uint64]*Box
+}
+
+// DefaultBoxCapacity bounds stored events per box.
+const DefaultBoxCapacity = 4096
+
+// NewMailbox creates a mailbox service. capacity <= 0 selects
+// DefaultBoxCapacity.
+func NewMailbox(clock clockwork.Clock, policy lease.Policy, capacity int) *Mailbox {
+	if capacity <= 0 {
+		capacity = DefaultBoxCapacity
+	}
+	m := &Mailbox{
+		id:     ids.NewServiceID(),
+		leases: lease.NewTable(clock, policy),
+		cap:    capacity,
+		boxes:  make(map[uint64]*Box),
+	}
+	m.leases.OnExpire(m.onExpire)
+	return m
+}
+
+// ID returns the mailbox service identity.
+func (m *Mailbox) ID() ids.ServiceID { return m.id }
+
+// Register creates a new leased box.
+func (m *Mailbox) Register(leaseDur time.Duration) (*Box, lease.Lease) {
+	lse := m.leases.Grant(leaseDur)
+	b := &Box{mailbox: m, id: lse.ID, cap: m.cap}
+	m.mu.Lock()
+	m.boxes[lse.ID] = b
+	m.mu.Unlock()
+	return b, lse
+}
+
+// BoxCount reports live boxes (after sweeping expired leases).
+func (m *Mailbox) BoxCount() int {
+	m.leases.Sweep()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.boxes)
+}
+
+// Sweep expires lapsed box leases.
+func (m *Mailbox) Sweep() { m.leases.Sweep() }
+
+func (m *Mailbox) onExpire(leaseID uint64) {
+	m.mu.Lock()
+	b, ok := m.boxes[leaseID]
+	if ok {
+		delete(m.boxes, leaseID)
+	}
+	m.mu.Unlock()
+	if ok {
+		b.expire()
+	}
+}
+
+// ErrBoxExpired is returned by Notify after the box's lease lapsed, which
+// signals generators to drop the registration.
+var ErrBoxExpired = errors.New("event: mailbox box expired")
+
+// Box is a store-and-forward event buffer. It implements Listener so it can
+// be registered directly with any Generator.
+type Box struct {
+	mailbox *Mailbox
+	id      uint64
+	cap     int
+
+	mu      sync.Mutex
+	stored  []RemoteEvent
+	dropped uint64
+	target  Listener
+	expired bool
+}
+
+// Notify implements Listener: the event is forwarded if the box is enabled,
+// stored otherwise.
+func (b *Box) Notify(ev RemoteEvent) error {
+	b.mu.Lock()
+	if b.expired {
+		b.mu.Unlock()
+		return ErrBoxExpired
+	}
+	if t := b.target; t != nil {
+		b.mu.Unlock()
+		return t.Notify(ev)
+	}
+	if len(b.stored) >= b.cap {
+		// Drop the oldest: fresh sensor data is worth more than stale.
+		copy(b.stored, b.stored[1:])
+		b.stored = b.stored[:len(b.stored)-1]
+		b.dropped++
+	}
+	b.stored = append(b.stored, ev)
+	b.mu.Unlock()
+	return nil
+}
+
+// Enable starts forwarding to target, first flushing stored events in
+// order. Passing nil is an error; use Disable.
+func (b *Box) Enable(target Listener) error {
+	if target == nil {
+		return errors.New("event: nil forwarding target")
+	}
+	b.mu.Lock()
+	if b.expired {
+		b.mu.Unlock()
+		return ErrBoxExpired
+	}
+	backlog := b.stored
+	b.stored = nil
+	b.target = target
+	b.mu.Unlock()
+	for _, ev := range backlog {
+		if err := target.Notify(ev); err != nil {
+			// Target failed mid-flush: re-store the remainder and
+			// disable forwarding.
+			b.mu.Lock()
+			b.target = nil
+			// events delivered so far are gone; keep the rest.
+			rest := backlogAfter(backlog, ev)
+			b.stored = append(rest, b.stored...)
+			b.mu.Unlock()
+			return err
+		}
+	}
+	return nil
+}
+
+// backlogAfter returns the suffix of backlog strictly after ev (matching by
+// SeqNo and Source).
+func backlogAfter(backlog []RemoteEvent, ev RemoteEvent) []RemoteEvent {
+	for i := range backlog {
+		if backlog[i].SeqNo == ev.SeqNo && backlog[i].Source == ev.Source && backlog[i].EventID == ev.EventID {
+			out := make([]RemoteEvent, len(backlog)-i-1)
+			copy(out, backlog[i+1:])
+			return out
+		}
+	}
+	return nil
+}
+
+// Disable stops forwarding; subsequent events are stored again.
+func (b *Box) Disable() {
+	b.mu.Lock()
+	b.target = nil
+	b.mu.Unlock()
+}
+
+// Drain removes and returns up to max stored events (all if max <= 0).
+func (b *Box) Drain(max int) []RemoteEvent {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := len(b.stored)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]RemoteEvent, n)
+	copy(out, b.stored[:n])
+	b.stored = append(b.stored[:0], b.stored[n:]...)
+	return out
+}
+
+// Stored reports the number of buffered events.
+func (b *Box) Stored() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.stored)
+}
+
+// Dropped reports how many events were discarded due to capacity.
+func (b *Box) Dropped() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+func (b *Box) expire() {
+	b.mu.Lock()
+	b.expired = true
+	b.stored = nil
+	b.target = nil
+	b.mu.Unlock()
+}

@@ -1,0 +1,371 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/discovery"
+	"sensorcer/internal/expr"
+	"sensorcer/internal/lease"
+	"sensorcer/internal/registry"
+	"sensorcer/internal/rio"
+	"sensorcer/internal/sensor"
+	"sensorcer/internal/sorcer"
+	"sensorcer/internal/space"
+	"sensorcer/internal/testbed"
+	"sensorcer/internal/wire"
+)
+
+// C1Scalability measures lookup latency and composite-read latency as the
+// sensor population grows — the §VII claim "the SenSORCER network scales
+// very well ... addition of new sensor services does not necessarily
+// affect the performance of the system".
+func C1Scalability(w io.Writer) error {
+	fmt.Fprintln(w, "C1: population sweep (in-process federation)")
+	fmt.Fprintf(w, "  %8s %16s %16s %18s\n", "sensors", "lookup-one", "read-one", "composite(all)")
+	for _, n := range []int{4, 16, 64, 256, 1024} {
+		d := testbed.New(testbed.Config{Sensors: n, Cybernodes: 2})
+		nm := d.Facade.Network()
+		names := d.SensorNames()
+
+		lookup := timeIt(64, func() {
+			if _, err := nm.FindAccessor(names[n/2]); err != nil {
+				panic(err)
+			}
+		})
+		read := timeIt(64, func() {
+			if _, err := nm.GetValue(names[n/2]); err != nil {
+				panic(err)
+			}
+		})
+		if _, err := nm.ComposeService("all", names, ""); err != nil {
+			d.Close()
+			return err
+		}
+		composite := timeIt(8, func() {
+			if _, err := nm.GetValue("all"); err != nil {
+				panic(err)
+			}
+		})
+		fmt.Fprintf(w, "  %8d %16v %16v %18v\n", n, lookup, read, composite)
+		d.Close()
+	}
+	fmt.Fprintln(w, "  expectation: lookup/read stay near-flat; composite grows ~linearly with fan-in")
+	return nil
+}
+
+// C2PlugAndPlay measures how quickly a joining sensor becomes visible and
+// how a crashed sensor disappears via lease expiry — §VII "plug-and-play
+// of discoverable services ... sensor services can come and go".
+func C2PlugAndPlay(w io.Writer) error {
+	// Short registration leases so crash departure is quick to observe.
+	lus := registry.New("lus", clockwork.Real(),
+		registry.WithLeasePolicy(lease.Policy{Max: 100 * time.Millisecond, Min: time.Millisecond}))
+	defer lus.Close()
+	bus := discovery.NewBus()
+	defer bus.Announce(lus)()
+	mgr := discovery.NewManager(bus)
+	defer mgr.Terminate()
+	facade := sensor.NewFacade("f", clockwork.Real(), mgr)
+
+	// Join: publish and poll until visible.
+	esp := mustReplayESP("Popup-Sensor", 21)
+	defer esp.Close()
+	start := time.Now()
+	join := esp.Publish(clockwork.Real(), mgr)
+	var joinLatency time.Duration
+	for {
+		if _, err := facade.Network().GetValue("Popup-Sensor"); err == nil {
+			joinLatency = time.Since(start)
+			break
+		}
+		if time.Since(start) > 5*time.Second {
+			return fmt.Errorf("join never became visible")
+		}
+	}
+	fmt.Fprintf(w, "C2: join -> readable through facade: %v\n", joinLatency)
+
+	// Orderly leave.
+	start = time.Now()
+	join.Terminate()
+	for {
+		if _, err := facade.Network().GetValue("Popup-Sensor"); err != nil {
+			break
+		}
+		if time.Since(start) > 5*time.Second {
+			return fmt.Errorf("orderly departure never propagated")
+		}
+	}
+	fmt.Fprintf(w, "C2: orderly leave -> gone: %v\n", time.Since(start))
+
+	// Crash departure: register directly with a lease and never renew.
+	esp2 := mustReplayESP("Crash-Sensor", 22)
+	defer esp2.Close()
+	if _, err := lus.Register(registry.ServiceItem{
+		Service: esp2,
+		Types:   []string{sensor.AccessorType},
+	}, 100*time.Millisecond); err != nil {
+		return err
+	}
+	start = time.Now()
+	for lus.Len() != 0 {
+		if time.Since(start) > 5*time.Second {
+			return fmt.Errorf("crashed sensor never expired")
+		}
+		time.Sleep(time.Millisecond)
+		lus.SweepNow()
+	}
+	fmt.Fprintf(w, "C2: crash (no renewals, 100ms lease) -> swept: %v\n", time.Since(start))
+	fmt.Fprintln(w, "  expectation: join/leave immediate; crash bounded by lease term")
+	return nil
+}
+
+// C3Failover kills the cybernode hosting a provisioned composite and
+// measures how long until the service answers again from the survivor —
+// the §IV-C fault-tolerance capability.
+func C3Failover(w io.Writer) error {
+	d := testbed.New(testbed.Config{})
+	defer d.Close()
+	nm := d.Facade.Network()
+	if err := nm.ProvisionComposite("HA-Composite",
+		[]string{"Neem-Sensor", "Coral-Sensor"}, "(a + b)/2", sensor.QoSSpec{}); err != nil {
+		return err
+	}
+	if _, err := nm.GetValue("HA-Composite"); err != nil {
+		return err
+	}
+	victim := d.Nodes[0]
+	if len(victim.Services()) == 0 {
+		victim = d.Nodes[1]
+	}
+	fmt.Fprintf(w, "C3: HA-Composite hosted on %s; killing it\n", victim.Name())
+	start := time.Now()
+	victim.Kill()
+	for {
+		if _, err := nm.GetValue("HA-Composite"); err == nil {
+			break
+		}
+		if time.Since(start) > 5*time.Second {
+			return fmt.Errorf("failover never completed")
+		}
+	}
+	fmt.Fprintf(w, "C3: service answering again after %v (re-provisioned on survivor)\n", time.Since(start))
+	st, err := d.Monitor.Status("sensorcer/HA-Composite")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "C3: deployment status: planned=%d actual=%d nodes=%v\n",
+		st[0].Planned, st[0].Actual, st[0].Nodes)
+	return nil
+}
+
+// C4WireOverhead compares bytes-per-reading for compact batching against
+// per-reading IP framing — the paper's motivation #1.
+func C4WireOverhead(w io.Writer) error {
+	fmt.Fprintln(w, "C4: wire cost per reading (18-byte naive payload)")
+	fmt.Fprintf(w, "  %8s %18s %18s %10s\n", "batch", "compact B/reading", "IP-style B/reading", "ratio")
+	base := time.Date(2009, 10, 6, 17, 26, 0, 0, time.UTC)
+	for _, n := range []int{1, 4, 16, 64, 256} {
+		readings := make([]wire.Reading, n)
+		for i := range readings {
+			readings[i] = wire.Reading{
+				SensorID:  uint16(0x1000 + i%4),
+				Timestamp: base.Add(time.Duration(i) * 250 * time.Millisecond),
+				Value:     20 + float64(i%10)*0.37,
+			}
+		}
+		bpr, err := wire.BytesPerReadingCompact(readings)
+		if err != nil {
+			return err
+		}
+		ratio, err := wire.OverheadRatio(readings)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %8d %18.2f %18d %9.1fx\n", n, bpr, wire.IPStyleBytesPerReading, ratio)
+	}
+	fmt.Fprintln(w, "  expectation: ratio grows with batch size, ~1 order of magnitude at 64+")
+	return nil
+}
+
+// C5AggregationTree compares collecting N sensors through a composite tree
+// (service-to-service aggregation) against a client polling every sensor
+// directly — the paper's data-flow-reversal motivation (#4, #5).
+func C5AggregationTree(w io.Writer) error {
+	fmt.Fprintln(w, "C5: aggregate read of N sensors, client-side polling vs CSP tree")
+	fmt.Fprintf(w, "  %8s %16s %16s\n", "sensors", "direct poll", "composite tree")
+	for _, n := range []int{8, 32, 128} {
+		d := testbed.New(testbed.Config{Sensors: n})
+		nm := d.Facade.Network()
+		names := d.SensorNames()
+
+		direct := timeIt(8, func() {
+			sum := 0.0
+			for _, name := range names {
+				r, err := nm.GetValue(name)
+				if err != nil {
+					panic(err)
+				}
+				sum += r.Value
+			}
+			_ = sum / float64(n)
+		})
+
+		// Two-level tree: groups of 8 under a root composite.
+		groups := 0
+		var groupNames []string
+		for i := 0; i < n; i += 8 {
+			end := i + 8
+			if end > n {
+				end = n
+			}
+			gname := fmt.Sprintf("group-%d", groups)
+			if _, err := nm.ComposeService(gname, names[i:end], ""); err != nil {
+				d.Close()
+				return err
+			}
+			groupNames = append(groupNames, gname)
+			groups++
+		}
+		if _, err := nm.ComposeService("root", groupNames, ""); err != nil {
+			d.Close()
+			return err
+		}
+		tree := timeIt(8, func() {
+			if _, err := nm.GetValue("root"); err != nil {
+				panic(err)
+			}
+		})
+		fmt.Fprintf(w, "  %8d %16v %16v\n", n, direct, tree)
+		d.Close()
+	}
+	fmt.Fprintln(w, "  expectation: tree wins at scale (parallel fan-out inside CSPs)")
+	return nil
+}
+
+// C6ExpressionCost prices the runtime expression mechanism against
+// hard-coded Go aggregation — the cost of the paper's Groovy-style
+// flexibility (§V Sensor Computation).
+func C6ExpressionCost(w io.Writer) error {
+	fmt.Fprintln(w, "C6: 3-sensor aggregation, per evaluation")
+	env := expr.Env{"a": 20.0, "b": 22.0, "c": 24.0}
+	exprs := map[string]string{
+		"paper avg":  "(a + b + c)/3",
+		"minmax mix": "max(a, b, c) - min(a, b, c) + avg(a, b, c)",
+		"piecewise":  "a > 30 ? a : (b > 30 ? b : (a + b + c)/3)",
+	}
+	hard := timeIt(1_000_000, func() {
+		_ = (env["a"].(float64) + env["b"].(float64) + env["c"].(float64)) / 3
+	})
+	fmt.Fprintf(w, "  %-24s %12v\n", "hard-coded Go", hard)
+	for _, name := range sortedKeys(exprs) {
+		p := expr.MustCompile(exprs[name])
+		perEval := timeIt(200_000, func() {
+			if _, err := p.EvalNumber(env); err != nil {
+				panic(err)
+			}
+		})
+		fmt.Fprintf(w, "  %-24s %12v  (%q)\n", name, perEval, exprs[name])
+	}
+	compile := timeIt(100_000, func() { expr.MustCompile("(a + b + c)/3") })
+	fmt.Fprintf(w, "  %-24s %12v\n", "compile (one-time)", compile)
+	fmt.Fprintln(w, "  expectation: interpreted eval within ~2 orders of native; negligible vs sensor I/O")
+	return nil
+}
+
+// C7PushVsPull runs the same skewed task batch through the Jobber (push)
+// and the Spacer (pull) and compares makespan — the DESIGN.md ablation of
+// SORCER's two federation modes. Providers model single-threaded sensor
+// nodes (concurrency 1), so the comparison isolates the dispatch strategy:
+// push binds each task to a provider up front; pull lets idle workers
+// steal, which absorbs the cost skew.
+func C7PushVsPull(w io.Writer) error {
+	const tasks = 24
+	fmt.Fprintf(w, "C7: %d tasks, costs skewed 1x..8x, single-threaded providers\n", tasks)
+
+	build := func() (*discovery.Manager, *sorcer.Exerter, func()) {
+		bus := discovery.NewBus()
+		lus := registry.New("lus", clockwork.NewFake(time.Date(2009, 10, 6, 0, 0, 0, 0, time.UTC)))
+		cancel := bus.Announce(lus)
+		mgr := discovery.NewManager(bus)
+		exerter := sorcer.NewExerter(sorcer.NewAccessor(mgr))
+		return mgr, exerter, func() { mgr.Terminate(); cancel(); lus.Close() }
+	}
+	workOp := func(ctx *sorcer.Context) error {
+		cost, err := ctx.Float("work/cost")
+		if err != nil {
+			return err
+		}
+		time.Sleep(time.Duration(cost) * time.Millisecond)
+		ctx.Put("work/done", true)
+		return nil
+	}
+	makeTasks := func() []sorcer.Exertion {
+		out := make([]sorcer.Exertion, tasks)
+		for i := range out {
+			cost := float64(1 + (i%8)*1) // 1..8ms skew
+			out[i] = sorcer.NewTask(fmt.Sprintf("t%d", i),
+				sorcer.Sig("Worker", "work"), sorcer.NewContextFrom("work/cost", cost))
+		}
+		return out
+	}
+
+	// Push: the jobber binds every task to a looked-up provider. With 4
+	// equivalent single-threaded providers, binding order decides who
+	// gets overloaded — the jobber cannot see queue depth.
+	{
+		mgr, exerter, cleanup := build()
+		var joins []func()
+		for i := 0; i < 4; i++ {
+			p := sorcer.NewProvider(fmt.Sprintf("Worker-%d", i+1), "Worker")
+			p.RegisterOp("work", workOp)
+			p.SetConcurrency(1)
+			j := p.Publish(clockwork.Real(), mgr, nil)
+			joins = append(joins, j.Terminate)
+		}
+		job := sorcer.NewJob("push", sorcer.Strategy{Flow: sorcer.Parallel, Access: sorcer.Push}, makeTasks()...)
+		start := time.Now()
+		if _, err := exerter.Exert(job, nil); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  push (jobber binds, 4 providers @1 slot): %v\n", time.Since(start))
+		for _, j := range joins {
+			j()
+		}
+		cleanup()
+	}
+
+	// Pull: 4 workers drain the space at their own pace.
+	{
+		mgr, exerter, cleanup := build()
+		sp := space.New(clockwork.Real(), lease.Policy{Max: time.Hour})
+		var workers []*sorcer.SpaceWorker
+		for i := 0; i < 4; i++ {
+			p := sorcer.NewProvider(fmt.Sprintf("Worker-%d", i+1), "Worker")
+			p.RegisterOp("work", workOp)
+			p.SetConcurrency(1)
+			workers = append(workers, sorcer.NewSpaceWorker(sp, p, "Worker"))
+		}
+		spacer := sorcer.NewSpacer("Spacer-1", sp, sorcer.WithTaskTimeout(30*time.Second))
+		join := sorcer.PublishServicer(clockwork.Real(), mgr, spacer, spacer.ID(), spacer.Name(),
+			[]string{sorcer.SpacerType}, nil)
+		job := sorcer.NewJob("pull", sorcer.Strategy{Flow: sorcer.Parallel, Access: sorcer.Pull}, makeTasks()...)
+		start := time.Now()
+		if _, err := exerter.Exert(job, nil); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  pull (spacer, 4 workers @1 slot steal):   %v\n", time.Since(start))
+		join.Terminate()
+		for _, wk := range workers {
+			wk.Stop()
+		}
+		sp.Close()
+		cleanup()
+	}
+	fmt.Fprintln(w, "  expectation: similar order; pull self-balances the skew without queue knowledge")
+	return nil
+}
+
+var _ = rio.QoS{} // rio is exercised via testbed in C3

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The figure experiments are cheap enough to run fully in tests; the claim
+// experiments with long sweeps get smoke-level assertions on their fast
+// paths elsewhere (bench_test.go at the repo root runs the sweeps).
+
+func runExperiment(t *testing.T, id string) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not found", id)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf); err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return buf.String()
+}
+
+func TestAllHaveUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %q incomplete", e.ID)
+		}
+	}
+	if len(seen) != 11 {
+		t.Fatalf("expected 11 experiments, got %d", len(seen))
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID found a ghost")
+	}
+}
+
+func TestFig1Report(t *testing.T) {
+	out := runExperiment(t, "fig1")
+	for _, want := range []string{
+		"Sensor Probe -> ESP",
+		"SensorDataAccessor.GetValue",
+		"CSP composes accessors",
+		"Facade -> network via lookup",
+		"Providers are Servicers",
+		"PASS",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig2Report(t *testing.T) {
+	out := runExperiment(t, "fig2")
+	for _, want := range []string{
+		"persimmon.cs.ttu.edu:4160",
+		"Neem-Sensor", "Jade-Sensor", "Coral-Sensor", "Diamond-Sensor",
+		"Composite-Service", "SenSORCER Facade",
+		"Cybernode-1", "Cybernode-2",
+		"Transaction Manager", "Event Mailbox",
+		"Sensor Value",
+		"Compute Expression: (a + b + c)/3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig3Report(t *testing.T) {
+	out := runExperiment(t, "fig3")
+	for _, want := range []string{
+		"step 1", "step 2", "step 3", "step 4", "step 5", "step 6",
+		"New-Composite value =",
+		"a=Composite-Service b=Coral-Sensor",
+		`expression = "(a + b)/2"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestC2PlugAndPlayReport(t *testing.T) {
+	out := runExperiment(t, "c2")
+	for _, want := range []string{"join -> readable", "orderly leave", "crash"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("c2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestC3FailoverReport(t *testing.T) {
+	out := runExperiment(t, "c3")
+	if !strings.Contains(out, "answering again after") {
+		t.Fatalf("c3 output:\n%s", out)
+	}
+}
+
+func TestC4WireOverheadReport(t *testing.T) {
+	out := runExperiment(t, "c4")
+	if !strings.Contains(out, "ratio") || !strings.Contains(out, "46") {
+		t.Fatalf("c4 output:\n%s", out)
+	}
+}
+
+func TestC7PushVsPullReport(t *testing.T) {
+	out := runExperiment(t, "c7")
+	if !strings.Contains(out, "push (jobber") || !strings.Contains(out, "pull (spacer") {
+		t.Fatalf("c7 output:\n%s", out)
+	}
+}
+
+func TestC8EnergyReport(t *testing.T) {
+	out := runExperiment(t, "c8")
+	if !strings.Contains(out, "µJ") || !strings.Contains(out, "loss=30%") {
+		t.Fatalf("c8 output:\n%s", out)
+	}
+}
+
+// The sweep experiments run fully only via cmd/experiments; under -short
+// (and in CI) they are skipped, otherwise smoke-run to keep them honest.
+func TestSweepExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps skipped in -short mode")
+	}
+	for _, id := range []string{"c1", "c5", "c6"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			out := runExperiment(t, id)
+			if len(out) < 100 {
+				t.Fatalf("%s output suspiciously small:\n%s", id, out)
+			}
+		})
+	}
+}

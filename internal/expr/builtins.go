@@ -1,0 +1,225 @@
+package expr
+
+import (
+	"math"
+	"sort"
+)
+
+// builtin is a library function: validated arity, then applied to values.
+type builtin struct {
+	minArgs int
+	maxArgs int // -1 = variadic
+	apply   func(args []Value) (Value, error)
+}
+
+// numbersOf flattens arguments into a float64 slice; a single list argument
+// spreads, so avg(values) and avg(a, b, c) both work.
+func numbersOf(name string, args []Value) ([]float64, error) {
+	var out []float64
+	var walk func(v Value) error
+	walk = func(v Value) error {
+		switch x := v.(type) {
+		case float64:
+			out = append(out, x)
+			return nil
+		case []Value:
+			for _, e := range x {
+				if err := walk(e); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return evalErrf("%s: argument %T is not numeric", name, v)
+		}
+	}
+	for _, a := range args {
+		if err := walk(a); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func oneNumber(name string, args []Value) (float64, error) {
+	f, ok := args[0].(float64)
+	if !ok {
+		return 0, evalErrf("%s: argument is %T, want number", name, args[0])
+	}
+	return f, nil
+}
+
+func numericFn(f func(float64) float64) builtin {
+	return builtin{minArgs: 1, maxArgs: 1, apply: func(args []Value) (Value, error) {
+		x, err := oneNumber("fn", args)
+		if err != nil {
+			return nil, err
+		}
+		return f(x), nil
+	}}
+}
+
+func aggregateFn(name string, f func([]float64) (float64, error)) builtin {
+	return builtin{minArgs: 1, maxArgs: -1, apply: func(args []Value) (Value, error) {
+		xs, err := numbersOf(name, args)
+		if err != nil {
+			return nil, err
+		}
+		if len(xs) == 0 {
+			return nil, evalErrf("%s: no values", name)
+		}
+		return f(xs)
+	}}
+}
+
+var builtins = map[string]builtin{
+	"abs":   numericFn(math.Abs),
+	"sqrt":  numericFn(math.Sqrt),
+	"floor": numericFn(math.Floor),
+	"ceil":  numericFn(math.Ceil),
+	"round": numericFn(math.Round),
+	"sin":   numericFn(math.Sin),
+	"cos":   numericFn(math.Cos),
+	"tan":   numericFn(math.Tan),
+	"exp":   numericFn(math.Exp),
+	"log": {minArgs: 1, maxArgs: 1, apply: func(args []Value) (Value, error) {
+		x, err := oneNumber("log", args)
+		if err != nil {
+			return nil, err
+		}
+		if x <= 0 {
+			return nil, evalErrf("log: non-positive argument %v", x)
+		}
+		return math.Log(x), nil
+	}},
+	"pow": {minArgs: 2, maxArgs: 2, apply: func(args []Value) (Value, error) {
+		x, xok := args[0].(float64)
+		y, yok := args[1].(float64)
+		if !xok || !yok {
+			return nil, evalErrf("pow: want two numbers")
+		}
+		return math.Pow(x, y), nil
+	}},
+	"min": aggregateFn("min", func(xs []float64) (float64, error) {
+		m := xs[0]
+		for _, x := range xs[1:] {
+			m = math.Min(m, x)
+		}
+		return m, nil
+	}),
+	"max": aggregateFn("max", func(xs []float64) (float64, error) {
+		m := xs[0]
+		for _, x := range xs[1:] {
+			m = math.Max(m, x)
+		}
+		return m, nil
+	}),
+	"sum": aggregateFn("sum", func(xs []float64) (float64, error) {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s, nil
+	}),
+	"avg": aggregateFn("avg", func(xs []float64) (float64, error) {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs)), nil
+	}),
+	"median": aggregateFn("median", func(xs []float64) (float64, error) {
+		s := append([]float64{}, xs...)
+		sort.Float64s(s)
+		n := len(s)
+		if n%2 == 1 {
+			return s[n/2], nil
+		}
+		return (s[n/2-1] + s[n/2]) / 2, nil
+	}),
+	"stddev": aggregateFn("stddev", func(xs []float64) (float64, error) {
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		varsum := 0.0
+		for _, x := range xs {
+			d := x - mean
+			varsum += d * d
+		}
+		return math.Sqrt(varsum / float64(len(xs))), nil
+	}),
+	"clamp": {minArgs: 3, maxArgs: 3, apply: func(args []Value) (Value, error) {
+		xs, err := numbersOf("clamp", args)
+		if err != nil {
+			return nil, err
+		}
+		if len(xs) != 3 {
+			return nil, evalErrf("clamp: want (x, lo, hi)")
+		}
+		x, lo, hi := xs[0], xs[1], xs[2]
+		if lo > hi {
+			return nil, evalErrf("clamp: lo %v > hi %v", lo, hi)
+		}
+		return math.Max(lo, math.Min(hi, x)), nil
+	}},
+	"len": {minArgs: 1, maxArgs: 1, apply: func(args []Value) (Value, error) {
+		switch x := args[0].(type) {
+		case []Value:
+			return float64(len(x)), nil
+		case string:
+			return float64(len(x)), nil
+		default:
+			return nil, evalErrf("len: argument %T has no length", args[0])
+		}
+	}},
+	// if(cond, a, b) — eager functional form of ?: for readability.
+	"if": {minArgs: 3, maxArgs: 3, apply: func(args []Value) (Value, error) {
+		c, ok := args[0].(bool)
+		if !ok {
+			return nil, evalErrf("if: condition is %T, want bool", args[0])
+		}
+		if c {
+			return args[1], nil
+		}
+		return args[2], nil
+	}},
+	// c2f / f2c — unit conversions common in the paper's temperature
+	// aggregation scenario.
+	"c2f": numericFn(func(c float64) float64 { return c*9/5 + 32 }),
+	"f2c": numericFn(func(f float64) float64 { return (f - 32) * 5 / 9 }),
+}
+
+// Builtins lists the available function names, sorted (documentation and
+// browser help).
+func Builtins() []string {
+	out := make([]string, 0, len(builtins))
+	for name := range builtins {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func evalCall(t callNode, env Env) (Value, error) {
+	fn, ok := builtins[t.name]
+	if !ok {
+		return nil, evalErrf("unknown function %q", t.name)
+	}
+	if len(t.args) < fn.minArgs {
+		return nil, evalErrf("%s: want at least %d argument(s), got %d", t.name, fn.minArgs, len(t.args))
+	}
+	if fn.maxArgs >= 0 && len(t.args) > fn.maxArgs {
+		return nil, evalErrf("%s: want at most %d argument(s), got %d", t.name, fn.maxArgs, len(t.args))
+	}
+	args := make([]Value, len(t.args))
+	for i, a := range t.args {
+		v, err := eval(a, env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return fn.apply(args)
+}

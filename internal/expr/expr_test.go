@@ -1,0 +1,439 @@
+package expr
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func num(t *testing.T, src string, env Env) float64 {
+	t.Helper()
+	v, err := Eval(src, env)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	f, ok := v.(float64)
+	if !ok {
+		t.Fatalf("Eval(%q) = %T, want float64", src, v)
+	}
+	return f
+}
+
+func boolean(t *testing.T, src string, env Env) bool {
+	t.Helper()
+	v, err := Eval(src, env)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	b, ok := v.(bool)
+	if !ok {
+		t.Fatalf("Eval(%q) = %T, want bool", src, v)
+	}
+	return b
+}
+
+func TestPaperExpressions(t *testing.T) {
+	// The exact expressions from §VI steps 2 and 5.
+	if got := num(t, "(a + b + c)/3", Env{"a": 20.0, "b": 22.0, "c": 24.0}); got != 22 {
+		t.Fatalf("(a+b+c)/3 = %v", got)
+	}
+	if got := num(t, "(a + b)/2", Env{"a": 22.0, "b": 26.0}); got != 24 {
+		t.Fatalf("(a+b)/2 = %v", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := map[string]float64{
+		"1+2*3":   7,
+		"(1+2)*3": 9,
+		"10-4-3":  3,   // left associative
+		"2^3^2":   512, // right associative
+		"7%4":     3,
+		"-3+5":    2,
+		"--4":     4,
+		"2*-3":    -6,
+		"1/4":     0.25,
+		"1e3+1":   1001,
+		"2.5*4":   10,
+		".5*2":    1,
+	}
+	for src, want := range cases {
+		if got := num(t, src, nil); got != want {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestComparisonAndLogic(t *testing.T) {
+	cases := map[string]bool{
+		"1 < 2":            true,
+		"2 <= 2":           true,
+		"3 > 4":            false,
+		"4 >= 4":           true,
+		"1 == 1":           true,
+		"1 != 1":           false,
+		"true && false":    false,
+		"true || false":    true,
+		"!true":            false,
+		"1 < 2 && 2 < 3":   true,
+		"\"a\" < \"b\"":    true,
+		"\"x\" == \"x\"":   true,
+		"true == true":     true,
+		"false != true":    true,
+		"1 < 2 || 1/0 > 0": true, // short-circuit skips division by zero
+	}
+	for src, want := range cases {
+		if got := boolean(t, src, nil); got != want {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestShortCircuitAndSkipsRHS(t *testing.T) {
+	if got := boolean(t, "false && 1/0 > 0", nil); got != false {
+		t.Fatal("short-circuit && broken")
+	}
+}
+
+func TestConditional(t *testing.T) {
+	if got := num(t, "a > 30 ? 1 : 0", Env{"a": 35.0}); got != 1 {
+		t.Fatalf("ternary = %v", got)
+	}
+	if got := num(t, "a > 30 ? 1 : 0", Env{"a": 25.0}); got != 0 {
+		t.Fatalf("ternary = %v", got)
+	}
+	// Nested.
+	if got := num(t, "a < 0 ? -1 : a == 0 ? 0 : 1", Env{"a": 5.0}); got != 1 {
+		t.Fatalf("nested ternary = %v", got)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	v, err := Eval(`"temp: " + "ok"`, nil)
+	if err != nil || v != "temp: ok" {
+		t.Fatalf("concat = %v, %v", v, err)
+	}
+	v, err = Eval(`'single\'quote'`, nil)
+	if err != nil || v != "single'quote" {
+		t.Fatalf("single-quoted = %q, %v", v, err)
+	}
+	v, err = Eval(`"tab\there"`, nil)
+	if err != nil || v != "tab\there" {
+		t.Fatalf("escape = %q, %v", v, err)
+	}
+}
+
+func TestListsAndIndexing(t *testing.T) {
+	if got := num(t, "[10, 20, 30][1]", nil); got != 20 {
+		t.Fatalf("index = %v", got)
+	}
+	if got := num(t, "len([1,2,3])", nil); got != 3 {
+		t.Fatalf("len = %v", got)
+	}
+	if got := num(t, "avg(values)", Env{"values": []float64{1, 2, 3, 4}}); got != 2.5 {
+		t.Fatalf("avg(list) = %v", got)
+	}
+	if got := num(t, "xs[i]", Env{"xs": []Value{1.0, 2.0}, "i": 1}); got != 2 {
+		t.Fatalf("var index = %v", got)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	cases := map[string]float64{
+		"abs(-3)":            3,
+		"sqrt(16)":           4,
+		"min(3, 1, 2)":       1,
+		"max(3, 1, 2)":       3,
+		"sum(1, 2, 3)":       6,
+		"avg(1, 2, 3, 4)":    2.5,
+		"median(1, 3, 2)":    2,
+		"median(1, 2, 3, 4)": 2.5,
+		"floor(2.7)":         2,
+		"ceil(2.2)":          3,
+		"round(2.5)":         3,
+		"pow(2, 10)":         1024,
+		"clamp(15, 0, 10)":   10,
+		"clamp(-5, 0, 10)":   0,
+		"clamp(5, 0, 10)":    5,
+		"c2f(100)":           212,
+		"f2c(32)":            0,
+		"exp(0)":             1,
+		"log(e)":             1,
+		"sin(0)":             0,
+		"cos(0)":             1,
+		"tan(0)":             0,
+		"len(\"abcd\")":      4,
+		"if(1 < 2, 10, 20)":  10,
+	}
+	for src, want := range cases {
+		if got := num(t, src, nil); math.Abs(got-want) > 1e-12 {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+	if got := num(t, "stddev(2, 4, 4, 4, 5, 5, 7, 9)", nil); got != 2 {
+		t.Errorf("stddev = %v, want 2", got)
+	}
+}
+
+func TestConstants(t *testing.T) {
+	if got := num(t, "pi", nil); got != math.Pi {
+		t.Fatalf("pi = %v", got)
+	}
+	// Env overrides constants.
+	if got := num(t, "pi", Env{"pi": 3.0}); got != 3 {
+		t.Fatalf("overridden pi = %v", got)
+	}
+}
+
+func TestEnvNumericCoercion(t *testing.T) {
+	for _, v := range []Value{int(5), int32(5), int64(5), uint(5), uint64(5), float32(5)} {
+		if got := num(t, "x * 2", Env{"x": v}); got != 10 {
+			t.Fatalf("coercion of %T: got %v", v, got)
+		}
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"", "1 +", "(1", "[1, 2", "1 2", "a ? 1", "a ? 1 :", "min(",
+		"\"unterminated", "1..2", "@", "f(1,)", "'bad\\q'",
+	}
+	for _, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) accepted", src)
+		} else {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Errorf("Compile(%q) error type %T", src, err)
+			}
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	cases := []struct {
+		src string
+		env Env
+		sub string
+	}{
+		{"x + 1", nil, "unbound variable"},
+		{"1/0", nil, "division by zero"},
+		{"1%0", nil, "modulo by zero"},
+		{"-true", nil, "unary '-'"},
+		{"!1", nil, "unary '!'"},
+		{"1 + true", nil, "operator +"},
+		{"\"a\" - \"b\"", nil, "not defined on strings"},
+		{"true < false", nil, "not defined on booleans"},
+		{"1 ? 2 : 3", nil, "condition yielded"},
+		{"nosuch(1)", nil, "unknown function"},
+		{"abs()", nil, "at least 1"},
+		{"abs(1, 2)", nil, "at most 1"},
+		{"avg()", nil, "at least"},
+		{"[1,2][5]", nil, "out of range"},
+		{"[1,2][0.5]", nil, "non-integer index"},
+		{"[1,2][\"x\"]", nil, "index is"},
+		{"x[0]", Env{"x": 1}, "indexing float64"},
+		{"log(0)", nil, "non-positive"},
+		{"clamp(1, 5, 0)", nil, "lo"},
+		{"avg(\"a\")", nil, "not numeric"},
+		{"x", Env{"x": struct{}{}}, "unsupported value type"},
+		{"if(1, 2, 3)", nil, "condition is"},
+		{"len(1)", nil, "no length"},
+	}
+	for _, c := range cases {
+		_, err := Eval(c.src, c.env)
+		if err == nil {
+			t.Errorf("Eval(%q) succeeded, want error containing %q", c.src, c.sub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("Eval(%q) error = %q, want substring %q", c.src, err, c.sub)
+		}
+	}
+}
+
+func TestProgramVars(t *testing.T) {
+	p := MustCompile("(a + b + c)/3 + avg(a, d) + pi")
+	got := p.Vars()
+	want := []string{"a", "b", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestProgramReuseConcurrent(t *testing.T) {
+	p := MustCompile("(a + b)/2")
+	done := make(chan bool, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			ok := true
+			for i := 0; i < 200; i++ {
+				v, err := p.EvalNumber(Env{"a": float64(g), "b": float64(g)})
+				if err != nil || v != float64(g) {
+					ok = false
+				}
+			}
+			done <- ok
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if !<-done {
+			t.Fatal("concurrent evaluation failed")
+		}
+	}
+}
+
+func TestEvalNumberTypeError(t *testing.T) {
+	p := MustCompile("1 < 2")
+	if _, err := p.EvalNumber(nil); err == nil {
+		t.Fatal("EvalNumber on bool accepted")
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustCompile("1 +")
+}
+
+func TestSourceAccessor(t *testing.T) {
+	p := MustCompile("(a+b)/2")
+	if p.Source() != "(a+b)/2" {
+		t.Fatalf("Source = %q", p.Source())
+	}
+}
+
+func TestBuiltinsListed(t *testing.T) {
+	names := Builtins()
+	if len(names) < 20 {
+		t.Fatalf("only %d builtins", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("Builtins not sorted")
+		}
+	}
+}
+
+// Property: printing a parsed program and re-parsing yields a tree that
+// evaluates identically (round-trip stability).
+func TestPropertyPrintReparse(t *testing.T) {
+	exprs := []string{
+		"(a + b + c)/3",
+		"a*b - c/d + 2^e2",
+		"a < b ? a : b",
+		"avg(a, b, c) + min(a, max(b, c))",
+		"[a, b, c][1] + len([a])",
+		"!(a > b) && (c != d || a == b)",
+		"-a + -b * -2",
+		"clamp(a, 0, 100) % 7",
+	}
+	env := Env{"a": 3.0, "b": 5.0, "c": 7.0, "d": 11.0, "e2": 2.0}
+	for _, src := range exprs {
+		p1 := MustCompile(src)
+		p2, err := Compile(p1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q -> %q: %v", src, p1.String(), err)
+		}
+		v1, err1 := p1.Eval(env)
+		v2, err2 := p2.Eval(env)
+		if err1 != nil || err2 != nil || v1 != v2 {
+			t.Fatalf("%q: %v/%v vs reparse %v/%v", src, v1, err1, v2, err2)
+		}
+	}
+}
+
+// Property: for random finite inputs, avg is bounded by min and max.
+func TestPropertyAvgBounded(t *testing.T) {
+	f := func(a, b, c int16) bool {
+		env := Env{"a": float64(a), "b": float64(b), "c": float64(c)}
+		avg := mustNum(env, "avg(a, b, c)")
+		lo := mustNum(env, "min(a, b, c)")
+		hi := mustNum(env, "max(a, b, c)")
+		return avg >= lo-1e-9 && avg <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the paper's average expression equals the builtin avg.
+func TestPropertyPaperAvgEqualsBuiltin(t *testing.T) {
+	f := func(a, b, c int16) bool {
+		env := Env{"a": float64(a), "b": float64(b), "c": float64(c)}
+		return math.Abs(mustNum(env, "(a + b + c)/3")-mustNum(env, "avg(a, b, c)")) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: comparison trichotomy.
+func TestPropertyTrichotomy(t *testing.T) {
+	f := func(a, b int16) bool {
+		env := Env{"a": float64(a), "b": float64(b)}
+		lt := mustBool(env, "a < b")
+		eq := mustBool(env, "a == b")
+		gt := mustBool(env, "a > b")
+		n := 0
+		for _, v := range []bool{lt, eq, gt} {
+			if v {
+				n++
+			}
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustNum(env Env, src string) float64 {
+	v, err := Eval(src, env)
+	if err != nil {
+		panic(err)
+	}
+	return v.(float64)
+}
+
+func mustBool(env Env, src string) bool {
+	v, err := Eval(src, env)
+	if err != nil {
+		panic(err)
+	}
+	return v.(bool)
+}
+
+// Property: Compile never panics, whatever the input; it either returns a
+// program or a SyntaxError.
+func TestPropertyCompileNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		p, err := Compile(src)
+		if err != nil {
+			var se *SyntaxError
+			return errors.As(err, &se)
+		}
+		// Compiled programs also must not panic when evaluated against an
+		// empty environment (errors are fine).
+		_, _ = p.Eval(nil)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// lexer scans an expression source string into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) *SyntaxError {
+	return &SyntaxError{Pos: pos, Message: fmt.Sprintf(format, args...)}
+}
+
+// next scans the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t' || l.src[l.pos] == '\n' || l.src[l.pos] == '\r') {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		return l.lexNumber(start)
+	case c == '"' || c == '\'':
+		return l.lexString(start, c)
+	case isIdentStart(rune(c)):
+		return l.lexIdent(start)
+	}
+	// Operators.
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=":
+		l.pos += 2
+		return token{kind: tokLE, text: two, pos: start}, nil
+	case ">=":
+		l.pos += 2
+		return token{kind: tokGE, text: two, pos: start}, nil
+	case "==":
+		l.pos += 2
+		return token{kind: tokEQ, text: two, pos: start}, nil
+	case "!=":
+		l.pos += 2
+		return token{kind: tokNE, text: two, pos: start}, nil
+	case "&&":
+		l.pos += 2
+		return token{kind: tokAnd, text: two, pos: start}, nil
+	case "||":
+		l.pos += 2
+		return token{kind: tokOr, text: two, pos: start}, nil
+	}
+	single := map[byte]tokenKind{
+		'+': tokPlus, '-': tokMinus, '*': tokStar, '/': tokSlash,
+		'%': tokPercent, '^': tokCaret, '(': tokLParen, ')': tokRParen,
+		'[': tokLBracket, ']': tokRBracket, ',': tokComma, '<': tokLT,
+		'>': tokGT, '!': tokNot, '?': tokQuestion, ':': tokColon,
+	}
+	if kind, ok := single[c]; ok {
+		l.pos++
+		return token{kind: kind, text: string(c), pos: start}, nil
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	return token{}, l.errf(start, "unexpected character %q", r)
+}
+
+func (l *lexer) lexNumber(start int) (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' || c == '.' || c == 'e' || c == 'E' {
+			l.pos++
+			continue
+		}
+		// Exponent sign.
+		if (c == '+' || c == '-') && l.pos > start && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E') {
+			l.pos++
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return token{}, l.errf(start, "malformed number %q", text)
+	}
+	return token{kind: tokNumber, text: text, num: v, pos: start}, nil
+}
+
+func (l *lexer) lexString(start int, quote byte) (token, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			return token{kind: tokString, text: b.String(), pos: start}, nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			switch l.src[l.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\':
+				b.WriteByte('\\')
+			case quote:
+				b.WriteByte(quote)
+			default:
+				return token{}, l.errf(l.pos, "unknown escape \\%c", l.src[l.pos])
+			}
+			l.pos++
+			continue
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, l.errf(start, "unterminated string")
+}
+
+func (l *lexer) lexIdent(start int) (token, error) {
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		l.pos += size
+	}
+	text := l.src[start:l.pos]
+	switch text {
+	case "true":
+		return token{kind: tokTrue, text: text, pos: start}, nil
+	case "false":
+		return token{kind: tokFalse, text: text, pos: start}, nil
+	}
+	return token{kind: tokIdent, text: text, pos: start}, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

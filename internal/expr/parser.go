@@ -1,0 +1,253 @@
+package expr
+
+import "fmt"
+
+// parser is a Pratt (precedence-climbing) parser over the lexer's tokens.
+type parser struct {
+	lex lexer
+	tok token // lookahead
+}
+
+// Compile parses an expression into a reusable Program.
+func Compile(source string) (*Program, error) {
+	p := &parser{lex: lexer{src: source}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	root, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, &SyntaxError{Pos: p.tok.pos, Message: fmt.Sprintf("unexpected %s after expression", p.tok.kind)}
+	}
+	return &Program{source: source, root: root}, nil
+}
+
+// MustCompile is Compile that panics on error, for static expressions.
+func MustCompile(source string) *Program {
+	p, err := Compile(source)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind) error {
+	if p.tok.kind != kind {
+		return &SyntaxError{Pos: p.tok.pos, Message: fmt.Sprintf("expected %s, found %s", kind, p.tok.kind)}
+	}
+	return p.advance()
+}
+
+// parseExpr parses the lowest-precedence construct: the conditional.
+func (p *parser) parseExpr() (node, error) {
+	cond, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokQuestion {
+		return cond, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	then, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	els, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return condNode{cond: cond, then: then, els: els}, nil
+}
+
+// Binding powers; higher binds tighter. The caret (power) is
+// right-associative, handled specially below.
+var precedence = map[tokenKind]int{
+	tokOr:      1,
+	tokAnd:     2,
+	tokEQ:      3,
+	tokNE:      3,
+	tokLT:      4,
+	tokLE:      4,
+	tokGT:      4,
+	tokGE:      4,
+	tokPlus:    5,
+	tokMinus:   5,
+	tokStar:    6,
+	tokSlash:   6,
+	tokPercent: 6,
+	tokCaret:   7,
+}
+
+func (p *parser) parseBinary(minPrec int) (node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := precedence[p.tok.kind]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		op := p.tok.kind
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// Right-associative power: recurse at same precedence.
+		nextMin := prec + 1
+		if op == tokCaret {
+			nextMin = prec
+		}
+		right, err := p.parseBinary(nextMin)
+		if err != nil {
+			return nil, err
+		}
+		left = binaryNode{op: op, l: left, r: right}
+	}
+}
+
+func (p *parser) parseUnary() (node, error) {
+	switch p.tok.kind {
+	case tokMinus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryNode{op: tokMinus, x: x}, nil
+	case tokNot:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryNode{op: tokNot, x: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+// parsePostfix parses a primary followed by any number of index suffixes.
+func (p *parser) parsePostfix() (node, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokLBracket {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+		x = indexNode{x: x, idx: idx}
+	}
+	return x, nil
+}
+
+func (p *parser) parsePrimary() (node, error) {
+	switch p.tok.kind {
+	case tokNumber:
+		n := numberNode{val: p.tok.num}
+		return n, p.advance()
+	case tokString:
+		n := stringNode{val: p.tok.text}
+		return n, p.advance()
+	case tokTrue:
+		return boolNode{val: true}, p.advance()
+	case tokFalse:
+		return boolNode{val: false}, p.advance()
+	case tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokLParen {
+			return identNode{name: name}, nil
+		}
+		// Function call.
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var args []node
+		if p.tok.kind != tokRParen {
+			for {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, arg)
+				if p.tok.kind != tokComma {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return callNode{name: name, args: args}, nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case tokLBracket:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var elems []node
+		if p.tok.kind != tokRBracket {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				elems = append(elems, e)
+				if p.tok.kind != tokComma {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+		return listNode{elems: elems}, nil
+	default:
+		return nil, &SyntaxError{Pos: p.tok.pos, Message: fmt.Sprintf("unexpected %s", p.tok.kind)}
+	}
+}

@@ -1,0 +1,97 @@
+// Package expr implements the runtime compute-expression language that
+// stands in for Groovy in the paper (§V "Sensor Computation", §VI steps 2
+// and 5). Composite sensor providers attach expressions such as
+// "(a + b + c)/3" whose variables are bound at runtime to the values of
+// component sensor services; the evaluator computes the composite value.
+//
+// The language is a dynamically typed expression grammar: 64-bit floats,
+// booleans, strings and lists; arithmetic, comparison and boolean
+// operators; the conditional operator ?:; list literals and indexing; and
+// a library of mathematical builtins (avg, min, max, clamp, ...). Programs
+// compile once (Compile) and evaluate many times against different
+// variable environments, which is what a CSP does on every GetValue.
+package expr
+
+import "fmt"
+
+// tokenKind enumerates lexical token categories.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokNumber
+	tokString
+	tokIdent
+	tokPlus     // +
+	tokMinus    // -
+	tokStar     // *
+	tokSlash    // /
+	tokPercent  // %
+	tokCaret    // ^
+	tokLParen   // (
+	tokRParen   // )
+	tokLBracket // [
+	tokRBracket // ]
+	tokComma    // ,
+	tokLT       // <
+	tokLE       // <=
+	tokGT       // >
+	tokGE       // >=
+	tokEQ       // ==
+	tokNE       // !=
+	tokNot      // !
+	tokAnd      // &&
+	tokOr       // ||
+	tokQuestion // ?
+	tokColon    // :
+	tokTrue     // true
+	tokFalse    // false
+)
+
+var tokenNames = map[tokenKind]string{
+	tokEOF: "end of expression", tokNumber: "number", tokString: "string",
+	tokIdent: "identifier", tokPlus: "'+'", tokMinus: "'-'", tokStar: "'*'",
+	tokSlash: "'/'", tokPercent: "'%'", tokCaret: "'^'", tokLParen: "'('",
+	tokRParen: "')'", tokLBracket: "'['", tokRBracket: "']'", tokComma: "','",
+	tokLT: "'<'", tokLE: "'<='", tokGT: "'>'", tokGE: "'>='", tokEQ: "'=='",
+	tokNE: "'!='", tokNot: "'!'", tokAnd: "'&&'", tokOr: "'||'",
+	tokQuestion: "'?'", tokColon: "':'", tokTrue: "'true'", tokFalse: "'false'",
+}
+
+func (k tokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// token is one lexical unit with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int
+}
+
+// SyntaxError reports a lexical or parse failure with its position.
+type SyntaxError struct {
+	Pos     int
+	Message string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("expr: syntax error at offset %d: %s", e.Pos, e.Message)
+}
+
+// EvalError reports a runtime evaluation failure.
+type EvalError struct {
+	Message string
+}
+
+// Error implements error.
+func (e *EvalError) Error() string { return "expr: " + e.Message }
+
+func evalErrf(format string, args ...any) *EvalError {
+	return &EvalError{Message: fmt.Sprintf(format, args...)}
+}

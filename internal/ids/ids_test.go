@@ -1,0 +1,147 @@
+package ids
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewServiceIDUniqueness(t *testing.T) {
+	seen := make(map[ServiceID]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewServiceID()
+		if seen[id] {
+			t.Fatalf("duplicate ServiceID after %d draws", i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestServiceIDVersionAndVariant(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		id := NewServiceID()
+		if id[6]>>4 != 4 {
+			t.Fatalf("version nibble = %x, want 4", id[6]>>4)
+		}
+		if id[8]>>6 != 0b10 {
+			t.Fatalf("variant bits = %b, want 10", id[8]>>6)
+		}
+	}
+}
+
+func TestServiceIDStringFormat(t *testing.T) {
+	id := NewServiceID()
+	s := id.String()
+	if len(s) != 36 {
+		t.Fatalf("len = %d, want 36", len(s))
+	}
+	for _, i := range []int{8, 13, 18, 23} {
+		if s[i] != '-' {
+			t.Fatalf("expected dash at %d in %q", i, s)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	f := func(raw [16]byte) bool {
+		id := ServiceID(raw)
+		back, err := ParseServiceID(id.String())
+		return err == nil && back == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"267c67a0",
+		"267c67a0-dd67-4b95-beb0-e6763e117b0",   // too short
+		"267c67a0-dd67-4b95-beb0-e6763e117b033", // too long
+		"267c67a0xdd67-4b95-beb0-e6763e117b03",  // wrong separator
+		"zzzzzzzz-dd67-4b95-beb0-e6763e117b03",  // non-hex
+		"267c67a0-dd67-4b95-beb0-e6763e117bzz",  // non-hex tail
+	}
+	for _, s := range bad {
+		if _, err := ParseServiceID(s); err == nil {
+			t.Fatalf("ParseServiceID(%q) accepted garbage", s)
+		}
+	}
+}
+
+func TestParsePaperExampleID(t *testing.T) {
+	// The exact service ID shown in the paper's Fig. 2.
+	const paper = "267c67a0-dd67-4b95-beb0-e6763e117b03"
+	id, err := ParseServiceID(paper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.String() != paper {
+		t.Fatalf("round trip = %q", id.String())
+	}
+	if id.Short() != "267c67a0" {
+		t.Fatalf("Short = %q", id.Short())
+	}
+}
+
+func TestZeroIsZero(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Fatal("Zero.IsZero() = false")
+	}
+	if NewServiceID().IsZero() {
+		t.Fatal("fresh ID reported zero")
+	}
+}
+
+func TestTextMarshaling(t *testing.T) {
+	id := NewServiceID()
+	b, err := id.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ServiceID
+	if err := back.UnmarshalText(b); err != nil {
+		t.Fatal(err)
+	}
+	if back != id {
+		t.Fatalf("round trip mismatch: %v vs %v", back, id)
+	}
+	if err := back.UnmarshalText([]byte("nope")); err == nil {
+		t.Fatal("UnmarshalText accepted garbage")
+	}
+}
+
+func TestSequenceMonotonic(t *testing.T) {
+	var s Sequence
+	prev := uint64(0)
+	for i := 0; i < 100; i++ {
+		n := s.Next()
+		if n <= prev {
+			t.Fatalf("sequence not monotonic: %d after %d", n, prev)
+		}
+		prev = n
+	}
+	if s.Current() != prev {
+		t.Fatalf("Current = %d, want %d", s.Current(), prev)
+	}
+}
+
+func TestSequenceConcurrent(t *testing.T) {
+	var s Sequence
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Next()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Current(); got != goroutines*per {
+		t.Fatalf("Current = %d, want %d", got, goroutines*per)
+	}
+}

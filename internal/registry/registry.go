@@ -1,0 +1,571 @@
+// Package registry implements the Jini-style lookup service (LUS) at the
+// heart of the sensorcer federation. Service providers register proxies
+// under interface type names and attribute entries; requestors locate them
+// with templates (type + attribute match, per package attr). Registrations
+// are leased: a provider that stops renewing is swept from the registry,
+// which is exactly how the paper (§IV-B) keeps the sensor network "healthy
+// and robust". Requestors may also register leased event notifications and
+// learn immediately when matching services appear, change or disappear —
+// the mechanism behind the paper's plug-and-play claim (§VII).
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sensorcer/internal/attr"
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/ids"
+	"sensorcer/internal/lease"
+)
+
+// ServiceItem is a registered service: its identity, its proxy object (for
+// in-process federations the provider itself; for remote federations an
+// srpc stub), the interface type names it implements, and its attributes.
+type ServiceItem struct {
+	ID         ids.ServiceID
+	Service    any
+	Types      []string
+	Attributes attr.Set
+}
+
+// Clone deep-copies the item's mutable parts (the Service proxy is shared).
+func (si ServiceItem) Clone() ServiceItem {
+	c := si
+	c.Types = append([]string(nil), si.Types...)
+	c.Attributes = attr.CloneSet(si.Attributes)
+	return c
+}
+
+// Template selects services: a zero ID is a wildcard; every listed type
+// must be implemented; attributes match per attr.Set.MatchesTemplate.
+type Template struct {
+	ID         ids.ServiceID
+	Types      []string
+	Attributes attr.Set
+}
+
+// Matches reports whether the item satisfies the template.
+func (t Template) Matches(item ServiceItem) bool {
+	if !t.ID.IsZero() && t.ID != item.ID {
+		return false
+	}
+	for _, want := range t.Types {
+		found := false
+		for _, have := range item.Types {
+			if want == have {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return item.Attributes.MatchesTemplate(t.Attributes)
+}
+
+// ByName builds the common "find the provider named n" template.
+func ByName(name string, types ...string) Template {
+	return Template{Types: types, Attributes: attr.Set{attr.Name(name)}}
+}
+
+// ByType builds a template matching any provider of the interface types.
+func ByType(types ...string) Template { return Template{Types: types} }
+
+// Transition kinds for event notifications, mirroring Jini's
+// TRANSITION_NOMATCH_MATCH etc.
+const (
+	// TransitionNoMatchMatch fires when an item starts matching the
+	// template (registration or attribute change).
+	TransitionNoMatchMatch = 1 << iota
+	// TransitionMatchNoMatch fires when a matching item stops matching
+	// (deregistration, lease expiry, or attribute change).
+	TransitionMatchNoMatch
+	// TransitionMatchMatch fires when a matching item changes but still
+	// matches.
+	TransitionMatchMatch
+	// TransitionAny is the union of all transitions.
+	TransitionAny = TransitionNoMatchMatch | TransitionMatchNoMatch | TransitionMatchMatch
+)
+
+// Event describes a service transition delivered to a notification listener.
+type Event struct {
+	// Registrar identifies the lookup service that emitted the event.
+	Registrar ids.ServiceID
+	// SeqNo increases per notification registration.
+	SeqNo uint64
+	// Transition is one of the Transition* constants.
+	Transition int
+	// Item is a snapshot of the service after the transition; for
+	// TransitionMatchNoMatch it is the last matching snapshot.
+	Item ServiceItem
+}
+
+// Listener receives events. Implementations must not block for long; the
+// registry delivers on a dedicated goroutine per notification registration
+// but with a bounded queue.
+type Listener func(Event)
+
+// Registration is returned from Register; keep the lease renewed to stay in
+// the registry.
+type Registration struct {
+	ServiceID ids.ServiceID
+	Lease     lease.Lease
+}
+
+// EventRegistration is returned from Notify.
+type EventRegistration struct {
+	NotificationID uint64
+	Lease          lease.Lease
+}
+
+// ErrNotFound is returned by LookupOne when no item matches.
+var ErrNotFound = errors.New("registry: no matching service")
+
+const notifyQueue = 256
+
+// LookupService is an in-process LUS. It is safe for concurrent use.
+type LookupService struct {
+	id    ids.ServiceID
+	name  string
+	clock clockwork.Clock
+
+	itemLeases  *lease.Table
+	eventLeases *lease.Table
+
+	mu       sync.RWMutex
+	items    map[ids.ServiceID]*record
+	byLease  map[uint64]ids.ServiceID
+	notifs   map[uint64]*notification
+	byNLease map[uint64]uint64
+	// byName indexes registrations by their Name attribute so the
+	// overwhelmingly common find-by-name lookup (every FindAccessor,
+	// every browser read) avoids a full template scan.
+	byName map[string]map[ids.ServiceID]bool
+	closed bool
+}
+
+type record struct {
+	item    ServiceItem
+	leaseID uint64
+}
+
+type notification struct {
+	id          uint64
+	template    Template
+	transitions int
+	listener    Listener
+	seq         ids.Sequence
+	queue       chan Event
+	done        chan struct{}
+}
+
+// Option configures a LookupService.
+type Option func(*config)
+
+type config struct {
+	itemPolicy  lease.Policy
+	eventPolicy lease.Policy
+}
+
+// WithLeasePolicy sets the policy for registration leases.
+func WithLeasePolicy(p lease.Policy) Option {
+	return func(c *config) { c.itemPolicy = p }
+}
+
+// WithEventLeasePolicy sets the policy for notification leases.
+func WithEventLeasePolicy(p lease.Policy) Option {
+	return func(c *config) { c.eventPolicy = p }
+}
+
+// New creates a lookup service. name is administrative (e.g. the host:port
+// string shown in the paper's Fig. 2, "persimmon.cs.ttu.edu:4160").
+func New(name string, clock clockwork.Clock, opts ...Option) *LookupService {
+	cfg := config{
+		itemPolicy:  lease.Policy{Max: lease.DefaultMax},
+		eventPolicy: lease.Policy{Max: lease.DefaultMax},
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	l := &LookupService{
+		id:          ids.NewServiceID(),
+		name:        name,
+		clock:       clock,
+		itemLeases:  lease.NewTable(clock, cfg.itemPolicy),
+		eventLeases: lease.NewTable(clock, cfg.eventPolicy),
+		items:       make(map[ids.ServiceID]*record),
+		byLease:     make(map[uint64]ids.ServiceID),
+		notifs:      make(map[uint64]*notification),
+		byNLease:    make(map[uint64]uint64),
+		byName:      make(map[string]map[ids.ServiceID]bool),
+	}
+	l.itemLeases.OnExpire(l.onItemLeaseExpired)
+	l.eventLeases.OnExpire(l.onEventLeaseExpired)
+	return l
+}
+
+// ID returns the registrar's service ID.
+func (l *LookupService) ID() ids.ServiceID { return l.id }
+
+// Name returns the administrative name.
+func (l *LookupService) Name() string { return l.name }
+
+// Register adds (or, for an existing ID, replaces) a service item and
+// grants a lease for it. A zero item ID is assigned a fresh one, which is
+// reported back in the Registration — providers keep it for
+// re-registration after restarts, matching Jini semantics.
+func (l *LookupService) Register(item ServiceItem, leaseDur time.Duration) (Registration, error) {
+	if len(item.Types) == 0 {
+		return Registration{}, errors.New("registry: item must declare at least one type")
+	}
+	if item.ID.IsZero() {
+		item.ID = ids.NewServiceID()
+	}
+	item = item.Clone()
+	lse := l.itemLeases.Grant(leaseDur)
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		_ = lse.Cancel()
+		return Registration{}, errors.New("registry: closed")
+	}
+	var prev *ServiceItem
+	if old, ok := l.items[item.ID]; ok {
+		// Replacement: retire the old lease silently.
+		delete(l.byLease, old.leaseID)
+		_ = l.itemLeases.Cancel(old.leaseID)
+		l.indexRemoveLocked(old.item)
+		p := old.item
+		prev = &p
+	}
+	l.items[item.ID] = &record{item: item, leaseID: lse.ID}
+	l.byLease[lse.ID] = item.ID
+	l.indexAddLocked(item)
+	l.notifyLocked(prev, &item)
+	l.mu.Unlock()
+
+	return Registration{ServiceID: item.ID, Lease: lse}, nil
+}
+
+// Deregister removes a service immediately (orderly departure).
+func (l *LookupService) Deregister(id ids.ServiceID) error {
+	l.mu.Lock()
+	rec, ok := l.items[id]
+	if !ok {
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, id.Short())
+	}
+	delete(l.items, id)
+	delete(l.byLease, rec.leaseID)
+	_ = l.itemLeases.Cancel(rec.leaseID)
+	l.indexRemoveLocked(rec.item)
+	l.notifyLocked(&rec.item, nil)
+	l.mu.Unlock()
+
+	return nil
+}
+
+// ModifyAttributes replaces the attribute set of a registered service,
+// emitting match/no-match transitions as needed.
+func (l *LookupService) ModifyAttributes(id ids.ServiceID, attrs attr.Set) error {
+	l.mu.Lock()
+	rec, ok := l.items[id]
+	if !ok {
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, id.Short())
+	}
+	prev := rec.item
+	l.indexRemoveLocked(rec.item)
+	rec.item.Attributes = attr.CloneSet(attrs)
+	l.indexAddLocked(rec.item)
+	cur := rec.item
+	l.notifyLocked(&prev, &cur)
+	l.mu.Unlock()
+
+	return nil
+}
+
+// Lookup returns up to maxMatches items matching the template (all if
+// maxMatches <= 0), sorted by service name then ID for stable output.
+// Expired registrations are swept first.
+func (l *LookupService) Lookup(tmpl Template, maxMatches int) []ServiceItem {
+	l.SweepNow()
+	l.mu.RLock()
+	var out []ServiceItem
+	if name, ok := templateName(tmpl); ok {
+		// Name-pinned templates hit the index instead of scanning.
+		for id := range l.byName[name] {
+			if rec, ok := l.items[id]; ok && tmpl.Matches(rec.item) {
+				out = append(out, rec.item.Clone())
+			}
+		}
+	} else {
+		for _, rec := range l.items {
+			if tmpl.Matches(rec.item) {
+				out = append(out, rec.item.Clone())
+			}
+		}
+	}
+	l.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		ni, nj := attr.NameOf(out[i].Attributes), attr.NameOf(out[j].Attributes)
+		if ni != nj {
+			return ni < nj
+		}
+		return out[i].ID.String() < out[j].ID.String()
+	})
+	if maxMatches > 0 && len(out) > maxMatches {
+		out = out[:maxMatches]
+	}
+	return out
+}
+
+// LookupOne returns the first match or ErrNotFound.
+func (l *LookupService) LookupOne(tmpl Template) (ServiceItem, error) {
+	matches := l.Lookup(tmpl, 1)
+	if len(matches) == 0 {
+		return ServiceItem{}, ErrNotFound
+	}
+	return matches[0], nil
+}
+
+// Items returns a snapshot of every live registration (the browser's
+// service list, Fig. 2).
+func (l *LookupService) Items() []ServiceItem {
+	return l.Lookup(Template{}, 0)
+}
+
+// Len reports the number of live registrations.
+func (l *LookupService) Len() int {
+	l.SweepNow()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.items)
+}
+
+// Notify registers a leased event listener for template transitions.
+func (l *LookupService) Notify(tmpl Template, transitions int, fn Listener, leaseDur time.Duration) (EventRegistration, error) {
+	if transitions&TransitionAny == 0 {
+		return EventRegistration{}, errors.New("registry: no transitions requested")
+	}
+	if fn == nil {
+		return EventRegistration{}, errors.New("registry: nil listener")
+	}
+	lse := l.eventLeases.Grant(leaseDur)
+	n := &notification{
+		id:          lse.ID,
+		template:    tmpl,
+		transitions: transitions,
+		listener:    fn,
+		queue:       make(chan Event, notifyQueue),
+		done:        make(chan struct{}),
+	}
+	go n.pump()
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		close(n.queue)
+		_ = lse.Cancel()
+		return EventRegistration{}, errors.New("registry: closed")
+	}
+	l.notifs[n.id] = n
+	l.byNLease[lse.ID] = n.id
+	l.mu.Unlock()
+
+	return EventRegistration{NotificationID: n.id, Lease: lse}, nil
+}
+
+// CancelNotify removes an event registration and waits for its pump to
+// drain, so no listener callback runs after CancelNotify returns.
+func (l *LookupService) CancelNotify(notificationID uint64) {
+	l.mu.Lock()
+	n, ok := l.notifs[notificationID]
+	if ok {
+		delete(l.notifs, notificationID)
+		delete(l.byNLease, notificationID)
+		close(n.queue) // under l.mu: serialized against notifyLocked sends
+	}
+	l.mu.Unlock()
+	if ok {
+		_ = l.eventLeases.Cancel(notificationID)
+		<-n.done
+	}
+}
+
+// RenewItemLease renews a registration lease by id — the hook the remote
+// registrar protocol (package remote) uses, since lease.Lease handles do
+// not cross process boundaries.
+func (l *LookupService) RenewItemLease(leaseID uint64, d time.Duration) (time.Time, error) {
+	return l.itemLeases.Renew(leaseID, d)
+}
+
+// CancelItemLease cancels a registration lease by id, deregistering the
+// item (remote protocol support).
+func (l *LookupService) CancelItemLease(leaseID uint64) error {
+	l.mu.RLock()
+	id, ok := l.byLease[leaseID]
+	l.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", lease.ErrUnknownLease, leaseID)
+	}
+	return l.Deregister(id)
+}
+
+// SweepNow expires lapsed registration and notification leases immediately.
+// A production deployment pairs the registry with a lease.Janitor; tests
+// drive expiry through the fake clock and call this directly.
+func (l *LookupService) SweepNow() {
+	l.itemLeases.Sweep()
+	l.eventLeases.Sweep()
+}
+
+// Close shuts down the registry and all notification pumps.
+func (l *LookupService) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	notifs := make([]*notification, 0, len(l.notifs))
+	for _, n := range l.notifs {
+		notifs = append(notifs, n)
+		close(n.queue)
+	}
+	l.notifs = map[uint64]*notification{}
+	l.items = map[ids.ServiceID]*record{}
+	l.mu.Unlock()
+	for _, n := range notifs {
+		<-n.done
+	}
+}
+
+func (l *LookupService) onItemLeaseExpired(leaseID uint64) {
+	l.mu.Lock()
+	id, ok := l.byLease[leaseID]
+	if !ok {
+		l.mu.Unlock()
+		return
+	}
+	rec := l.items[id]
+	delete(l.items, id)
+	delete(l.byLease, leaseID)
+	l.indexRemoveLocked(rec.item)
+	l.notifyLocked(&rec.item, nil)
+	l.mu.Unlock()
+}
+
+// indexAddLocked and indexRemoveLocked maintain the by-name index; caller
+// holds l.mu.
+func (l *LookupService) indexAddLocked(item ServiceItem) {
+	name := attr.NameOf(item.Attributes)
+	if name == "" {
+		return
+	}
+	set, ok := l.byName[name]
+	if !ok {
+		set = make(map[ids.ServiceID]bool, 1)
+		l.byName[name] = set
+	}
+	set[item.ID] = true
+}
+
+func (l *LookupService) indexRemoveLocked(item ServiceItem) {
+	name := attr.NameOf(item.Attributes)
+	if name == "" {
+		return
+	}
+	if set, ok := l.byName[name]; ok {
+		delete(set, item.ID)
+		if len(set) == 0 {
+			delete(l.byName, name)
+		}
+	}
+}
+
+// templateName extracts a concrete Name constraint from a template, if the
+// template pins one.
+func templateName(tmpl Template) (string, bool) {
+	for _, e := range tmpl.Attributes {
+		if e.Type != attr.TypeName {
+			continue
+		}
+		if v, ok := e.Get("name"); ok {
+			if s, ok := v.(string); ok && s != "" {
+				return s, true
+			}
+		}
+	}
+	return "", false
+}
+
+func (l *LookupService) onEventLeaseExpired(leaseID uint64) {
+	l.mu.Lock()
+	nid, ok := l.byNLease[leaseID]
+	var n *notification
+	if ok {
+		n = l.notifs[nid]
+		delete(l.notifs, nid)
+		delete(l.byNLease, leaseID)
+		close(n.queue)
+	}
+	l.mu.Unlock()
+	if n != nil {
+		<-n.done
+	}
+}
+
+// notifyLocked computes the events implied by an item changing from prev to
+// cur (either may be nil for appear/disappear) and enqueues them onto the
+// per-notification pumps. Sends are non-blocking: events are dropped if a
+// listener's queue is full, because a slow consumer must not stall the
+// registry (Jini's remote events are similarly best-effort). Caller holds
+// l.mu, which also serializes sends against queue closure.
+func (l *LookupService) notifyLocked(prev, cur *ServiceItem) {
+	for _, n := range l.notifs {
+		before := prev != nil && n.template.Matches(*prev)
+		after := cur != nil && n.template.Matches(*cur)
+		var transition int
+		var snapshot ServiceItem
+		switch {
+		case !before && after:
+			transition = TransitionNoMatchMatch
+			snapshot = cur.Clone()
+		case before && !after:
+			transition = TransitionMatchNoMatch
+			snapshot = prev.Clone()
+		case before && after:
+			transition = TransitionMatchMatch
+			snapshot = cur.Clone()
+		default:
+			continue
+		}
+		if n.transitions&transition == 0 {
+			continue
+		}
+		ev := Event{
+			Registrar:  l.id,
+			SeqNo:      n.seq.Next(),
+			Transition: transition,
+			Item:       snapshot,
+		}
+		select {
+		case n.queue <- ev:
+		default:
+		}
+	}
+}
+
+func (n *notification) pump() {
+	defer close(n.done)
+	for ev := range n.queue {
+		n.listener(ev)
+	}
+}

@@ -1,0 +1,360 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sensorcer/internal/attr"
+	"sensorcer/internal/ids"
+	"sensorcer/internal/lease"
+	"sensorcer/internal/registry"
+	"sensorcer/internal/srpc"
+)
+
+// The registrar protocol lets a provider process register services in a
+// lookup service running elsewhere, renew/cancel the registration leases,
+// and let consumer processes run template lookups. Remote proxies cross
+// the wire as ProxyDescs and are materialized into AccessorClients on the
+// consumer side. Event notifications (Registrar.Notify) are intentionally
+// not exposed remotely: remote consumers poll Lookup instead, exactly as
+// the sensor browser does.
+
+type wireItem struct {
+	ID         ids.ServiceID `json:"id"`
+	Types      []string      `json:"types"`
+	Attributes attr.Set      `json:"attributes"`
+	Proxy      *ProxyDesc    `json:"proxy,omitempty"`
+}
+
+type registerParams struct {
+	Item     wireItem `json:"item"`
+	LeaseSec float64  `json:"leaseSec"`
+}
+
+type registerResult struct {
+	ServiceID  ids.ServiceID `json:"serviceId"`
+	LeaseID    uint64        `json:"leaseId"`
+	Expiration time.Time     `json:"expiration"`
+}
+
+type leaseParams struct {
+	LeaseID  uint64  `json:"leaseId"`
+	LeaseSec float64 `json:"leaseSec"`
+}
+
+type lookupParams struct {
+	ID         ids.ServiceID `json:"id"`
+	Types      []string      `json:"types"`
+	Attributes attr.Set      `json:"attributes"`
+	Max        int           `json:"max"`
+}
+
+type idParams struct {
+	ID ids.ServiceID `json:"id"`
+}
+
+type modifyParams struct {
+	ID         ids.ServiceID `json:"id"`
+	Attributes attr.Set      `json:"attributes"`
+}
+
+type infoResult struct {
+	ID   ids.ServiceID `json:"id"`
+	Name string        `json:"name"`
+}
+
+// remoteProxyHolder wraps a ProxyDesc registered by a remote provider so
+// that local lookups can also materialize a stub lazily.
+type remoteProxyHolder struct {
+	desc ProxyDesc
+
+	mu     sync.Mutex
+	client *AccessorClient
+}
+
+// Accessor materializes (and caches) a stub for the held descriptor.
+func (h *remoteProxyHolder) Accessor(timeout time.Duration) (*AccessorClient, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.client != nil {
+		return h.client, nil
+	}
+	c, err := NewAccessorClient(h.desc, timeout)
+	if err != nil {
+		return nil, err
+	}
+	h.client = c
+	return c, nil
+}
+
+// Describer is implemented by local services that know their own remote
+// proxy descriptor, so they can be served to remote lookups.
+type Describer interface {
+	ProxyDesc() ProxyDesc
+}
+
+// ServeRegistrar exports a lookup service over srpc. Remote registrations
+// carry proxy descriptors; locally registered services are exported to
+// remote lookups only if their proxy implements Describer.
+func ServeRegistrar(server *srpc.Server, lus registry.Registrar) {
+	srpc.HandleFunc(server, "registrar.info", func(struct{}) (any, error) {
+		return infoResult{ID: lus.ID(), Name: lus.Name()}, nil
+	})
+	srpc.HandleFunc(server, "registrar.register", func(p registerParams) (any, error) {
+		if p.Item.Proxy == nil {
+			return nil, errors.New("remote: registration without proxy descriptor")
+		}
+		item := registry.ServiceItem{
+			ID:         p.Item.ID,
+			Types:      p.Item.Types,
+			Attributes: p.Item.Attributes,
+			Service:    &remoteProxyHolder{desc: *p.Item.Proxy},
+		}
+		reg, err := lus.Register(item, time.Duration(p.LeaseSec*float64(time.Second)))
+		if err != nil {
+			return nil, err
+		}
+		return registerResult{
+			ServiceID:  reg.ServiceID,
+			LeaseID:    reg.Lease.ID,
+			Expiration: reg.Lease.Expiration,
+		}, nil
+	})
+	srpc.HandleFunc(server, "registrar.renew", func(p leaseParams) (any, error) {
+		// The in-process LUS grants its leases from tables reachable via
+		// the Registration lease's grantor; we reach them through a
+		// renewal shim registered at Register time. For the remote
+		// protocol the grantor is found through the lus itself.
+		g, ok := lus.(leaseGrantorSource)
+		if !ok {
+			return nil, errors.New("remote: registrar does not expose lease grantor")
+		}
+		exp, err := g.RenewItemLease(p.LeaseID, time.Duration(p.LeaseSec*float64(time.Second)))
+		if err != nil {
+			return nil, err
+		}
+		return exp, nil
+	})
+	srpc.HandleFunc(server, "registrar.cancel", func(p leaseParams) (any, error) {
+		g, ok := lus.(leaseGrantorSource)
+		if !ok {
+			return nil, errors.New("remote: registrar does not expose lease grantor")
+		}
+		return nil, g.CancelItemLease(p.LeaseID)
+	})
+	srpc.HandleFunc(server, "registrar.lookup", func(p lookupParams) (any, error) {
+		tmpl := registry.Template{ID: p.ID, Types: p.Types, Attributes: p.Attributes}
+		items := lus.Lookup(tmpl, p.Max)
+		out := make([]wireItem, 0, len(items))
+		for _, item := range items {
+			w := wireItem{ID: item.ID, Types: item.Types, Attributes: item.Attributes}
+			switch svc := item.Service.(type) {
+			case *remoteProxyHolder:
+				d := svc.desc
+				w.Proxy = &d
+			case Describer:
+				d := svc.ProxyDesc()
+				w.Proxy = &d
+			}
+			out = append(out, w)
+		}
+		return out, nil
+	})
+	srpc.HandleFunc(server, "registrar.deregister", func(p idParams) (any, error) {
+		return nil, lus.Deregister(p.ID)
+	})
+	srpc.HandleFunc(server, "registrar.modify", func(p modifyParams) (any, error) {
+		return nil, lus.ModifyAttributes(p.ID, p.Attributes)
+	})
+}
+
+// leaseGrantorSource is the extra surface the remote protocol needs from
+// the lookup service to renew item leases by id.
+type leaseGrantorSource interface {
+	RenewItemLease(leaseID uint64, d time.Duration) (time.Time, error)
+	CancelItemLease(leaseID uint64) error
+}
+
+// RegistrarClient is a registry.Registrar stub over srpc.
+type RegistrarClient struct {
+	client  *srpc.Client
+	timeout time.Duration
+
+	mu    sync.Mutex
+	id    ids.ServiceID
+	name  string
+	token string
+}
+
+// NewRegistrarClient dials a remote registrar and fetches its identity.
+func NewRegistrarClient(locator string, timeout time.Duration) (*RegistrarClient, error) {
+	c, err := srpc.Dial(locator, timeout)
+	if err != nil {
+		return nil, err
+	}
+	rc := &RegistrarClient{client: c, timeout: timeout}
+	var info infoResult
+	if err := c.Call("registrar.info", nil, &info); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("remote: fetching registrar identity: %w", err)
+	}
+	rc.id, rc.name = info.ID, info.Name
+	return rc, nil
+}
+
+// ID implements registry.Registrar.
+func (r *RegistrarClient) ID() ids.ServiceID { return r.id }
+
+// Name implements registry.Registrar.
+func (r *RegistrarClient) Name() string { return r.name }
+
+// Register implements registry.Registrar. The item's Service must be a
+// ProxyDesc or a Describer (a locally exported service).
+func (r *RegistrarClient) Register(item registry.ServiceItem, leaseDur time.Duration) (registry.Registration, error) {
+	var desc *ProxyDesc
+	switch svc := item.Service.(type) {
+	case ProxyDesc:
+		desc = &svc
+	case *ProxyDesc:
+		desc = svc
+	case Describer:
+		d := svc.ProxyDesc()
+		desc = &d
+	default:
+		return registry.Registration{}, fmt.Errorf("remote: cannot export %T; register a ProxyDesc", item.Service)
+	}
+	p := registerParams{
+		Item:     wireItem{ID: item.ID, Types: item.Types, Attributes: item.Attributes, Proxy: desc},
+		LeaseSec: leaseDur.Seconds(),
+	}
+	var res registerResult
+	if err := r.client.Call("registrar.register", p, &res); err != nil {
+		return registry.Registration{}, err
+	}
+	return registry.Registration{
+		ServiceID: res.ServiceID,
+		Lease: lease.Lease{
+			ID:         res.LeaseID,
+			Expiration: res.Expiration,
+			Grantor:    &remoteGrantor{client: r.client},
+		},
+	}, nil
+}
+
+// remoteGrantor renews/cancels registration leases over the wire.
+type remoteGrantor struct{ client *srpc.Client }
+
+// Renew implements lease.Grantor.
+func (g *remoteGrantor) Renew(id uint64, requested time.Duration) (time.Time, error) {
+	var exp time.Time
+	err := g.client.Call("registrar.renew", leaseParams{LeaseID: id, LeaseSec: requested.Seconds()}, &exp)
+	return exp, err
+}
+
+// Cancel implements lease.Grantor.
+func (g *remoteGrantor) Cancel(id uint64) error {
+	return g.client.Call("registrar.cancel", leaseParams{LeaseID: id}, nil)
+}
+
+// Deregister implements registry.Registrar.
+func (r *RegistrarClient) Deregister(id ids.ServiceID) error {
+	return r.client.Call("registrar.deregister", idParams{ID: id}, nil)
+}
+
+// ModifyAttributes implements registry.Registrar.
+func (r *RegistrarClient) ModifyAttributes(id ids.ServiceID, attrs attr.Set) error {
+	return r.client.Call("registrar.modify", modifyParams{ID: id, Attributes: attrs}, nil)
+}
+
+// Lookup implements registry.Registrar, materializing accessor stubs for
+// items that carry proxy descriptors.
+func (r *RegistrarClient) Lookup(tmpl registry.Template, maxMatches int) []registry.ServiceItem {
+	p := lookupParams{ID: tmpl.ID, Types: tmpl.Types, Attributes: tmpl.Attributes, Max: maxMatches}
+	var ws []wireItem
+	if err := r.client.Call("registrar.lookup", p, &ws); err != nil {
+		return nil
+	}
+	token := r.currentToken()
+	out := make([]registry.ServiceItem, 0, len(ws))
+	for _, w := range ws {
+		item := registry.ServiceItem{ID: w.ID, Types: w.Types, Attributes: w.Attributes}
+		if w.Proxy != nil {
+			switch w.Proxy.Kind {
+			case AccessorKind:
+				if acc, err := NewAccessorClient(*w.Proxy, r.timeout); err == nil {
+					if token != "" {
+						acc.SetToken(token)
+					}
+					item.Service = acc
+				}
+			case ServicerKind:
+				if svc, err := NewServicerClient(*w.Proxy, r.timeout); err == nil {
+					if token != "" {
+						svc.SetToken(token)
+					}
+					item.Service = svc
+				}
+			}
+		}
+		out = append(out, item)
+	}
+	return out
+}
+
+// LookupOne implements registry.Registrar.
+func (r *RegistrarClient) LookupOne(tmpl registry.Template) (registry.ServiceItem, error) {
+	items := r.Lookup(tmpl, 1)
+	if len(items) == 0 {
+		return registry.ServiceItem{}, registry.ErrNotFound
+	}
+	return items[0], nil
+}
+
+// Notify is not supported over the remote protocol; consumers poll Lookup.
+func (r *RegistrarClient) Notify(registry.Template, int, registry.Listener, time.Duration) (registry.EventRegistration, error) {
+	return registry.EventRegistration{}, errors.New("remote: Notify is not supported over srpc; poll Lookup")
+}
+
+// CancelNotify is a no-op (see Notify).
+func (r *RegistrarClient) CancelNotify(uint64) {}
+
+// Close releases the connection.
+func (r *RegistrarClient) Close() { r.client.Close() }
+
+var _ registry.Registrar = (*RegistrarClient)(nil)
+
+// SetToken attaches a shared secret to this registrar connection and to
+// every accessor/servicer stub later materialized by Lookup, for
+// deployments whose srpc servers require authentication.
+func (r *RegistrarClient) SetToken(token string) {
+	r.mu.Lock()
+	r.token = token
+	r.mu.Unlock()
+	r.client.SetToken(token)
+}
+
+func (r *RegistrarClient) currentToken() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.token
+}
+
+// NewRegistrarClientWithToken dials a remote registrar whose server
+// requires the shared secret.
+func NewRegistrarClientWithToken(locator, token string, timeout time.Duration) (*RegistrarClient, error) {
+	c, err := srpc.Dial(locator, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c.SetToken(token)
+	rc := &RegistrarClient{client: c, timeout: timeout, token: token}
+	var info infoResult
+	if err := c.Call("registrar.info", nil, &info); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("remote: fetching registrar identity: %w", err)
+	}
+	rc.id, rc.name = info.ID, info.Name
+	return rc, nil
+}

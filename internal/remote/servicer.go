@@ -1,0 +1,125 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sensorcer/internal/sorcer"
+	"sensorcer/internal/srpc"
+	"sensorcer/internal/txn"
+)
+
+// ServicerKind is the ProxyDesc kind for exertion-capable peers: with it,
+// federated method invocation crosses process boundaries — a remote
+// provider serves tasks exactly as an in-process one does.
+const ServicerKind = "servicer"
+
+// wireTask is the JSON form of an elementary exertion: its signature and
+// a flat service context. Context values must be JSON-representable
+// (numbers, strings, booleans, lists); richer values stay in-process.
+type wireTask struct {
+	Name         string         `json:"name"`
+	ServiceType  string         `json:"serviceType"`
+	Selector     string         `json:"selector"`
+	ProviderName string         `json:"providerName,omitempty"`
+	Context      map[string]any `json:"context,omitempty"`
+}
+
+// wireTaskResult carries the post-execution context back.
+type wireTaskResult struct {
+	Context map[string]any `json:"context,omitempty"`
+}
+
+func contextToWire(ctx *sorcer.Context) map[string]any {
+	out := make(map[string]any, ctx.Len())
+	for _, p := range ctx.Paths() {
+		v, _ := ctx.Get(p)
+		out[p] = v
+	}
+	return out
+}
+
+// ServeServicer exports a Servicer on the srpc server under the service
+// name, returning its proxy descriptor. Remote transactions are not
+// supported: tasks arriving over the wire run transaction-free.
+func ServeServicer(server *srpc.Server, serviceName string, svc sorcer.Servicer) ProxyDesc {
+	srpc.HandleFunc(server, "servicer.service."+serviceName, func(p wireTask) (any, error) {
+		sig := sorcer.Signature{
+			ServiceType:  p.ServiceType,
+			Selector:     p.Selector,
+			ProviderName: p.ProviderName,
+		}
+		ctx := sorcer.NewContext()
+		for k, v := range p.Context {
+			ctx.Put(k, v)
+		}
+		task := sorcer.NewTask(p.Name, sig, ctx)
+		res, err := svc.Service(task, nil)
+		if err != nil {
+			return nil, err
+		}
+		return wireTaskResult{Context: contextToWire(res.Context())}, nil
+	})
+	return ProxyDesc{Kind: ServicerKind, Locator: server.Addr(), Service: serviceName}
+}
+
+// ServicerClient is a sorcer.Servicer stub over srpc.
+type ServicerClient struct {
+	desc   ProxyDesc
+	client *srpc.Client
+}
+
+// NewServicerClient materializes a stub from a servicer proxy descriptor.
+func NewServicerClient(desc ProxyDesc, timeout time.Duration) (*ServicerClient, error) {
+	if desc.Kind != ServicerKind {
+		return nil, fmt.Errorf("remote: descriptor kind %q is not a servicer", desc.Kind)
+	}
+	client, err := srpc.Dial(desc.Locator, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dialing %s: %w", desc.Locator, err)
+	}
+	return &ServicerClient{desc: desc, client: client}, nil
+}
+
+// Service implements sorcer.Servicer for elementary exertions. The task's
+// context travels both ways; the remote execution result is merged back
+// into the local task.
+func (s *ServicerClient) Service(ex sorcer.Exertion, tx *txn.Transaction) (sorcer.Exertion, error) {
+	task, ok := ex.(*sorcer.Task)
+	if !ok {
+		return ex, fmt.Errorf("remote: only tasks cross process boundaries, got %T", ex)
+	}
+	if tx != nil {
+		err := errors.New("remote: transactions are not supported across srpc")
+		sorcer.FinishTask(task, nil, err)
+		return task, err
+	}
+	sig := task.Signature()
+	req := wireTask{
+		Name:         task.Name(),
+		ServiceType:  sig.ServiceType,
+		Selector:     sig.Selector,
+		ProviderName: sig.ProviderName,
+		Context:      contextToWire(task.Context()),
+	}
+	var res wireTaskResult
+	if err := s.client.Call("servicer.service."+s.desc.Service, req, &res); err != nil {
+		sorcer.FinishTask(task, nil, err)
+		return task, err
+	}
+	ctx := task.Context()
+	for k, v := range res.Context {
+		ctx.Put(k, v)
+	}
+	sorcer.FinishTask(task, ctx, nil)
+	return task, nil
+}
+
+// Close releases the stub's connection.
+func (s *ServicerClient) Close() { s.client.Close() }
+
+var _ sorcer.Servicer = (*ServicerClient)(nil)
+
+// SetToken attaches a shared secret to the stub's connection.
+func (s *ServicerClient) SetToken(token string) { s.client.SetToken(token) }

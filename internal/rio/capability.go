@@ -1,0 +1,81 @@
+// Package rio reimplements the Rio provisioning framework the paper layers
+// SenSORCER on (§IV-C): compute resources (cybernodes) advertise
+// capabilities and accept dynamically instantiated service beans; a
+// provision monitor holds deployment descriptors (OperationalStrings) and
+// keeps the planned number of service instances running, matching QoS
+// requirements to capable cybernodes, and re-provisioning instances whose
+// cybernode fails — the fault-tolerance behaviour the paper demonstrates by
+// provisioning "New-Composite" onto an available cybernode (§VI step 3).
+package rio
+
+import "fmt"
+
+// Capability describes a cybernode's platform resources.
+type Capability struct {
+	// CPUs is the number of processors; it doubles as the node's
+	// service capacity (utilization denominator).
+	CPUs int
+	// MemoryMB is the available memory.
+	MemoryMB int
+	// Arch names the platform ("amd64", "arm", ...).
+	Arch string
+	// Labels carry operator-assigned placement hints, e.g.
+	// {"zone": "field-7", "tier": "edge"}.
+	Labels map[string]string
+}
+
+// Clone deep-copies the capability.
+func (c Capability) Clone() Capability {
+	out := c
+	if c.Labels != nil {
+		out.Labels = make(map[string]string, len(c.Labels))
+		for k, v := range c.Labels {
+			out.Labels[k] = v
+		}
+	}
+	return out
+}
+
+// QoS states a service element's placement requirements — the
+// "operational parameters" of a Rio OperationalString.
+type QoS struct {
+	// MinCPUs and MinMemoryMB are capability floors (0 = don't care).
+	MinCPUs   int
+	MinMemory int
+	// Arch restricts the platform ("" = any).
+	Arch string
+	// Labels must all be present with equal values on the node.
+	Labels map[string]string
+	// MaxUtilization rejects nodes at or above this load fraction;
+	// 0 means "no constraint".
+	MaxUtilization float64
+}
+
+// Admits reports whether a node with the given capability and current
+// utilization satisfies the QoS.
+func (q QoS) Admits(c Capability, utilization float64) bool {
+	if q.MinCPUs > 0 && c.CPUs < q.MinCPUs {
+		return false
+	}
+	if q.MinMemory > 0 && c.MemoryMB < q.MinMemory {
+		return false
+	}
+	if q.Arch != "" && q.Arch != c.Arch {
+		return false
+	}
+	for k, v := range q.Labels {
+		if c.Labels[k] != v {
+			return false
+		}
+	}
+	if q.MaxUtilization > 0 && utilization >= q.MaxUtilization {
+		return false
+	}
+	return true
+}
+
+// String renders the QoS compactly for status output.
+func (q QoS) String() string {
+	return fmt.Sprintf("QoS{cpus>=%d mem>=%d arch=%q labels=%v maxUtil=%.2f}",
+		q.MinCPUs, q.MinMemory, q.Arch, q.Labels, q.MaxUtilization)
+}

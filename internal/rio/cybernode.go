@@ -1,0 +1,222 @@
+package rio
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sensorcer/internal/ids"
+)
+
+// Bean is a dynamically instantiated service component — Rio's "service
+// bean". Start is called on the hosting cybernode; Stop tears the service
+// down (deregistration, goroutine shutdown).
+type Bean interface {
+	Start(node *Cybernode) error
+	Stop() error
+}
+
+// BeanFactory creates a bean instance from a service element's
+// configuration. Factories are registered per service type name.
+type BeanFactory func(elem ServiceElement) (Bean, error)
+
+// FactoryRegistry maps service type names to factories. It is shared by
+// all cybernodes of a deployment so any capable node can instantiate any
+// element.
+type FactoryRegistry struct {
+	mu        sync.RWMutex
+	factories map[string]BeanFactory
+}
+
+// NewFactoryRegistry creates an empty registry.
+func NewFactoryRegistry() *FactoryRegistry {
+	return &FactoryRegistry{factories: make(map[string]BeanFactory)}
+}
+
+// Register installs a factory for the service type name, replacing any
+// previous one.
+func (r *FactoryRegistry) Register(serviceType string, f BeanFactory) {
+	r.mu.Lock()
+	r.factories[serviceType] = f
+	r.mu.Unlock()
+}
+
+// Lookup returns the factory for a type name.
+func (r *FactoryRegistry) Lookup(serviceType string) (BeanFactory, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.factories[serviceType]
+	return f, ok
+}
+
+// Errors returned by cybernode operations.
+var (
+	ErrNodeDead       = errors.New("rio: cybernode is dead")
+	ErrUnknownType    = errors.New("rio: no factory for service type")
+	ErrUnknownService = errors.New("rio: unknown service instance")
+)
+
+// Deployed is one service instance running on a cybernode.
+type Deployed struct {
+	ID      ids.ServiceID
+	Element ServiceElement
+	Node    *Cybernode
+	Bean    Bean
+}
+
+// Cybernode is a compute resource that can host dynamically provisioned
+// service beans — the "cybernode" of the paper's Fig. 2 (two appear in the
+// service list). Each deployed element consumes Cost capacity units out of
+// the node's CPU count.
+type Cybernode struct {
+	id        ids.ServiceID
+	name      string
+	cap       Capability
+	factories *FactoryRegistry
+
+	mu       sync.Mutex
+	deployed map[ids.ServiceID]*Deployed
+	load     float64
+	dead     bool
+	// onDeath callbacks let the monitor react to Kill() promptly; lease
+	// expiry covers silent crashes.
+	onDeath []func(*Cybernode)
+}
+
+// NewCybernode creates a compute node with the capability, drawing bean
+// factories from the shared registry.
+func NewCybernode(name string, cap Capability, factories *FactoryRegistry) *Cybernode {
+	if cap.CPUs <= 0 {
+		cap.CPUs = 1
+	}
+	return &Cybernode{
+		id:        ids.NewServiceID(),
+		name:      name,
+		cap:       cap.Clone(),
+		factories: factories,
+		deployed:  make(map[ids.ServiceID]*Deployed),
+	}
+}
+
+// ID returns the node identity.
+func (c *Cybernode) ID() ids.ServiceID { return c.id }
+
+// Name returns the administrative name ("Cybernode" in Fig. 2).
+func (c *Cybernode) Name() string { return c.name }
+
+// Capability returns the node's platform description.
+func (c *Cybernode) Capability() Capability { return c.cap.Clone() }
+
+// Utilization reports consumed capacity as a fraction of CPU count.
+func (c *Cybernode) Utilization() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.load / float64(c.cap.CPUs)
+}
+
+// Alive reports whether the node is serving.
+func (c *Cybernode) Alive() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.dead
+}
+
+// Services snapshots the deployed instances.
+func (c *Cybernode) Services() []*Deployed {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Deployed, 0, len(c.deployed))
+	for _, d := range c.deployed {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Instantiate creates and starts a bean for the element on this node.
+func (c *Cybernode) Instantiate(elem ServiceElement) (*Deployed, error) {
+	factory, ok := c.factories.Lookup(elem.Type)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownType, elem.Type)
+	}
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return nil, ErrNodeDead
+	}
+	c.mu.Unlock()
+
+	bean, err := factory(elem)
+	if err != nil {
+		return nil, fmt.Errorf("rio: factory %q: %w", elem.Type, err)
+	}
+	if err := bean.Start(c); err != nil {
+		return nil, fmt.Errorf("rio: starting %q: %w", elem.Name, err)
+	}
+	d := &Deployed{ID: ids.NewServiceID(), Element: elem, Node: c, Bean: bean}
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		_ = bean.Stop()
+		return nil, ErrNodeDead
+	}
+	c.deployed[d.ID] = d
+	c.load += elem.cost()
+	c.mu.Unlock()
+	return d, nil
+}
+
+// Terminate stops one deployed instance (planned undeployment).
+func (c *Cybernode) Terminate(id ids.ServiceID) error {
+	c.mu.Lock()
+	d, ok := c.deployed[id]
+	if ok {
+		delete(c.deployed, id)
+		c.load -= d.Element.cost()
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownService, id.Short())
+	}
+	return d.Bean.Stop()
+}
+
+// OnDeath registers a callback invoked once if the node is killed.
+func (c *Cybernode) OnDeath(fn func(*Cybernode)) {
+	c.mu.Lock()
+	dead := c.dead
+	if !dead {
+		c.onDeath = append(c.onDeath, fn)
+	}
+	c.mu.Unlock()
+	if dead {
+		fn(c)
+	}
+}
+
+// Kill simulates a node crash: every hosted bean dies with it and death
+// callbacks fire. Lease-based failure detection covers the case where no
+// callback is attached (silent network partition).
+func (c *Cybernode) Kill() {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return
+	}
+	c.dead = true
+	beans := make([]Bean, 0, len(c.deployed))
+	for _, d := range c.deployed {
+		beans = append(beans, d.Bean)
+	}
+	c.deployed = map[ids.ServiceID]*Deployed{}
+	c.load = 0
+	cbs := c.onDeath
+	c.onDeath = nil
+	c.mu.Unlock()
+
+	for _, b := range beans {
+		_ = b.Stop()
+	}
+	for _, fn := range cbs {
+		fn(c)
+	}
+}

@@ -1,0 +1,73 @@
+package rio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ServiceElement is one service requirement inside an OperationalString:
+// what to run (Type resolves a BeanFactory), how many (Planned), where
+// (QoS), and with what configuration.
+type ServiceElement struct {
+	// Name is the instance base name, e.g. "New-Composite".
+	Name string
+	// Type selects the bean factory, e.g. "sensorcer/composite".
+	Type string
+	// Planned is the desired instance count (default 1).
+	Planned int
+	// QoS constrains placement.
+	QoS QoS
+	// Cost is the capacity each instance consumes on its node
+	// (default 1.0).
+	Cost float64
+	// Config is passed to the bean factory.
+	Config map[string]any
+}
+
+func (e ServiceElement) cost() float64 {
+	if e.Cost <= 0 {
+		return 1
+	}
+	return e.Cost
+}
+
+// planned returns the effective instance count. Deploy normalizes zero to
+// one, so after deployment this is exact; a negative value (never stored)
+// reads as zero for safety.
+func (e ServiceElement) planned() int {
+	if e.Planned < 0 {
+		return 0
+	}
+	return e.Planned
+}
+
+// OpString is a deployment descriptor — Rio's OperationalString: a named
+// set of service elements the monitor keeps running.
+type OpString struct {
+	Name     string
+	Elements []ServiceElement
+}
+
+// Validate checks the descriptor is well-formed.
+func (o OpString) Validate() error {
+	if o.Name == "" {
+		return errors.New("rio: opstring needs a name")
+	}
+	if len(o.Elements) == 0 {
+		return fmt.Errorf("rio: opstring %q has no elements", o.Name)
+	}
+	seen := map[string]bool{}
+	for i, e := range o.Elements {
+		if e.Name == "" {
+			return fmt.Errorf("rio: opstring %q element %d has no name", o.Name, i)
+		}
+		if e.Type == "" {
+			return fmt.Errorf("rio: opstring %q element %q has no type", o.Name, e.Name)
+		}
+		if seen[e.Name] {
+			return fmt.Errorf("rio: opstring %q has duplicate element %q", o.Name, e.Name)
+		}
+		seen[e.Name] = true
+	}
+	return nil
+}

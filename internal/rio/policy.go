@@ -1,0 +1,70 @@
+package rio
+
+import "sync"
+
+// SelectionPolicy picks a cybernode for a service element from the
+// QoS-admissible candidates. Rio calls this "pluggable load distribution"
+// (§IV-C of the paper); three policies ship and DESIGN.md benchmarks them
+// as an ablation.
+type SelectionPolicy interface {
+	// Select returns one of the candidates (never an element outside the
+	// slice) or nil to decline. Candidates are all alive and QoS-valid.
+	Select(candidates []*Cybernode, elem ServiceElement) *Cybernode
+}
+
+// LeastLoaded picks the candidate with the lowest utilization — the
+// paper's "allocating the sensor service to the best compute resource".
+type LeastLoaded struct{}
+
+// Select implements SelectionPolicy.
+func (LeastLoaded) Select(candidates []*Cybernode, _ ServiceElement) *Cybernode {
+	var best *Cybernode
+	bestU := 0.0
+	for _, c := range candidates {
+		u := c.Utilization()
+		if best == nil || u < bestU {
+			best, bestU = c, u
+		}
+	}
+	return best
+}
+
+// RoundRobin cycles through candidates in arrival order.
+type RoundRobin struct {
+	mu   sync.Mutex
+	next int
+}
+
+// Select implements SelectionPolicy.
+func (r *RoundRobin) Select(candidates []*Cybernode, _ ServiceElement) *Cybernode {
+	if len(candidates) == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := candidates[r.next%len(candidates)]
+	r.next++
+	return c
+}
+
+// BestFit scores candidates by how tightly their capability matches the
+// element's QoS floors, preferring the smallest node that satisfies the
+// requirement — leaving big nodes free for demanding elements.
+type BestFit struct{}
+
+// Select implements SelectionPolicy.
+func (BestFit) Select(candidates []*Cybernode, elem ServiceElement) *Cybernode {
+	var best *Cybernode
+	bestScore := 0.0
+	for _, c := range candidates {
+		cap := c.Capability()
+		// Slack above the requirement; smaller slack = tighter fit.
+		cpuSlack := float64(cap.CPUs - elem.QoS.MinCPUs)
+		memSlack := float64(cap.MemoryMB-elem.QoS.MinMemory) / 1024.0
+		score := cpuSlack + memSlack + c.Utilization()
+		if best == nil || score < bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return best
+}

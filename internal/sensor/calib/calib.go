@@ -1,0 +1,106 @@
+// Package calib provides data calibration for sensor probes. The paper
+// lists calibration among the device-specific concerns a probe hides from
+// the framework (§V-B: "communication with any sensor has many aspects
+// like synchronization, timing constraints, communication protocol, data
+// calibration"). Calibrations compose into chains applied to each raw
+// sample before it leaves the probe.
+package calib
+
+import "math"
+
+// Calibration transforms one raw sample.
+type Calibration interface {
+	Apply(raw float64) float64
+}
+
+// Chain applies calibrations in order. A nil or empty chain is identity.
+type Chain []Calibration
+
+// Apply implements Calibration over the whole chain.
+func (c Chain) Apply(raw float64) float64 {
+	v := raw
+	for _, step := range c {
+		v = step.Apply(v)
+	}
+	return v
+}
+
+// Linear applies gain and offset: v' = Gain*v + Offset. Gain 0 is treated
+// as the common default 1.
+type Linear struct {
+	Gain   float64
+	Offset float64
+}
+
+// Apply implements Calibration.
+func (l Linear) Apply(raw float64) float64 {
+	gain := l.Gain
+	if gain == 0 {
+		gain = 1
+	}
+	return gain*raw + l.Offset
+}
+
+// Polynomial evaluates sum(Coeffs[i] * v^i) — arbitrary-order correction
+// curves from lab characterization.
+type Polynomial struct {
+	// Coeffs are ordered from the constant term upward.
+	Coeffs []float64
+}
+
+// Apply implements Calibration (Horner's method).
+func (p Polynomial) Apply(raw float64) float64 {
+	if len(p.Coeffs) == 0 {
+		return raw
+	}
+	v := 0.0
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		v = v*raw + p.Coeffs[i]
+	}
+	return v
+}
+
+// Clamp bounds values to [Lo, Hi] — physical plausibility limits.
+type Clamp struct {
+	Lo, Hi float64
+}
+
+// Apply implements Calibration.
+func (c Clamp) Apply(raw float64) float64 {
+	return math.Max(c.Lo, math.Min(c.Hi, raw))
+}
+
+// MovingAverage smooths the last Window samples (stateful; one probe per
+// instance). Window <= 1 is identity.
+type MovingAverage struct {
+	Window int
+
+	buf []float64
+	sum float64
+	pos int
+	n   int
+}
+
+// NewMovingAverage creates a smoother over window samples.
+func NewMovingAverage(window int) *MovingAverage {
+	return &MovingAverage{Window: window}
+}
+
+// Apply implements Calibration.
+func (m *MovingAverage) Apply(raw float64) float64 {
+	if m.Window <= 1 {
+		return raw
+	}
+	if m.buf == nil {
+		m.buf = make([]float64, m.Window)
+	}
+	if m.n < m.Window {
+		m.n++
+	} else {
+		m.sum -= m.buf[m.pos]
+	}
+	m.buf[m.pos] = raw
+	m.sum += raw
+	m.pos = (m.pos + 1) % m.Window
+	return m.sum / float64(m.n)
+}

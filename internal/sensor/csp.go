@@ -1,0 +1,351 @@
+package sensor
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sensorcer/internal/attr"
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/discovery"
+	"sensorcer/internal/expr"
+	"sensorcer/internal/ids"
+	"sensorcer/internal/sensor/probe"
+	"sensorcer/internal/sorcer"
+	"sensorcer/internal/txn"
+)
+
+// ErrNoChildren is returned when reading an empty composite.
+var ErrNoChildren = errors.New("sensor: composite has no component services")
+
+// HistoryWindow is how many recent readings a "<var>_hist" expression
+// variable carries.
+const HistoryWindow = 16
+
+// ErrChildTimeout is returned when a component read exceeds the deadline.
+var ErrChildTimeout = errors.New("sensor: component read timed out")
+
+// CSP is the Composite Sensor Provider (§V-B): it composes ESPs and other
+// CSPs, collects their values, binds them to runtime variables (a, b, c,
+// ... in composition order — §VI: "the variables that are used in the
+// expression are created dynamically, as the services are added"), and
+// evaluates its compute-expression over them. Because a CSP is itself a
+// DataAccessor, composites nest: "CSP's ability to contain other CSPs
+// makes logical sensor networking possible", which is exactly Fig. 3's
+// two-level network.
+type CSP struct {
+	id    ids.ServiceID
+	name  string
+	clock clockwork.Clock
+	store *RingStore
+
+	// timeout bounds each composite read (all children in parallel).
+	timeout time.Duration
+	// sequential forces one-at-a-time child reads (ablation benchmark).
+	sequential bool
+	// cacheTTL serves repeated reads from the last computed value while
+	// it is younger than the TTL (0 = recompute every read).
+	cacheTTL time.Duration
+
+	mu       sync.Mutex
+	children []childBinding
+	program  *expr.Program
+}
+
+type childBinding struct {
+	varName  string
+	accessor DataAccessor
+}
+
+// ChildInfo reports one composed service ("Contained Services" panel of
+// Fig. 2).
+type ChildInfo struct {
+	Var  string
+	Name string
+}
+
+// CSPOption configures a CSP.
+type CSPOption func(*CSP)
+
+// WithReadTimeout bounds composite reads (default 5s).
+func WithReadTimeout(d time.Duration) CSPOption {
+	return func(c *CSP) { c.timeout = d }
+}
+
+// WithSequentialReads disables parallel child evaluation.
+func WithSequentialReads() CSPOption {
+	return func(c *CSP) { c.sequential = true }
+}
+
+// WithCSPClock injects a clock.
+func WithCSPClock(clock clockwork.Clock) CSPOption {
+	return func(c *CSP) { c.clock = clock }
+}
+
+// WithCacheTTL serves repeated reads from the last computed value while it
+// is younger than ttl — trading freshness for fan-out cost when many
+// requestors share one composite.
+func WithCacheTTL(ttl time.Duration) CSPOption {
+	return func(c *CSP) { c.cacheTTL = ttl }
+}
+
+// NewCSP creates an empty composite sensor provider.
+func NewCSP(name string, opts ...CSPOption) *CSP {
+	c := &CSP{
+		id:      ids.NewServiceID(),
+		name:    name,
+		clock:   clockwork.Real(),
+		store:   NewRingStore(64),
+		timeout: 5 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// ID returns the service identity.
+func (c *CSP) ID() ids.ServiceID { return c.id }
+
+// SensorName implements DataAccessor.
+func (c *CSP) SensorName() string { return c.name }
+
+// varName yields the i-th runtime variable name: a..z, then v26, v27...
+func varName(i int) string {
+	if i < 26 {
+		return string(rune('a' + i))
+	}
+	return "v" + strconv.Itoa(i)
+}
+
+// AddChild composes another sensor service, returning the variable name
+// bound to it.
+func (c *CSP) AddChild(acc DataAccessor) (string, error) {
+	if acc == nil {
+		return "", errors.New("sensor: nil component service")
+	}
+	if acc == DataAccessor(c) {
+		return "", errors.New("sensor: composite cannot contain itself")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ch := range c.children {
+		if ch.accessor.SensorName() == acc.SensorName() {
+			return "", fmt.Errorf("sensor: %q already composed in %q", acc.SensorName(), c.name)
+		}
+	}
+	v := varName(len(c.children))
+	c.children = append(c.children, childBinding{varName: v, accessor: acc})
+	return v, nil
+}
+
+// RemoveChild removes a composed service by sensor name. Remaining
+// children are re-bound to a, b, c... in their surviving order.
+func (c *CSP) RemoveChild(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, ch := range c.children {
+		if ch.accessor.SensorName() == name {
+			c.children = append(c.children[:i], c.children[i+1:]...)
+			for j := range c.children {
+				c.children[j].varName = varName(j)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("sensor: %q not composed in %q", name, c.name)
+}
+
+// Children lists the composed services in variable order.
+func (c *CSP) Children() []ChildInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ChildInfo, len(c.children))
+	for i, ch := range c.children {
+		out[i] = ChildInfo{Var: ch.varName, Name: ch.accessor.SensorName()}
+	}
+	return out
+}
+
+// SetExpression compiles and installs the compute-expression. An empty
+// source restores the default (average of all components).
+func (c *CSP) SetExpression(source string) error {
+	if source == "" {
+		c.mu.Lock()
+		c.program = nil
+		c.mu.Unlock()
+		return nil
+	}
+	p, err := expr.Compile(source)
+	if err != nil {
+		return fmt.Errorf("sensor: expression for %q: %w", c.name, err)
+	}
+	c.mu.Lock()
+	c.program = p
+	c.mu.Unlock()
+	return nil
+}
+
+// Expression returns the current expression source ("" = default average).
+func (c *CSP) Expression() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.program == nil {
+		return ""
+	}
+	return c.program.Source()
+}
+
+// childValue is one component read result.
+type childValue struct {
+	idx     int
+	reading probe.Reading
+	err     error
+}
+
+// GetValue implements DataAccessor: read every component (in parallel
+// unless configured otherwise), bind variables, evaluate the expression.
+func (c *CSP) GetValue() (probe.Reading, error) {
+	if c.cacheTTL > 0 {
+		if cached, ok := c.store.Latest(); ok && c.clock.Now().Sub(cached.Timestamp) < c.cacheTTL {
+			return cached, nil
+		}
+	}
+	c.mu.Lock()
+	children := append([]childBinding{}, c.children...)
+	program := c.program
+	c.mu.Unlock()
+	if len(children) == 0 {
+		return probe.Reading{}, fmt.Errorf("%w: %q", ErrNoChildren, c.name)
+	}
+
+	results := make([]childValue, len(children))
+	if c.sequential {
+		for i, ch := range children {
+			r, err := ch.accessor.GetValue()
+			results[i] = childValue{idx: i, reading: r, err: err}
+		}
+	} else {
+		resCh := make(chan childValue, len(children))
+		for i, ch := range children {
+			go func(i int, acc DataAccessor) {
+				r, err := acc.GetValue()
+				resCh <- childValue{idx: i, reading: r, err: err}
+			}(i, ch.accessor)
+		}
+		timer := c.clock.NewTimer(c.timeout)
+		defer timer.Stop()
+		for received := 0; received < len(children); received++ {
+			select {
+			case cv := <-resCh:
+				results[cv.idx] = cv
+			case <-timer.C():
+				return probe.Reading{}, fmt.Errorf("%w after %v in %q", ErrChildTimeout, c.timeout, c.name)
+			}
+		}
+	}
+
+	// Which history variables ("a_hist") does the expression use? Only
+	// those children pay the GetReadings call.
+	histWanted := map[string]bool{}
+	if program != nil {
+		for _, v := range program.Vars() {
+			if strings.HasSuffix(v, "_hist") {
+				histWanted[strings.TrimSuffix(v, "_hist")] = true
+			}
+		}
+	}
+
+	env := expr.Env{}
+	values := make([]float64, len(children))
+	unit, uniformUnit := "", true
+	for i, ch := range children {
+		if results[i].err != nil {
+			return probe.Reading{}, fmt.Errorf("sensor: component %q (%s) of %q: %w",
+				ch.accessor.SensorName(), ch.varName, c.name, results[i].err)
+		}
+		env[ch.varName] = results[i].reading.Value
+		values[i] = results[i].reading.Value
+		if histWanted[ch.varName] {
+			// Bind the child's recent history (oldest first, including
+			// the value just read) as "<var>_hist" — enabling trend and
+			// smoothing expressions like "a - avg(a_hist)".
+			recent := ch.accessor.GetReadings(HistoryWindow)
+			hist := make([]float64, len(recent))
+			for j, r := range recent {
+				hist[j] = r.Value
+			}
+			env[ch.varName+"_hist"] = hist
+		}
+		if i == 0 {
+			unit = results[i].reading.Unit
+		} else if unit != results[i].reading.Unit {
+			uniformUnit = false
+		}
+	}
+	env["values"] = values
+
+	var value float64
+	if program == nil {
+		sum := 0.0
+		for _, v := range values {
+			sum += v
+		}
+		value = sum / float64(len(values))
+	} else {
+		v, err := program.EvalNumber(env)
+		if err != nil {
+			return probe.Reading{}, fmt.Errorf("sensor: evaluating %q for %q: %w", program.Source(), c.name, err)
+		}
+		value = v
+	}
+	if !uniformUnit {
+		unit = ""
+	}
+	r := probe.Reading{
+		Sensor:    c.name,
+		Kind:      "composite",
+		Unit:      unit,
+		Value:     value,
+		Timestamp: c.clock.Now(),
+	}
+	c.store.Add(r)
+	return r, nil
+}
+
+// GetReadings implements DataAccessor, returning previously computed
+// composite values.
+func (c *CSP) GetReadings(n int) []probe.Reading {
+	return c.store.LastN(n)
+}
+
+// Describe implements DataAccessor.
+func (c *CSP) Describe() probe.Info {
+	return probe.Info{Name: c.name, Technology: "composite", Kind: "composite", Unit: ""}
+}
+
+// Service implements sorcer.Servicer with the standard sensor selectors.
+func (c *CSP) Service(ex sorcer.Exertion, tx *txn.Transaction) (sorcer.Exertion, error) {
+	return serveAccessor(c, ex, tx)
+}
+
+// Publish joins the CSP to every discovered lookup service with composite
+// attributes, including the expression and composed-service list shown in
+// the paper's browser panel.
+func (c *CSP) Publish(clock clockwork.Clock, mgr *discovery.Manager, extra ...attr.Entry) *discovery.Join {
+	attrs := attr.Set{
+		attr.Name(c.name),
+		attr.ServiceType(CategoryComposite),
+		attr.ServiceInfo("SenSORCER", "CSP", "1.0"),
+	}
+	attrs = append(attrs, extra...)
+	return sorcer.PublishServicer(clock, mgr, c, c.id, c.name, []string{AccessorType}, attrs)
+}
+
+var (
+	_ DataAccessor    = (*CSP)(nil)
+	_ sorcer.Servicer = (*CSP)(nil)
+)

@@ -1,0 +1,196 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/discovery"
+	"sensorcer/internal/registry"
+	"sensorcer/internal/rio"
+	"sensorcer/internal/sensor/probe"
+	"sensorcer/internal/sorcer"
+	"sensorcer/internal/spot"
+)
+
+// TestFig1ComponentWiring asserts the architecture of the paper's Fig. 1
+// component diagram: a sensor probe is the only sensor-dependent
+// component; the ESP consumes it through the DataCollection (Probe)
+// interface; values flow to requestors through SensorDataAccessor; the
+// CSP composes accessors; and the façade reaches everything through the
+// lookup service.
+func TestFig1ComponentWiring(t *testing.T) {
+	fc := clockwork.NewFake(epoch)
+
+	// Layer 1: device + probe (sensor-dependent).
+	device := spot.NewDevice(spot.Config{Name: "Neem", Clock: fc})
+	device.Attach(spot.ConstantModel{Value: 21, UnitName: "celsius", KindName: "temperature"})
+	var p probe.Probe = probe.NewSpotProbe("Neem-Sensor", device, "temperature", nil)
+
+	// Layer 2: ESP consumes only the Probe interface.
+	esp := NewESP("Neem-Sensor", p)
+	defer esp.Close()
+	var acc DataAccessor = esp // uniform interface upward
+
+	// Layer 3: CSP consumes only DataAccessor — it cannot tell an ESP
+	// from a nested CSP, which is the point.
+	csp := NewCSP("Composite-Service")
+	if _, err := csp.AddChild(acc); err != nil {
+		t.Fatal(err)
+	}
+	var compositeAcc DataAccessor = csp
+
+	// Layer 4: façade reaches services only via lookup.
+	bus := discovery.NewBus()
+	lus := registry.New("lus", fc)
+	defer lus.Close()
+	defer bus.Announce(lus)()
+	mgr := discovery.NewManager(bus)
+	defer mgr.Terminate()
+	defer esp.Publish(clockwork.Real(), mgr).Terminate()
+	defer csp.Publish(clockwork.Real(), mgr).Terminate()
+
+	facade := NewFacade("SenSORCER Facade", clockwork.Real(), mgr)
+	reading, err := facade.Network().GetValue("Composite-Service")
+	if err != nil || reading.Value != 21 {
+		t.Fatalf("facade read = %v, %v", reading, err)
+	}
+	_ = compositeAcc
+
+	// Both provider kinds are Servicers (exertion participation).
+	for _, svc := range []sorcer.Servicer{esp, csp} {
+		task := sorcer.NewTask("read", sorcer.Sig(AccessorType, SelGetValue), nil)
+		if _, err := svc.Service(task, nil); err != nil {
+			t.Fatalf("%T not exertable: %v", svc, err)
+		}
+	}
+}
+
+// TestFig3PaperExperiment reproduces §VI steps 1–6 end to end on simulated
+// SPOT hardware, asserting the algebra of the two expressions.
+func TestFig3PaperExperiment(t *testing.T) {
+	fc := clockwork.NewFake(epoch)
+
+	// Deployment of Fig. 2: one LUS, Rio monitor with two cybernodes,
+	// four SPOT temperature sensors as ESPs, one façade.
+	bus := discovery.NewBus()
+	lus := registry.New("persimmon.cs.ttu.edu:4160", fc)
+	defer lus.Close()
+	defer bus.Announce(lus)()
+	mgr := discovery.NewManager(bus)
+	defer mgr.Terminate()
+
+	fleet := spot.NewFleet(4, fc, 2009)
+	values := map[string]float64{}
+	for _, dev := range fleet {
+		name := dev.Name() + "-Sensor"
+		esp := NewESP(name, probe.NewSpotProbe(name, dev, "temperature", nil))
+		defer esp.Close()
+		defer esp.Publish(clockwork.Real(), mgr).Terminate()
+		r, err := esp.GetValue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		values[name] = r.Value
+	}
+
+	facade := NewFacade("SenSORCER Facade", clockwork.Real(), mgr)
+	defer facade.Publish().Terminate()
+	nm := facade.Network()
+
+	factories := rio.NewFactoryRegistry()
+	monitor := rio.NewMonitor(clockwork.Real(), nil)
+	defer monitor.Close()
+	nm.AttachProvisioner(NewProvisioner(monitor, factories, clockwork.Real(), mgr, nm.FindAccessor))
+	for _, name := range []string{"Cybernode-1", "Cybernode-2"} {
+		if _, err := monitor.RegisterCybernode(rio.NewCybernode(name, rio.Capability{CPUs: 4}, factories), time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Step 1: subnet of Neem, Jade, Diamond under Composite-Service.
+	// Step 2: expression "(a + b + c)/3".
+	if _, err := nm.ComposeService("Composite-Service",
+		[]string{"Neem-Sensor", "Jade-Sensor", "Diamond-Sensor"}, "(a + b + c)/3"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 3: provision New-Composite via Rio.
+	// Step 4: compose {Composite-Service, Coral-Sensor}.
+	// Step 5: expression "(a + b)/2".
+	if err := nm.ProvisionComposite("New-Composite",
+		[]string{"Composite-Service", "Coral-Sensor"}, "(a + b)/2", QoSSpec{MinCPUs: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 6: read Sensor Value from the provisioned composite.
+	reading, err := nm.GetValue("New-Composite")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The sensors re-sample on each read, so recompute expected algebra
+	// from fresh reads is not possible; instead verify against the
+	// composite algebra with a generous tolerance derived from the noise
+	// model (AR(1) noise stays well within ±2).
+	subnetMean := (values["Neem-Sensor"] + values["Jade-Sensor"] + values["Diamond-Sensor"]) / 3
+	expected := (subnetMean + values["Coral-Sensor"]) / 2
+	if math.Abs(reading.Value-expected) > 2.5 {
+		t.Fatalf("New-Composite = %v, expected near %v", reading.Value, expected)
+	}
+	if reading.Sensor != "New-Composite" || reading.Unit != "" {
+		// Units: inner composite reports celsius-uniform children but
+		// the outer mixes composite+celsius, so unit is cleared.
+		t.Logf("reading = %+v", reading)
+	}
+
+	// The provisioned service is visible in the service list (Fig. 3
+	// shows New-Composite registered with the lookup service).
+	found := false
+	for _, e := range facade.ListServices() {
+		if e.Name == "New-Composite" && e.Category == CategoryComposite {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("New-Composite not visible in the service list")
+	}
+}
+
+// TestChurnPlugAndPlay exercises the §VII plug-and-play claim under churn:
+// sensors join and leave repeatedly; the network's view stays consistent.
+func TestChurnPlugAndPlay(t *testing.T) {
+	mgr, lus, _ := newSensorRig(t)
+	facade := NewFacade("f", clockwork.Real(), mgr)
+
+	for round := 0; round < 5; round++ {
+		var joins []*discovery.Join
+		var esps []*ESP
+		for i := 0; i < 8; i++ {
+			name := []string{"A", "B", "C", "D", "E", "F", "G", "H"}[i]
+			e := replayESP(name, float64(i))
+			esps = append(esps, e)
+			joins = append(joins, e.Publish(clockwork.Real(), mgr))
+		}
+		if got := len(facade.SensorEntries()); got != 8 {
+			t.Fatalf("round %d: %d sensors visible, want 8", round, got)
+		}
+		// Half leave gracefully.
+		for i := 0; i < 4; i++ {
+			joins[i].Terminate()
+		}
+		if got := len(facade.SensorEntries()); got != 4 {
+			t.Fatalf("round %d: %d sensors after departures, want 4", round, got)
+		}
+		for i := 4; i < 8; i++ {
+			joins[i].Terminate()
+		}
+		for _, e := range esps {
+			e.Close()
+		}
+		if lus.Len() != 0 {
+			t.Fatalf("round %d: registry not empty: %d", round, lus.Len())
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package probe
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// MultiProbe fuses several probes behind the single-probe interface — the
+// paper's §V-B note that an "ESP can be used to connect multiple sensors,
+// if sensors have the ability to connect themselves with other sensors,
+// collaborate, and make collected data available to ESP via its
+// DataCollection interface". The fusion is a simple mean of the member
+// values with configurable minimum quorum: a cluster of co-located devices
+// appears as one, more reliable, sensor node.
+type MultiProbe struct {
+	name   string
+	quorum int
+
+	mu      sync.Mutex
+	members []Probe
+	closed  bool
+}
+
+// NewMultiProbe fuses the member probes. quorum is the minimum number of
+// members that must answer for a read to succeed (0 = all).
+func NewMultiProbe(name string, quorum int, members ...Probe) (*MultiProbe, error) {
+	if len(members) == 0 {
+		return nil, errors.New("probe: multi-probe needs at least one member")
+	}
+	kind := members[0].Info().Kind
+	for _, m := range members[1:] {
+		if m.Info().Kind != kind {
+			return nil, fmt.Errorf("probe: multi-probe mixes kinds %q and %q", kind, m.Info().Kind)
+		}
+	}
+	if quorum <= 0 || quorum > len(members) {
+		quorum = len(members)
+	}
+	return &MultiProbe{name: name, quorum: quorum, members: members}, nil
+}
+
+// Info implements Probe: the fused identity lists member technologies.
+func (p *MultiProbe) Info() Info {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	techs := make([]string, 0, len(p.members))
+	seen := map[string]bool{}
+	for _, m := range p.members {
+		t := m.Info().Technology
+		if !seen[t] {
+			seen[t] = true
+			techs = append(techs, t)
+		}
+	}
+	first := p.members[0].Info()
+	return Info{
+		Name:       p.name,
+		Technology: "multi(" + strings.Join(techs, "+") + ")",
+		Kind:       first.Kind,
+		Unit:       first.Unit,
+	}
+}
+
+// Read implements Probe: member probes are read, failures tolerated down
+// to the quorum, and surviving values averaged.
+func (p *MultiProbe) Read() (Reading, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return Reading{}, ErrClosed
+	}
+	members := append([]Probe{}, p.members...)
+	quorum := p.quorum
+	p.mu.Unlock()
+
+	var sum float64
+	var last Reading
+	ok := 0
+	var firstErr error
+	for _, m := range members {
+		r, err := m.Read()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		sum += r.Value
+		last = r
+		ok++
+	}
+	if ok < quorum {
+		return Reading{}, fmt.Errorf("probe %q: quorum %d/%d not met: %w", p.name, ok, quorum, firstErr)
+	}
+	out := last
+	out.Sensor = p.name
+	out.Value = sum / float64(ok)
+	return out, nil
+}
+
+// Close implements Probe, closing every member.
+func (p *MultiProbe) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	members := p.members
+	p.mu.Unlock()
+	var firstErr error
+	for _, m := range members {
+		if err := m.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,254 @@
+// Package probe defines the sensor probe — per the paper "the only sensor
+// dependent component of the framework" (§V-B): it contains the
+// device-specific driver code, hides synchronization, timing, protocol and
+// calibration concerns, and exposes the uniform DataCollection surface
+// (here, the Probe interface) that elementary sensor providers consume.
+// Three probes ship: SpotProbe drives a simulated Sun SPOT device,
+// SyntheticProbe samples an environment model directly, and ReplayProbe
+// replays recorded readings for tests and demos.
+package probe
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/sensor/calib"
+	"sensorcer/internal/spot"
+)
+
+// Reading is one calibrated measurement as it leaves a probe.
+type Reading struct {
+	// Sensor is the producing sensor's name.
+	Sensor string
+	// Kind is the quantity ("temperature").
+	Kind string
+	// Unit is the measurement unit ("celsius").
+	Unit string
+	// Value is the calibrated value.
+	Value float64
+	// Timestamp is the sampling instant.
+	Timestamp time.Time
+}
+
+// Info describes a probe's identity and technology.
+type Info struct {
+	// Name is the sensor name ("Neem-Sensor").
+	Name string
+	// Technology identifies the driver ("sunspot", "synthetic", "replay").
+	Technology string
+	// Kind and Unit describe the measurement.
+	Kind string
+	Unit string
+}
+
+// Probe is the DataCollection interface between an elementary sensor
+// provider and a physical sensor. Implementations must be safe for
+// concurrent use.
+type Probe interface {
+	// Info describes the probe.
+	Info() Info
+	// Read takes one measurement.
+	Read() (Reading, error)
+	// Close releases the underlying device.
+	Close() error
+}
+
+// ErrClosed is returned by Read after Close.
+var ErrClosed = errors.New("probe: closed")
+
+// HealthReporter is optionally implemented by probes that can report the
+// condition of their device — the paper's motivation #2 wants "status
+// information of the sensor in place" available remotely. Level is in
+// [0, 1] (battery charge for SPOT probes).
+type HealthReporter interface {
+	Health() (level float64, ok bool)
+}
+
+// SpotProbe reads one quantity from a simulated Sun SPOT device, applying
+// an optional calibration chain — the paper's experimental configuration.
+type SpotProbe struct {
+	name   string
+	kind   string
+	device *spot.Device
+	chain  calib.Chain
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewSpotProbe wraps the device's sensor of the given kind.
+func NewSpotProbe(name string, device *spot.Device, kind string, chain calib.Chain) *SpotProbe {
+	return &SpotProbe{name: name, kind: kind, device: device, chain: chain}
+}
+
+// Info implements Probe.
+func (p *SpotProbe) Info() Info {
+	unit := "unknown"
+	// The unit is a property of the measurement kind on SPOT boards.
+	switch p.kind {
+	case "temperature":
+		unit = "celsius"
+	case "humidity":
+		unit = "percent"
+	case "light":
+		unit = "lux"
+	}
+	return Info{Name: p.name, Technology: "sunspot", Kind: p.kind, Unit: unit}
+}
+
+// Read implements Probe.
+func (p *SpotProbe) Read() (Reading, error) {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return Reading{}, ErrClosed
+	}
+	v, at, err := p.device.Sample(p.kind)
+	if err != nil {
+		return Reading{}, fmt.Errorf("probe %q: %w", p.name, err)
+	}
+	info := p.Info()
+	return Reading{
+		Sensor:    p.name,
+		Kind:      p.kind,
+		Unit:      info.Unit,
+		Value:     p.chain.Apply(v),
+		Timestamp: at,
+	}, nil
+}
+
+// Close implements Probe.
+func (p *SpotProbe) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	return nil
+}
+
+// Health implements HealthReporter: the device's battery level.
+func (p *SpotProbe) Health() (float64, bool) {
+	return p.device.Battery().Level(), true
+}
+
+// SyntheticProbe samples an environment model directly — a sensor
+// technology without a device layer, demonstrating the framework's
+// technology independence (§VII: "applications written for sensor data are
+// independent of the sensor technology used").
+type SyntheticProbe struct {
+	name  string
+	model spot.EnvironmentModel
+	clock clockwork.Clock
+	chain calib.Chain
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewSyntheticProbe wraps an environment model.
+func NewSyntheticProbe(name string, model spot.EnvironmentModel, clock clockwork.Clock, chain calib.Chain) *SyntheticProbe {
+	if clock == nil {
+		clock = clockwork.Real()
+	}
+	return &SyntheticProbe{name: name, model: model, clock: clock, chain: chain}
+}
+
+// Info implements Probe.
+func (p *SyntheticProbe) Info() Info {
+	return Info{Name: p.name, Technology: "synthetic", Kind: p.model.Kind(), Unit: p.model.Unit()}
+}
+
+// Read implements Probe.
+func (p *SyntheticProbe) Read() (Reading, error) {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return Reading{}, ErrClosed
+	}
+	now := p.clock.Now()
+	return Reading{
+		Sensor:    p.name,
+		Kind:      p.model.Kind(),
+		Unit:      p.model.Unit(),
+		Value:     p.chain.Apply(p.model.At(now)),
+		Timestamp: now,
+	}, nil
+}
+
+// Close implements Probe.
+func (p *SyntheticProbe) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	return nil
+}
+
+// ErrReplayExhausted is returned when a non-looping ReplayProbe runs out.
+var ErrReplayExhausted = errors.New("probe: replay exhausted")
+
+// ReplayProbe replays a recorded series — the trace-driven "legacy sensor"
+// path, and the deterministic workhorse of the test suite.
+type ReplayProbe struct {
+	name string
+	kind string
+	unit string
+	loop bool
+
+	mu     sync.Mutex
+	series []float64
+	next   int
+	clock  clockwork.Clock
+	closed bool
+}
+
+// NewReplayProbe replays series values; with loop the series repeats.
+func NewReplayProbe(name, kind, unit string, series []float64, loop bool, clock clockwork.Clock) *ReplayProbe {
+	if clock == nil {
+		clock = clockwork.Real()
+	}
+	return &ReplayProbe{
+		name: name, kind: kind, unit: unit, loop: loop,
+		series: append([]float64{}, series...), clock: clock,
+	}
+}
+
+// Info implements Probe.
+func (p *ReplayProbe) Info() Info {
+	return Info{Name: p.name, Technology: "replay", Kind: p.kind, Unit: p.unit}
+}
+
+// Read implements Probe.
+func (p *ReplayProbe) Read() (Reading, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return Reading{}, ErrClosed
+	}
+	if p.next >= len(p.series) {
+		if !p.loop || len(p.series) == 0 {
+			return Reading{}, ErrReplayExhausted
+		}
+		p.next = 0
+	}
+	v := p.series[p.next]
+	p.next++
+	return Reading{
+		Sensor:    p.name,
+		Kind:      p.kind,
+		Unit:      p.unit,
+		Value:     v,
+		Timestamp: p.clock.Now(),
+	}, nil
+}
+
+// Close implements Probe.
+func (p *ReplayProbe) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	return nil
+}

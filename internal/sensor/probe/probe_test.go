@@ -1,0 +1,210 @@
+package probe
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/sensor/calib"
+	"sensorcer/internal/spot"
+)
+
+var epoch = time.Date(2009, 10, 6, 17, 26, 0, 0, time.UTC)
+
+func TestSpotProbeReadsDevice(t *testing.T) {
+	fc := clockwork.NewFake(epoch)
+	dev := spot.NewDevice(spot.Config{Name: "Neem", Clock: fc})
+	dev.Attach(spot.ConstantModel{Value: 21.5, UnitName: "celsius", KindName: "temperature"})
+	p := NewSpotProbe("Neem-Sensor", dev, "temperature", nil)
+
+	info := p.Info()
+	if info.Name != "Neem-Sensor" || info.Technology != "sunspot" || info.Unit != "celsius" {
+		t.Fatalf("Info = %+v", info)
+	}
+	r, err := p.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 21.5 || r.Sensor != "Neem-Sensor" || !r.Timestamp.Equal(epoch) {
+		t.Fatalf("Reading = %+v", r)
+	}
+}
+
+func TestSpotProbeCalibration(t *testing.T) {
+	dev := spot.NewDevice(spot.Config{Name: "x"})
+	dev.Attach(spot.ConstantModel{Value: 100, KindName: "temperature"})
+	p := NewSpotProbe("x", dev, "temperature", calib.Chain{calib.Linear{Gain: 0.5, Offset: 1}})
+	r, err := p.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 51 {
+		t.Fatalf("calibrated = %v", r.Value)
+	}
+}
+
+func TestSpotProbeUnitInference(t *testing.T) {
+	dev := spot.NewDevice(spot.Config{Name: "x"})
+	for kind, unit := range map[string]string{
+		"temperature": "celsius", "humidity": "percent", "light": "lux", "vibration": "unknown",
+	} {
+		p := NewSpotProbe("x", dev, kind, nil)
+		if got := p.Info().Unit; got != unit {
+			t.Fatalf("unit for %s = %q", kind, got)
+		}
+	}
+}
+
+func TestSpotProbePropagatesDeviceErrors(t *testing.T) {
+	dev := spot.NewDevice(spot.Config{Name: "x"})
+	p := NewSpotProbe("x", dev, "temperature", nil) // no sensor attached
+	if _, err := p.Read(); !errors.Is(err, spot.ErrNoSensor) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestProbeClose(t *testing.T) {
+	dev := spot.NewDevice(spot.Config{Name: "x"})
+	dev.Attach(spot.ConstantModel{Value: 1, KindName: "temperature"})
+	probes := []Probe{
+		NewSpotProbe("a", dev, "temperature", nil),
+		NewSyntheticProbe("b", spot.ConstantModel{Value: 1, KindName: "k", UnitName: "u"}, nil, nil),
+		NewReplayProbe("c", "k", "u", []float64{1}, true, nil),
+	}
+	for _, p := range probes {
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Read(); !errors.Is(err, ErrClosed) {
+			t.Fatalf("%s: read after close err = %v", p.Info().Name, err)
+		}
+	}
+}
+
+func TestSyntheticProbe(t *testing.T) {
+	fc := clockwork.NewFake(epoch)
+	model := spot.NewTemperatureModel(20, 0, 0, 0, 1)
+	p := NewSyntheticProbe("Synth", model, fc, calib.Chain{calib.Linear{Offset: 2}})
+	info := p.Info()
+	if info.Technology != "synthetic" || info.Kind != "temperature" {
+		t.Fatalf("Info = %+v", info)
+	}
+	r, err := p.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 22 {
+		t.Fatalf("value = %v", r.Value)
+	}
+}
+
+func TestReplayProbeSequenceAndLoop(t *testing.T) {
+	p := NewReplayProbe("r", "temperature", "celsius", []float64{1, 2, 3}, true, nil)
+	for pass := 0; pass < 2; pass++ {
+		for _, want := range []float64{1, 2, 3} {
+			r, err := p.Read()
+			if err != nil || r.Value != want {
+				t.Fatalf("pass %d: %v, %v", pass, r.Value, err)
+			}
+		}
+	}
+}
+
+func TestReplayProbeExhaustion(t *testing.T) {
+	p := NewReplayProbe("r", "k", "u", []float64{1}, false, nil)
+	p.Read()
+	if _, err := p.Read(); !errors.Is(err, ErrReplayExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	empty := NewReplayProbe("e", "k", "u", nil, true, nil)
+	if _, err := empty.Read(); !errors.Is(err, ErrReplayExhausted) {
+		t.Fatalf("empty looped err = %v", err)
+	}
+}
+
+func TestReplayProbeSeriesCopied(t *testing.T) {
+	series := []float64{7}
+	p := NewReplayProbe("r", "k", "u", series, true, nil)
+	series[0] = 99
+	r, _ := p.Read()
+	if r.Value != 7 {
+		t.Fatal("replay probe shares caller's slice")
+	}
+}
+
+func TestMultiProbeFusesMembers(t *testing.T) {
+	a := NewReplayProbe("a", "temperature", "celsius", []float64{20}, true, nil)
+	b := NewReplayProbe("b", "temperature", "celsius", []float64{24}, true, nil)
+	m, err := NewMultiProbe("cluster", 0, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 22 || r.Sensor != "cluster" {
+		t.Fatalf("fused reading = %+v", r)
+	}
+	info := m.Info()
+	if info.Kind != "temperature" || info.Technology != "multi(replay)" {
+		t.Fatalf("Info = %+v", info)
+	}
+}
+
+func TestMultiProbeQuorum(t *testing.T) {
+	good := NewReplayProbe("g", "temperature", "celsius", []float64{20}, true, nil)
+	dead := NewReplayProbe("d", "temperature", "celsius", nil, false, nil)
+	// Quorum 1: tolerate the dead member.
+	m, err := NewMultiProbe("cluster", 1, good, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Read()
+	if err != nil || r.Value != 20 {
+		t.Fatalf("quorum-1 read = %+v, %v", r, err)
+	}
+	// Quorum 2 (default all): the dead member fails the read.
+	m2, _ := NewMultiProbe("strict", 0, good, dead)
+	if _, err := m2.Read(); err == nil {
+		t.Fatal("quorum violation accepted")
+	}
+}
+
+func TestMultiProbeValidation(t *testing.T) {
+	if _, err := NewMultiProbe("x", 0); err == nil {
+		t.Fatal("empty multi-probe accepted")
+	}
+	temp := NewReplayProbe("t", "temperature", "celsius", []float64{1}, true, nil)
+	hum := NewReplayProbe("h", "humidity", "percent", []float64{1}, true, nil)
+	if _, err := NewMultiProbe("x", 0, temp, hum); err == nil {
+		t.Fatal("mixed-kind multi-probe accepted")
+	}
+}
+
+func TestMultiProbeClose(t *testing.T) {
+	a := NewReplayProbe("a", "temperature", "celsius", []float64{1}, true, nil)
+	b := NewReplayProbe("b", "temperature", "celsius", []float64{1}, true, nil)
+	m, _ := NewMultiProbe("c", 0, a, b)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close err = %v", err)
+	}
+	// Members are closed too.
+	if _, err := a.Read(); !errors.Is(err, ErrClosed) {
+		t.Fatal("member not closed")
+	}
+}
+
+func TestMultiProbeTechDedup(t *testing.T) {
+	a := NewReplayProbe("a", "k", "u", []float64{1}, true, nil)
+	b := NewReplayProbe("b", "k", "u", []float64{2}, true, nil)
+	s := NewSyntheticProbe("s", spot.ConstantModel{Value: 3, KindName: "k", UnitName: "u"}, nil, nil)
+	m, _ := NewMultiProbe("mix", 0, a, b, s)
+	if got := m.Info().Technology; got != "multi(replay+synthetic)" {
+		t.Fatalf("Technology = %q", got)
+	}
+}

@@ -1,0 +1,103 @@
+package sorcer
+
+import (
+	"errors"
+	"fmt"
+
+	"sensorcer/internal/attr"
+	"sensorcer/internal/registry"
+)
+
+// RegistrarSource yields the currently known lookup services; the
+// discovery Manager satisfies it.
+type RegistrarSource interface {
+	Registrars() []registry.Registrar
+}
+
+// ErrNoProvider is returned when no provider satisfies a signature.
+var ErrNoProvider = errors.New("sorcer: no provider for signature")
+
+// Accessor finds service providers for signatures across every discovered
+// lookup service — the paper's "Service Accessor" (§V-B): it "first
+// discovers lookup services and then finds matching services specified by
+// signatures in exertions".
+type Accessor struct {
+	source RegistrarSource
+}
+
+// NewAccessor creates an accessor over the registrar source.
+func NewAccessor(source RegistrarSource) *Accessor {
+	return &Accessor{source: source}
+}
+
+// template converts a signature to a lookup template.
+func template(sig Signature) registry.Template {
+	attrs := attr.CloneSet(sig.Attributes)
+	if sig.ProviderName != "" {
+		attrs = attrs.Replace(attr.Name(sig.ProviderName))
+	}
+	return registry.Template{
+		Types:      []string{sig.ServiceType, ServicerType},
+		Attributes: attrs,
+	}
+}
+
+// Find returns one Servicer satisfying the signature.
+func (a *Accessor) Find(sig Signature) (Servicer, error) {
+	all, err := a.FindAll(sig, 1)
+	if err != nil {
+		return nil, err
+	}
+	return all[0], nil
+}
+
+// FindAll returns up to max (all if <= 0) distinct Servicers satisfying
+// the signature, deduplicated across registrars by service ID.
+func (a *Accessor) FindAll(sig Signature, max int) ([]Servicer, error) {
+	tmpl := template(sig)
+	seen := map[string]bool{}
+	var out []Servicer
+	for _, reg := range a.source.Registrars() {
+		for _, item := range reg.Lookup(tmpl, 0) {
+			key := item.ID.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			svc, ok := item.Service.(Servicer)
+			if !ok {
+				continue // registered under Servicer type but wrong proxy
+			}
+			out = append(out, svc)
+			if max > 0 && len(out) >= max {
+				return out, nil
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoProvider, sig)
+	}
+	return out, nil
+}
+
+// FindItems returns the raw service items matching the signature (used by
+// the sensor network manager, which needs attributes as well as proxies).
+func (a *Accessor) FindItems(sig Signature, max int) []registry.ServiceItem {
+	tmpl := template(sig)
+	seen := map[string]bool{}
+	var out []registry.ServiceItem
+	for _, reg := range a.source.Registrars() {
+		for _, item := range reg.Lookup(tmpl, 0) {
+			key := item.ID.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, item)
+			if max > 0 && len(out) >= max {
+				return out
+			}
+		}
+	}
+	return out
+}

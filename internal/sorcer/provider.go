@@ -1,0 +1,178 @@
+package sorcer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sensorcer/internal/attr"
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/discovery"
+	"sensorcer/internal/ids"
+	"sensorcer/internal/registry"
+	"sensorcer/internal/txn"
+)
+
+// ServicerType is the registry type name every exertion-capable peer
+// registers under; the paper: "all service providers in EOA implement the
+// service(Exertion, Transaction) operation of the Servicer interface".
+const ServicerType = "Servicer"
+
+// Servicer is the top-level peer interface. Operations of a provider are
+// exposed indirectly: a requestor cannot call them, only pass an exertion
+// whose signature names them.
+type Servicer interface {
+	Service(ex Exertion, tx *txn.Transaction) (Exertion, error)
+}
+
+// Operation is a provider-implemented task body working on the task's
+// service context.
+type Operation func(ctx *Context) error
+
+// Errors returned by providers.
+var (
+	ErrNotTask         = errors.New("sorcer: provider executes tasks only")
+	ErrUnknownSelector = errors.New("sorcer: no such operation selector")
+	ErrWrongType       = errors.New("sorcer: provider does not implement signature type")
+)
+
+// Provider is a domain-specific task peer — SORCER's "tasker". It
+// implements one or more service types, each selector mapping to an
+// Operation.
+type Provider struct {
+	id   ids.ServiceID
+	name string
+
+	mu    sync.RWMutex
+	types map[string]bool
+	ops   map[string]Operation
+	// slots bounds concurrent operation execution when non-nil (a
+	// provider models a compute node with finite capacity; a sensor node
+	// is typically SetConcurrency(1)).
+	slots chan struct{}
+}
+
+// NewProvider creates a tasker implementing the given service types (the
+// ServicerType is always added).
+func NewProvider(name string, serviceTypes ...string) *Provider {
+	p := &Provider{
+		id:    ids.NewServiceID(),
+		name:  name,
+		types: map[string]bool{ServicerType: true},
+		ops:   make(map[string]Operation),
+	}
+	for _, t := range serviceTypes {
+		p.types[t] = true
+	}
+	return p
+}
+
+// ID returns the provider identity.
+func (p *Provider) ID() ids.ServiceID { return p.id }
+
+// Name returns the provider name.
+func (p *Provider) Name() string { return p.name }
+
+// Types lists the implemented service type names.
+func (p *Provider) Types() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, 0, len(p.types))
+	for t := range p.types {
+		out = append(out, t)
+	}
+	return out
+}
+
+// RegisterOp installs the operation for a selector.
+func (p *Provider) RegisterOp(selector string, op Operation) {
+	p.mu.Lock()
+	p.ops[selector] = op
+	p.mu.Unlock()
+}
+
+// SetConcurrency bounds how many operations may execute at once (n <= 0
+// restores unbounded execution). Push-mode dispatch to a saturated
+// provider queues on its slots; pull-mode providers instead take work at
+// their own pace — the trade-off benchmarked by experiment C7.
+func (p *Provider) SetConcurrency(n int) {
+	p.mu.Lock()
+	if n <= 0 {
+		p.slots = nil
+	} else {
+		p.slots = make(chan struct{}, n)
+	}
+	p.mu.Unlock()
+}
+
+// Service implements Servicer: it accepts a task exertion whose signature
+// names one of this provider's types and selectors, runs the operation on
+// the task's context, and returns the task with its result state set.
+func (p *Provider) Service(ex Exertion, tx *txn.Transaction) (Exertion, error) {
+	task, ok := ex.(*Task)
+	if !ok {
+		return ex, fmt.Errorf("%w: got %T", ErrNotTask, ex)
+	}
+	sig := task.Signature()
+	p.mu.RLock()
+	typeOK := p.types[sig.ServiceType]
+	op, opOK := p.ops[sig.Selector]
+	p.mu.RUnlock()
+	if !typeOK {
+		err := fmt.Errorf("%w: %q (provider %q)", ErrWrongType, sig.ServiceType, p.name)
+		return task, err
+	}
+	if !opOK {
+		err := fmt.Errorf("%w: %q (provider %q)", ErrUnknownSelector, sig.Selector, p.name)
+		task.setResult(nil, Failed, err)
+		return task, err
+	}
+	p.mu.RLock()
+	slots := p.slots
+	p.mu.RUnlock()
+	if slots != nil {
+		slots <- struct{}{}
+		defer func() { <-slots }()
+	}
+	task.setResult(nil, Running, nil)
+	ctx := task.Context()
+	if err := op(ctx); err != nil {
+		err = fmt.Errorf("sorcer: %s by %q: %w", sig, p.name, err)
+		task.setResult(ctx, Failed, err)
+		return task, err
+	}
+	task.setResult(ctx, Done, nil)
+	return task, nil
+}
+
+// Publish registers the provider on every discovered lookup service and
+// keeps the registrations leased. Returned Join terminates the presence.
+func (p *Provider) Publish(clock clockwork.Clock, mgr *discovery.Manager, attrs attr.Set) *discovery.Join {
+	return PublishServicer(clock, mgr, p, p.id, p.name, p.Types(), attrs)
+}
+
+// PublishServicer registers any Servicer (provider, jobber, spacer, sensor
+// service) on every discovered lookup service under the given types,
+// keeping the registrations leased.
+func PublishServicer(clock clockwork.Clock, mgr *discovery.Manager, svc Servicer, id ids.ServiceID, name string, types []string, attrs attr.Set) *discovery.Join {
+	attrs = attr.CloneSet(attrs)
+	if attr.NameOf(attrs) == "" {
+		attrs = attrs.Replace(attr.Name(name))
+	}
+	hasServicer := false
+	for _, t := range types {
+		if t == ServicerType {
+			hasServicer = true
+		}
+	}
+	if !hasServicer {
+		types = append(append([]string{}, types...), ServicerType)
+	}
+	item := registry.ServiceItem{
+		ID:         id,
+		Service:    svc,
+		Types:      types,
+		Attributes: attrs,
+	}
+	return discovery.NewJoin(clock, mgr, item)
+}

@@ -1,0 +1,224 @@
+package sorcer
+
+import (
+	"fmt"
+	"time"
+
+	"sensorcer/internal/ids"
+	"sensorcer/internal/space"
+	"sensorcer/internal/txn"
+)
+
+// Space entry kinds used by pull-mode federation.
+const (
+	// EnvelopeKind marks task envelopes awaiting a worker.
+	EnvelopeKind = "ExertionEnvelope"
+	// ResultKind marks completed envelopes.
+	ResultKind = "ResultEnvelope"
+)
+
+// Spacer is the pull-mode rendezvous peer: instead of binding providers
+// itself, it drops each component task into the tuple space as an
+// envelope; any SpaceWorker whose provider implements the signature type
+// takes the envelope, executes, and writes back a result. This inverts the
+// dispatch direction — workers pull work at their own pace, which is how
+// SORCER balances load across heterogeneous providers.
+type Spacer struct {
+	id    ids.ServiceID
+	name  string
+	space *space.Space
+	// taskTimeout bounds the wait for each result envelope.
+	taskTimeout time.Duration
+	// envelopeLease bounds how long an unclaimed envelope survives.
+	envelopeLease time.Duration
+}
+
+// SpacerOption customizes a Spacer.
+type SpacerOption func(*Spacer)
+
+// WithTaskTimeout sets the per-task result wait (default 10s).
+func WithTaskTimeout(d time.Duration) SpacerOption {
+	return func(s *Spacer) { s.taskTimeout = d }
+}
+
+// NewSpacer creates a pull-mode coordinator over the tuple space.
+func NewSpacer(name string, sp *space.Space, opts ...SpacerOption) *Spacer {
+	s := &Spacer{
+		id:            ids.NewServiceID(),
+		name:          name,
+		space:         sp,
+		taskTimeout:   10 * time.Second,
+		envelopeLease: time.Minute,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// ID returns the spacer's identity.
+func (s *Spacer) ID() ids.ServiceID { return s.id }
+
+// Name returns the spacer's name.
+func (s *Spacer) Name() string { return s.name }
+
+// Service implements Servicer for pull-mode jobs. Sequential flow feeds
+// envelopes one at a time (honoring pipes); parallel flow floods all
+// envelopes and collects results as they land.
+func (s *Spacer) Service(ex Exertion, tx *txn.Transaction) (Exertion, error) {
+	job, ok := ex.(*Job)
+	if !ok {
+		return ex, fmt.Errorf("sorcer: spacer coordinates jobs, got %T", ex)
+	}
+	job.setStatus(Running, nil)
+	components := job.Exertions()
+	tasks := make([]*Task, len(components))
+	for i, c := range components {
+		t, ok := c.(*Task)
+		if !ok {
+			err := fmt.Errorf("sorcer: pull-mode job %q component %q is not a task", job.Name(), c.Name())
+			job.setStatus(Failed, err)
+			return job, err
+		}
+		tasks[i] = t
+	}
+
+	var err error
+	if job.Strategy().Flow == Sequential {
+		err = s.runSequential(job, tasks, tx)
+	} else {
+		err = s.runParallel(tasks, tx)
+	}
+	job.aggregateContexts()
+	if err != nil {
+		job.setStatus(Failed, err)
+		return job, err
+	}
+	job.setStatus(Done, nil)
+	return job, nil
+}
+
+func (s *Spacer) runSequential(job *Job, tasks []*Task, tx *txn.Transaction) error {
+	pipes := job.Strategy().Pipes
+	for i, t := range tasks {
+		for _, p := range pipes {
+			if p.ToIndex != i {
+				continue
+			}
+			if p.FromIndex < 0 || p.FromIndex >= i {
+				return fmt.Errorf("sorcer: job %q pipe from %d to %d is not backward", job.Name(), p.FromIndex, p.ToIndex)
+			}
+			v, ok := tasks[p.FromIndex].Context().Get(p.FromPath)
+			if !ok {
+				return fmt.Errorf("sorcer: job %q pipe source %q missing", job.Name(), p.FromPath)
+			}
+			t.Context().Put(p.ToPath, v)
+		}
+		if err := s.dispatch(t, tx); err != nil {
+			return err
+		}
+		if err := s.await(t, tx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Spacer) runParallel(tasks []*Task, tx *txn.Transaction) error {
+	for _, t := range tasks {
+		if err := s.dispatch(t, tx); err != nil {
+			return err
+		}
+	}
+	for _, t := range tasks {
+		if err := s.await(t, tx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Spacer) dispatch(t *Task, tx *txn.Transaction) error {
+	env := space.NewEntry(EnvelopeKind,
+		"type", t.Signature().ServiceType,
+		"selector", t.Signature().Selector,
+		"taskID", t.ID().String(),
+		"task", t,
+	)
+	if _, err := s.space.Write(env, tx, s.envelopeLease); err != nil {
+		return fmt.Errorf("sorcer: writing envelope for %q: %w", t.Name(), err)
+	}
+	return nil
+}
+
+func (s *Spacer) await(t *Task, tx *txn.Transaction) error {
+	tmpl := space.NewEntry(ResultKind, "taskID", t.ID().String())
+	res, err := s.space.Take(tmpl, tx, s.taskTimeout)
+	if err != nil {
+		return fmt.Errorf("sorcer: awaiting result of %q: %w", t.Name(), err)
+	}
+	if failMsg, _ := res.Field("error").(string); failMsg != "" {
+		return fmt.Errorf("sorcer: task %q failed in space: %s", t.Name(), failMsg)
+	}
+	return nil
+}
+
+// SpaceWorker pulls envelopes for one service type from the space and
+// executes them against its servicer — the worker side of pull-mode
+// federation. Attach one to each provider that should serve space jobs.
+type SpaceWorker struct {
+	space       *space.Space
+	servicer    Servicer
+	serviceType string
+	stop        chan struct{}
+	done        chan struct{}
+}
+
+// NewSpaceWorker starts a worker pulling envelopes of serviceType.
+func NewSpaceWorker(sp *space.Space, servicer Servicer, serviceType string) *SpaceWorker {
+	w := &SpaceWorker{
+		space:       sp,
+		servicer:    servicer,
+		serviceType: serviceType,
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+// Stop halts the worker after its current envelope.
+func (w *SpaceWorker) Stop() {
+	close(w.stop)
+	<-w.done
+}
+
+func (w *SpaceWorker) loop() {
+	defer close(w.done)
+	tmpl := space.NewEntry(EnvelopeKind, "type", w.serviceType)
+	for {
+		select {
+		case <-w.stop:
+			return
+		default:
+		}
+		env, err := w.space.Take(tmpl, nil, 50*time.Millisecond)
+		if err != nil {
+			if err == space.ErrClosed {
+				return
+			}
+			continue // timeout: poll the stop channel again
+		}
+		task, ok := env.Field("task").(*Task)
+		if !ok {
+			continue // malformed envelope
+		}
+		_, execErr := w.servicer.Service(task, nil)
+		result := space.NewEntry(ResultKind, "taskID", task.ID().String())
+		if execErr != nil {
+			result.Fields["error"] = execErr.Error()
+		}
+		// Best effort: if the space is closing, the spacer times out.
+		_, _ = w.space.Write(result, nil, time.Minute)
+	}
+}

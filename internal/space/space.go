@@ -1,0 +1,561 @@
+// Package space implements a JavaSpaces-style tuple space: leased entries
+// written, read and taken by template matching, with optional transactional
+// visibility via package txn. SORCER's Spacer (pull-mode exertion
+// federation) is built on it: a rendezvous peer writes task envelopes into
+// the space and worker providers take envelopes matching their signatures —
+// exactly the "exertion space" coordination model the paper's SORCER
+// substrate provides.
+package space
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/ids"
+	"sensorcer/internal/lease"
+	"sensorcer/internal/txn"
+)
+
+// Entry is a tuple: a kind plus named fields. Template matching follows
+// JavaSpaces: kinds must be equal and every non-nil template field must
+// equal the entry's field; absent/nil template fields are wildcards.
+// Fields used in templates must be comparable; payload-only fields may hold
+// anything.
+type Entry struct {
+	Kind   string
+	Fields map[string]any
+}
+
+// NewEntry builds an entry from alternating key/value pairs.
+func NewEntry(kind string, kv ...any) Entry {
+	if len(kv)%2 != 0 {
+		panic("space.NewEntry: odd number of key/value arguments")
+	}
+	e := Entry{Kind: kind, Fields: make(map[string]any, len(kv)/2)}
+	for i := 0; i < len(kv); i += 2 {
+		e.Fields[kv[i].(string)] = kv[i+1]
+	}
+	return e
+}
+
+// Clone deep-copies the field map (values are shared).
+func (e Entry) Clone() Entry {
+	c := Entry{Kind: e.Kind}
+	if e.Fields != nil {
+		c.Fields = make(map[string]any, len(e.Fields))
+		for k, v := range e.Fields {
+			c.Fields[k] = v
+		}
+	}
+	return c
+}
+
+// Field returns a field value (nil when absent).
+func (e Entry) Field(name string) any { return e.Fields[name] }
+
+// Matches reports whether candidate satisfies template e.
+func (e Entry) Matches(candidate Entry) bool {
+	if e.Kind != candidate.Kind {
+		return false
+	}
+	for k, want := range e.Fields {
+		if want == nil {
+			continue // explicit wildcard
+		}
+		got, ok := candidate.Fields[k]
+		if !ok || !equalValue(want, got) {
+			return false
+		}
+	}
+	return true
+}
+
+// equalValue compares two field values, tolerating non-comparable payloads
+// (which never match templates).
+func equalValue(a, b any) (eq bool) {
+	defer func() {
+		if recover() != nil {
+			eq = false
+		}
+	}()
+	return a == b
+}
+
+// Forever blocks a Read/Take until a match arrives.
+const Forever = time.Duration(1<<62 - 1)
+
+// ErrTimeout is returned when no matching entry arrived in time.
+var ErrTimeout = errors.New("space: timed out waiting for matching entry")
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("space: closed")
+
+type storedEntry struct {
+	id      uint64
+	entry   Entry
+	leaseID uint64
+	// writtenTxn is non-zero while the entry is staged by an uncommitted
+	// transaction's write: visible only within that transaction.
+	writtenTxn uint64
+	// takenTxn is non-zero while the entry is held by an uncommitted
+	// transaction's take: invisible to everyone else.
+	takenTxn uint64
+}
+
+type waiter struct {
+	template Entry
+	take     bool
+	txnID    uint64
+	result   chan Entry
+}
+
+// Space is an in-process tuple space, safe for concurrent use.
+type Space struct {
+	id          ids.ServiceID
+	clock       clockwork.Clock
+	leases      *lease.Table
+	notifLeases *lease.Table
+
+	mu      sync.Mutex
+	nextID  uint64
+	entries map[uint64]*storedEntry
+	byLease map[uint64]uint64 // leaseID -> entryID
+	waiters []*waiter
+	txns    map[uint64]*spaceTxnPart
+	notifs  map[uint64]*spaceNotification
+	closed  bool
+}
+
+// spaceNotification is one leased write-notification registration.
+type spaceNotification struct {
+	template Entry
+	queue    chan Entry
+	done     chan struct{}
+}
+
+const notifyQueue = 256
+
+// New creates a tuple space whose entry leases follow policy.
+func New(clock clockwork.Clock, policy lease.Policy) *Space {
+	s := &Space{
+		id:          ids.NewServiceID(),
+		clock:       clock,
+		leases:      lease.NewTable(clock, policy),
+		notifLeases: lease.NewTable(clock, policy),
+		entries:     make(map[uint64]*storedEntry),
+		byLease:     make(map[uint64]uint64),
+		txns:        make(map[uint64]*spaceTxnPart),
+		notifs:      make(map[uint64]*spaceNotification),
+	}
+	s.leases.OnExpire(s.onLeaseExpired)
+	s.notifLeases.OnExpire(s.onNotifyLeaseExpired)
+	return s
+}
+
+// Notify registers a leased listener invoked (asynchronously, in order,
+// best-effort on overflow) with a copy of every entry that becomes
+// visible outside a transaction and matches the template — JavaSpaces
+// notify. Cancel the lease to stop.
+func (s *Space) Notify(tmpl Entry, fn func(Entry), leaseDur time.Duration) (lease.Lease, error) {
+	if fn == nil {
+		return lease.Lease{}, errors.New("space: nil notify listener")
+	}
+	lse := s.notifLeases.Grant(leaseDur)
+	n := &spaceNotification{
+		template: tmpl,
+		queue:    make(chan Entry, notifyQueue),
+		done:     make(chan struct{}),
+	}
+	go func() {
+		defer close(n.done)
+		for e := range n.queue {
+			fn(e)
+		}
+	}()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		close(n.queue)
+		_ = lse.Cancel()
+		return lease.Lease{}, ErrClosed
+	}
+	s.notifs[lse.ID] = n
+	s.mu.Unlock()
+	// Cancelling the lease must also retire the registration, which the
+	// grant table alone cannot do (its OnExpire fires only on sweeps).
+	lse.Grantor = notifyGrantor{s: s}
+	return lse, nil
+}
+
+// notifyGrantor forwards lease operations to the notification lease table
+// and retires the registration on cancel.
+type notifyGrantor struct{ s *Space }
+
+// Renew implements lease.Grantor.
+func (g notifyGrantor) Renew(id uint64, d time.Duration) (time.Time, error) {
+	return g.s.notifLeases.Renew(id, d)
+}
+
+// Cancel implements lease.Grantor.
+func (g notifyGrantor) Cancel(id uint64) error {
+	err := g.s.notifLeases.Cancel(id)
+	g.s.onNotifyLeaseExpired(id)
+	return err
+}
+
+// notifyVisibleLocked fans a newly visible entry out to matching
+// notification registrations. Caller holds s.mu.
+func (s *Space) notifyVisibleLocked(e Entry) {
+	for _, n := range s.notifs {
+		if !n.template.Matches(e) {
+			continue
+		}
+		select {
+		case n.queue <- e.Clone():
+		default: // drop on overflow
+		}
+	}
+}
+
+func (s *Space) onNotifyLeaseExpired(leaseID uint64) {
+	s.mu.Lock()
+	n, ok := s.notifs[leaseID]
+	if ok {
+		delete(s.notifs, leaseID)
+		close(n.queue)
+	}
+	s.mu.Unlock()
+	if ok {
+		<-n.done
+	}
+}
+
+// ID returns the space's service identity.
+func (s *Space) ID() ids.ServiceID { return s.id }
+
+// Write stores an entry under a lease. With a transaction, the entry is
+// visible only inside that transaction until it commits.
+func (s *Space) Write(e Entry, tx *txn.Transaction, leaseDur time.Duration) (lease.Lease, error) {
+	if e.Kind == "" {
+		return lease.Lease{}, errors.New("space: entry must have a kind")
+	}
+	lse := s.leases.Grant(leaseDur)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = lse.Cancel()
+		return lease.Lease{}, ErrClosed
+	}
+	s.nextID++
+	se := &storedEntry{id: s.nextID, entry: e.Clone(), leaseID: lse.ID}
+	if tx != nil {
+		part, err := s.joinLocked(tx)
+		if err != nil {
+			s.mu.Unlock()
+			_ = lse.Cancel()
+			return lease.Lease{}, err
+		}
+		se.writtenTxn = tx.ID()
+		part.written = append(part.written, se.id)
+	}
+	s.entries[se.id] = se
+	s.byLease[lse.ID] = se.id
+	if se.writtenTxn == 0 {
+		s.notifyVisibleLocked(se.entry)
+	}
+	s.serveWaitersLocked()
+	s.mu.Unlock()
+	return lse, nil
+}
+
+// Read returns a copy of a matching entry without removing it, blocking up
+// to timeout (0 = non-blocking, Forever = indefinitely).
+func (s *Space) Read(tmpl Entry, tx *txn.Transaction, timeout time.Duration) (Entry, error) {
+	return s.acquire(tmpl, tx, timeout, false)
+}
+
+// Take removes and returns a matching entry, blocking up to timeout. Under
+// a transaction the removal is provisional until commit.
+func (s *Space) Take(tmpl Entry, tx *txn.Transaction, timeout time.Duration) (Entry, error) {
+	return s.acquire(tmpl, tx, timeout, true)
+}
+
+// Count reports visible entries matching the template (outside any txn).
+func (s *Space) Count(tmpl Entry) int {
+	s.leases.Sweep()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, se := range s.entries {
+		if s.visibleLocked(se, 0) && tmpl.Matches(se.entry) {
+			n++
+		}
+	}
+	return n
+}
+
+// Sweep expires lapsed entry and notification leases.
+func (s *Space) Sweep() {
+	s.leases.Sweep()
+	s.notifLeases.Sweep()
+}
+
+// Close fails all blocked operations, stops notifications and rejects new
+// ones.
+func (s *Space) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ws := s.waiters
+	s.waiters = nil
+	notifs := make([]*spaceNotification, 0, len(s.notifs))
+	for _, n := range s.notifs {
+		notifs = append(notifs, n)
+		close(n.queue)
+	}
+	s.notifs = map[uint64]*spaceNotification{}
+	s.mu.Unlock()
+	for _, w := range ws {
+		close(w.result)
+	}
+	for _, n := range notifs {
+		<-n.done
+	}
+}
+
+func (s *Space) acquire(tmpl Entry, tx *txn.Transaction, timeout time.Duration, take bool) (Entry, error) {
+	s.leases.Sweep()
+	txnID := uint64(0)
+	if tx != nil {
+		txnID = tx.ID()
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Entry{}, ErrClosed
+	}
+	if se := s.matchLocked(tmpl, txnID); se != nil {
+		out, err := s.claimLocked(se, tx, take)
+		s.mu.Unlock()
+		return out, err
+	}
+	if timeout <= 0 {
+		s.mu.Unlock()
+		return Entry{}, ErrTimeout
+	}
+	w := &waiter{template: tmpl, take: take, txnID: txnID, result: make(chan Entry, 1)}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+
+	var timer clockwork.Timer
+	var timeoutCh <-chan time.Time
+	if timeout != Forever {
+		timer = s.clock.NewTimer(timeout)
+		timeoutCh = timer.C()
+		defer timer.Stop()
+	}
+	select {
+	case e, ok := <-w.result:
+		if !ok {
+			return Entry{}, ErrClosed
+		}
+		return e, nil
+	case <-timeoutCh:
+		s.mu.Lock()
+		// Remove the waiter unless it was already served concurrently.
+		for i, cand := range s.waiters {
+			if cand == w {
+				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		select {
+		case e, ok := <-w.result:
+			if ok {
+				return e, nil // raced: served just before removal
+			}
+			return Entry{}, ErrClosed
+		default:
+			return Entry{}, ErrTimeout
+		}
+	}
+}
+
+// matchLocked finds the lowest-id visible entry matching tmpl for txnID.
+func (s *Space) matchLocked(tmpl Entry, txnID uint64) *storedEntry {
+	var best *storedEntry
+	for _, se := range s.entries {
+		if !s.visibleLocked(se, txnID) || !tmpl.Matches(se.entry) {
+			continue
+		}
+		if best == nil || se.id < best.id {
+			best = se
+		}
+	}
+	return best
+}
+
+// visibleLocked reports whether txnID can see the entry.
+func (s *Space) visibleLocked(se *storedEntry, txnID uint64) bool {
+	if !s.leases.Valid(se.leaseID) {
+		return false
+	}
+	if se.takenTxn != 0 && se.takenTxn != txnID {
+		return false
+	}
+	if se.writtenTxn != 0 && se.writtenTxn != txnID {
+		return false
+	}
+	return true
+}
+
+// claimLocked performs the read/take on a matched entry.
+func (s *Space) claimLocked(se *storedEntry, tx *txn.Transaction, take bool) (Entry, error) {
+	if !take {
+		return se.entry.Clone(), nil
+	}
+	if tx == nil {
+		s.removeLocked(se)
+		return se.entry.Clone(), nil
+	}
+	part, err := s.joinLocked(tx)
+	if err != nil {
+		return Entry{}, err
+	}
+	if se.writtenTxn == tx.ID() {
+		// Taking an entry this transaction itself wrote: net effect is
+		// nothing, remove it outright.
+		s.removeLocked(se)
+		for i, id := range part.written {
+			if id == se.id {
+				part.written = append(part.written[:i], part.written[i+1:]...)
+				break
+			}
+		}
+		return se.entry.Clone(), nil
+	}
+	se.takenTxn = tx.ID()
+	part.taken = append(part.taken, se.id)
+	return se.entry.Clone(), nil
+}
+
+func (s *Space) removeLocked(se *storedEntry) {
+	delete(s.entries, se.id)
+	delete(s.byLease, se.leaseID)
+	_ = s.leases.Cancel(se.leaseID)
+}
+
+// serveWaitersLocked hands newly visible entries to blocked operations,
+// FIFO per arrival order of the waiters.
+func (s *Space) serveWaitersLocked() {
+	remaining := s.waiters[:0]
+	for _, w := range s.waiters {
+		se := s.matchLocked(w.template, w.txnID)
+		if se == nil {
+			remaining = append(remaining, w)
+			continue
+		}
+		var tx *txn.Transaction
+		if w.txnID != 0 {
+			if part, ok := s.txns[w.txnID]; ok {
+				tx = part.tx
+			}
+		}
+		out, err := s.claimLocked(se, tx, w.take)
+		if err != nil {
+			remaining = append(remaining, w)
+			continue
+		}
+		w.result <- out
+	}
+	s.waiters = remaining
+}
+
+func (s *Space) onLeaseExpired(leaseID uint64) {
+	s.mu.Lock()
+	if id, ok := s.byLease[leaseID]; ok {
+		delete(s.byLease, leaseID)
+		delete(s.entries, id)
+	}
+	s.mu.Unlock()
+}
+
+// --- transaction participation ---
+
+type spaceTxnPart struct {
+	space   *Space
+	tx      *txn.Transaction
+	written []uint64
+	taken   []uint64
+}
+
+// joinLocked returns the participant state for tx, enrolling on first use.
+func (s *Space) joinLocked(tx *txn.Transaction) (*spaceTxnPart, error) {
+	if part, ok := s.txns[tx.ID()]; ok {
+		return part, nil
+	}
+	part := &spaceTxnPart{space: s, tx: tx}
+	if err := tx.Join(part); err != nil {
+		return nil, fmt.Errorf("space: joining transaction: %w", err)
+	}
+	s.txns[tx.ID()] = part
+	return part, nil
+}
+
+// Prepare implements txn.Participant.
+func (p *spaceTxnPart) Prepare(uint64) (txn.Vote, error) {
+	p.space.mu.Lock()
+	defer p.space.mu.Unlock()
+	if len(p.written) == 0 && len(p.taken) == 0 {
+		return txn.VoteNotChanged, nil
+	}
+	return txn.VotePrepared, nil
+}
+
+// Commit implements txn.Participant: staged writes become visible and
+// provisional takes become permanent.
+func (p *spaceTxnPart) Commit(txnID uint64) error {
+	p.space.mu.Lock()
+	for _, id := range p.written {
+		if se, ok := p.space.entries[id]; ok {
+			se.writtenTxn = 0
+			p.space.notifyVisibleLocked(se.entry)
+		}
+	}
+	for _, id := range p.taken {
+		if se, ok := p.space.entries[id]; ok {
+			p.space.removeLocked(se)
+		}
+	}
+	delete(p.space.txns, txnID)
+	p.space.serveWaitersLocked()
+	p.space.mu.Unlock()
+	return nil
+}
+
+// Abort implements txn.Participant: staged writes vanish and provisional
+// takes are restored.
+func (p *spaceTxnPart) Abort(txnID uint64) error {
+	p.space.mu.Lock()
+	for _, id := range p.written {
+		if se, ok := p.space.entries[id]; ok {
+			p.space.removeLocked(se)
+		}
+	}
+	for _, id := range p.taken {
+		if se, ok := p.space.entries[id]; ok {
+			se.takenTxn = 0
+		}
+	}
+	delete(p.space.txns, txnID)
+	p.space.serveWaitersLocked()
+	p.space.mu.Unlock()
+	return nil
+}

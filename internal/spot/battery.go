@@ -1,0 +1,81 @@
+package spot
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrBatteryDead is returned when the device has exhausted its charge.
+var ErrBatteryDead = errors.New("spot: battery exhausted")
+
+// Battery models the SPOT's rechargeable cell as an energy budget in
+// microjoules. Sensing and radio transmission draw it down; an exhausted
+// battery makes the device fail exactly the way a field sensor does, which
+// feeds the framework's failure-handling paths (lease lapse, FMI re-bind).
+type Battery struct {
+	mu        sync.Mutex
+	capacity  float64 // µJ
+	remaining float64 // µJ
+}
+
+// Energy costs per operation, in microjoules. Ballpark figures for a
+// CC2420-class radio and a low-power sensor board: sampling is cheap,
+// radio bytes are the expensive part — the asymmetry behind the paper's
+// motivation #1 (header overhead matters).
+const (
+	SampleCost   = 5.0  // one ADC sample
+	TxByteCost   = 1.6  // transmit one byte
+	RxByteCost   = 1.8  // receive one byte
+	IdleTickCost = 0.05 // housekeeping per sample period
+)
+
+// NewBattery creates a battery with the capacity in microjoules. A
+// non-positive capacity means unlimited (mains powered).
+func NewBattery(capacityMicroJ float64) *Battery {
+	return &Battery{capacity: capacityMicroJ, remaining: capacityMicroJ}
+}
+
+// Draw consumes energy; it reports ErrBatteryDead once the budget is gone.
+func (b *Battery) Draw(microJ float64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.capacity <= 0 {
+		return nil // unlimited
+	}
+	if b.remaining <= 0 {
+		return ErrBatteryDead
+	}
+	b.remaining -= microJ
+	if b.remaining < 0 {
+		b.remaining = 0
+		return ErrBatteryDead
+	}
+	return nil
+}
+
+// Remaining reports the unused budget (µJ); unlimited batteries report -1.
+func (b *Battery) Remaining() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.capacity <= 0 {
+		return -1
+	}
+	return b.remaining
+}
+
+// Level reports the charge fraction in [0, 1]; unlimited batteries report 1.
+func (b *Battery) Level() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.capacity <= 0 {
+		return 1
+	}
+	return b.remaining / b.capacity
+}
+
+// Recharge restores the battery to full.
+func (b *Battery) Recharge() {
+	b.mu.Lock()
+	b.remaining = b.capacity
+	b.mu.Unlock()
+}

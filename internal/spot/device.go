@@ -1,0 +1,186 @@
+package spot
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sensorcer/internal/clockwork"
+)
+
+// ErrNoSensor is returned when sampling a quantity the device lacks.
+var ErrNoSensor = errors.New("spot: device has no such sensor")
+
+// ErrDeviceOff is returned after Shutdown.
+var ErrDeviceOff = errors.New("spot: device is off")
+
+// Device is one simulated Sun SPOT: a radio address, a battery, and a set
+// of on-board environment sensors. The paper's experiment names its four
+// SPOTs Neem, Jade, Coral and Diamond; NewFleet recreates exactly that
+// deployment.
+type Device struct {
+	name    string
+	addr    uint16
+	clock   clockwork.Clock
+	battery *Battery
+	link    *Link
+
+	mu      sync.Mutex
+	sensors map[string]EnvironmentModel
+	samples uint64
+	off     bool
+}
+
+// Config assembles a device.
+type Config struct {
+	// Name labels the device ("Neem").
+	Name string
+	// Addr is the 16-bit radio address.
+	Addr uint16
+	// Clock drives timestamps (Real() by default).
+	Clock clockwork.Clock
+	// BatteryMicroJ is the energy budget; <= 0 means mains powered.
+	BatteryMicroJ float64
+	// Link is the device's radio link (optional; sampling works without
+	// one, transmission does not).
+	Link *Link
+}
+
+// NewDevice creates a device with no sensors attached.
+func NewDevice(cfg Config) *Device {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = clockwork.Real()
+	}
+	return &Device{
+		name:    cfg.Name,
+		addr:    cfg.Addr,
+		clock:   clock,
+		battery: NewBattery(cfg.BatteryMicroJ),
+		link:    cfg.Link,
+		sensors: make(map[string]EnvironmentModel),
+	}
+}
+
+// Name returns the device label.
+func (d *Device) Name() string { return d.name }
+
+// Addr returns the radio address.
+func (d *Device) Addr() uint16 { return d.addr }
+
+// Battery exposes the energy model.
+func (d *Device) Battery() *Battery { return d.battery }
+
+// Link exposes the radio link (nil if none).
+func (d *Device) Link() *Link { return d.link }
+
+// Attach adds an environment sensor to the board.
+func (d *Device) Attach(model EnvironmentModel) {
+	d.mu.Lock()
+	d.sensors[model.Kind()] = model
+	d.mu.Unlock()
+}
+
+// Kinds lists the attached sensor kinds.
+func (d *Device) Kinds() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.sensors))
+	for k := range d.sensors {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Sample reads the named quantity, drawing battery for the ADC sample.
+func (d *Device) Sample(kind string) (float64, time.Time, error) {
+	d.mu.Lock()
+	if d.off {
+		d.mu.Unlock()
+		return 0, time.Time{}, ErrDeviceOff
+	}
+	model, ok := d.sensors[kind]
+	d.mu.Unlock()
+	if !ok {
+		return 0, time.Time{}, fmt.Errorf("%w: %q on %q", ErrNoSensor, kind, d.name)
+	}
+	if err := d.battery.Draw(SampleCost + IdleTickCost); err != nil {
+		return 0, time.Time{}, fmt.Errorf("spot: %q: %w", d.name, err)
+	}
+	now := d.clock.Now()
+	v := model.At(now)
+	d.mu.Lock()
+	d.samples++
+	d.mu.Unlock()
+	return v, now, nil
+}
+
+// Transmit sends payload bytes over the radio, paying the per-byte energy
+// cost (including frame overhead).
+func (d *Device) Transmit(dest uint16, seq uint8, payload []byte) error {
+	d.mu.Lock()
+	off := d.off
+	d.mu.Unlock()
+	if off {
+		return ErrDeviceOff
+	}
+	if d.link == nil {
+		return errors.New("spot: device has no radio link")
+	}
+	n, err := d.link.Transmit(Frame{Source: d.addr, Dest: dest, Seq: seq, Payload: payload})
+	if n > 0 {
+		if berr := d.battery.Draw(float64(n) * TxByteCost); berr != nil && err == nil {
+			err = berr
+		}
+	}
+	return err
+}
+
+// Samples reports how many samples the device has taken.
+func (d *Device) Samples() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.samples
+}
+
+// Shutdown turns the device off (field maintenance, crash injection).
+func (d *Device) Shutdown() {
+	d.mu.Lock()
+	d.off = true
+	d.mu.Unlock()
+}
+
+// Restart turns the device back on.
+func (d *Device) Restart() {
+	d.mu.Lock()
+	d.off = false
+	d.mu.Unlock()
+}
+
+// PaperFleetNames are the four sensors of the paper's Fig. 2/3 deployment.
+var PaperFleetNames = []string{"Neem", "Jade", "Coral", "Diamond"}
+
+// NewFleet creates n temperature-sensing devices with correlated but
+// distinct site conditions, deterministically from the seed. The first
+// four take the paper's names; further devices are numbered.
+func NewFleet(n int, clock clockwork.Clock, seed int64) []*Device {
+	out := make([]*Device, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("Spot-%d", i+1)
+		if i < len(PaperFleetNames) {
+			name = PaperFleetNames[i]
+		}
+		d := NewDevice(Config{
+			Name:  name,
+			Addr:  uint16(0x1000 + i),
+			Clock: clock,
+		})
+		// Shared climate (base 22C, 6C swing) with per-site offsets and
+		// independent noise streams derived from the master seed.
+		siteOffset := float64(i%7)*0.8 - 2.4
+		d.Attach(NewTemperatureModel(22, 6, siteOffset, 0.3, seed+int64(i)*101))
+		out[i] = d
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+// Package spot simulates Sun SPOT sensor devices — the hardware the paper
+// experiments with (§VI: "temperature sensors built into SUN's
+// Programmable Object Technology device"). Real SPOTs are unavailable
+// here, so the package provides deterministic physical models
+// (temperature, humidity, light), a battery/energy model and an
+// 802.15.4-style radio link with loss and latency. The framework above
+// only ever talks to a device through the sensor probe interface, so the
+// substitution exercises exactly the code paths the paper's deployment
+// did, while keeping every experiment reproducible from a seed.
+package spot
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// EnvironmentModel produces a physical quantity as a function of time.
+type EnvironmentModel interface {
+	// At returns the modelled value at the instant.
+	At(t time.Time) float64
+	// Unit names the measurement unit.
+	Unit() string
+	// Kind names the quantity ("temperature", "humidity", "light").
+	Kind() string
+}
+
+// TemperatureModel is a diurnal sinusoid around a base temperature with a
+// per-site offset and AR(1) measurement noise: realistic enough that
+// composite averages over neighbouring sensors behave like the paper's
+// farm scenario, fully deterministic for a given seed.
+type TemperatureModel struct {
+	// BaseC is the site's mean temperature in Celsius.
+	BaseC float64
+	// SwingC is the diurnal half-amplitude (peak at 15:00 local).
+	SwingC float64
+	// SiteOffsetC models spatial variation between sensors.
+	SiteOffsetC float64
+	// NoiseC scales the AR(1) noise term.
+	NoiseC float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	ar  float64
+}
+
+// NewTemperatureModel creates a model with its own deterministic noise
+// stream.
+func NewTemperatureModel(baseC, swingC, siteOffsetC, noiseC float64, seed int64) *TemperatureModel {
+	return &TemperatureModel{
+		BaseC: baseC, SwingC: swingC, SiteOffsetC: siteOffsetC, NoiseC: noiseC,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// At implements EnvironmentModel. Each call advances the noise process.
+func (m *TemperatureModel) At(t time.Time) float64 {
+	hours := float64(t.Hour()) + float64(t.Minute())/60 + float64(t.Second())/3600
+	// Peak at 15:00, trough at 03:00.
+	diurnal := m.SwingC * math.Sin(2*math.Pi*(hours-9)/24)
+	m.mu.Lock()
+	// AR(1): x' = 0.9 x + e, e ~ U(-1, 1) * noise.
+	m.ar = 0.9*m.ar + (m.rng.Float64()*2-1)*m.NoiseC
+	noise := m.ar
+	m.mu.Unlock()
+	return m.BaseC + m.SiteOffsetC + diurnal + noise
+}
+
+// Unit implements EnvironmentModel.
+func (m *TemperatureModel) Unit() string { return "celsius" }
+
+// Kind implements EnvironmentModel.
+func (m *TemperatureModel) Kind() string { return "temperature" }
+
+// HumidityModel anti-correlates with the diurnal cycle (drier afternoons).
+type HumidityModel struct {
+	// BasePct is the mean relative humidity.
+	BasePct float64
+	// SwingPct is the diurnal half-amplitude.
+	SwingPct float64
+	// NoisePct scales uniform noise.
+	NoisePct float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewHumidityModel creates a deterministic humidity model.
+func NewHumidityModel(basePct, swingPct, noisePct float64, seed int64) *HumidityModel {
+	return &HumidityModel{BasePct: basePct, SwingPct: swingPct, NoisePct: noisePct, rng: rand.New(rand.NewSource(seed))}
+}
+
+// At implements EnvironmentModel; results clamp to [0, 100].
+func (m *HumidityModel) At(t time.Time) float64 {
+	hours := float64(t.Hour()) + float64(t.Minute())/60
+	diurnal := -m.SwingPct * math.Sin(2*math.Pi*(hours-9)/24)
+	m.mu.Lock()
+	noise := (m.rng.Float64()*2 - 1) * m.NoisePct
+	m.mu.Unlock()
+	v := m.BasePct + diurnal + noise
+	return math.Max(0, math.Min(100, v))
+}
+
+// Unit implements EnvironmentModel.
+func (m *HumidityModel) Unit() string { return "percent" }
+
+// Kind implements EnvironmentModel.
+func (m *HumidityModel) Kind() string { return "humidity" }
+
+// LightModel is zero at night and a clipped sinusoid during the day.
+type LightModel struct {
+	// PeakLux is the noon illuminance.
+	PeakLux float64
+	// NoiseLux scales uniform noise (cloud flicker).
+	NoiseLux float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewLightModel creates a deterministic light model.
+func NewLightModel(peakLux, noiseLux float64, seed int64) *LightModel {
+	return &LightModel{PeakLux: peakLux, NoiseLux: noiseLux, rng: rand.New(rand.NewSource(seed))}
+}
+
+// At implements EnvironmentModel.
+func (m *LightModel) At(t time.Time) float64 {
+	hours := float64(t.Hour()) + float64(t.Minute())/60
+	// Daylight 06:00–18:00, peak at noon.
+	day := math.Sin(math.Pi * (hours - 6) / 12)
+	if day < 0 {
+		day = 0
+	}
+	m.mu.Lock()
+	noise := (m.rng.Float64()*2 - 1) * m.NoiseLux * day
+	m.mu.Unlock()
+	v := m.PeakLux*day + noise
+	return math.Max(0, v)
+}
+
+// Unit implements EnvironmentModel.
+func (m *LightModel) Unit() string { return "lux" }
+
+// Kind implements EnvironmentModel.
+func (m *LightModel) Kind() string { return "light" }
+
+// ConstantModel returns a fixed value — useful for calibration tests.
+type ConstantModel struct {
+	Value    float64
+	UnitName string
+	KindName string
+}
+
+// At implements EnvironmentModel.
+func (m ConstantModel) At(time.Time) float64 { return m.Value }
+
+// Unit implements EnvironmentModel.
+func (m ConstantModel) Unit() string { return m.UnitName }
+
+// Kind implements EnvironmentModel.
+func (m ConstantModel) Kind() string { return m.KindName }

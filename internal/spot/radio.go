@@ -1,0 +1,167 @@
+package spot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// The radio layer models an IEEE 802.15.4 link, the SPOT's transport. A
+// frame carries at most MaxPayload data bytes behind a FrameOverhead-byte
+// MAC header+footer — the small-packet regime that makes per-reading
+// protocol overhead so costly (the paper's motivation #1, benchmarked by
+// experiment C4).
+const (
+	// FrameOverhead is the MAC header + FCS bytes per frame.
+	FrameOverhead = 11
+	// MaxPayload is the usable payload per frame.
+	MaxPayload = 102
+)
+
+// Frame is one radio frame.
+type Frame struct {
+	// Source and Dest are short 16-bit addresses.
+	Source uint16
+	Dest   uint16
+	// Seq disambiguates retransmissions.
+	Seq uint8
+	// Payload is the application data (<= MaxPayload).
+	Payload []byte
+}
+
+// ErrFrameTooLarge reports an oversized payload.
+var ErrFrameTooLarge = errors.New("spot: payload exceeds radio frame capacity")
+
+// ErrLinkLost reports a dropped (and unacknowledged) transmission.
+var ErrLinkLost = errors.New("spot: frame lost")
+
+// EncodeFrame serializes a frame, including the modelled MAC overhead.
+func EncodeFrame(f Frame) ([]byte, error) {
+	if len(f.Payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, len(f.Payload), MaxPayload)
+	}
+	buf := make([]byte, FrameOverhead+len(f.Payload))
+	buf[0] = 0x41 // frame control (data frame)
+	buf[1] = 0x88
+	buf[2] = f.Seq
+	binary.LittleEndian.PutUint16(buf[3:], 0xFACE) // PAN id
+	binary.LittleEndian.PutUint16(buf[5:], f.Dest)
+	binary.LittleEndian.PutUint16(buf[7:], f.Source)
+	copy(buf[9:], f.Payload)
+	// Trailing 2-byte FCS (checksum over payload for the simulation).
+	var fcs uint16
+	for _, b := range buf[:len(buf)-2] {
+		fcs += uint16(b)
+	}
+	binary.LittleEndian.PutUint16(buf[len(buf)-2:], fcs)
+	return buf, nil
+}
+
+// DecodeFrame parses a serialized frame, verifying the FCS.
+func DecodeFrame(b []byte) (Frame, error) {
+	if len(b) < FrameOverhead {
+		return Frame{}, errors.New("spot: short frame")
+	}
+	var fcs uint16
+	for _, x := range b[:len(b)-2] {
+		fcs += uint16(x)
+	}
+	if binary.LittleEndian.Uint16(b[len(b)-2:]) != fcs {
+		return Frame{}, errors.New("spot: FCS mismatch")
+	}
+	f := Frame{
+		Seq:    b[2],
+		Dest:   binary.LittleEndian.Uint16(b[5:]),
+		Source: binary.LittleEndian.Uint16(b[7:]),
+	}
+	f.Payload = append([]byte{}, b[9:len(b)-2]...)
+	return f, nil
+}
+
+// Link is a lossy, delayed point-to-point radio link. Delivered frames
+// invoke the receiver callback synchronously after the modelled latency.
+type Link struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	lossRate float64
+	latency  time.Duration
+	// stats
+	sent      int
+	delivered int
+	lost      int
+	bytes     int
+	receiver  func(Frame)
+	sleep     func(time.Duration)
+}
+
+// NewLink creates a link with the loss probability and one-way latency.
+func NewLink(lossRate float64, latency time.Duration, seed int64) *Link {
+	return &Link{
+		rng:      rand.New(rand.NewSource(seed)),
+		lossRate: lossRate,
+		latency:  latency,
+		sleep:    time.Sleep,
+	}
+}
+
+// SetReceiver installs the frame sink (the host-side probe).
+func (l *Link) SetReceiver(fn func(Frame)) {
+	l.mu.Lock()
+	l.receiver = fn
+	l.mu.Unlock()
+}
+
+// setSleep overrides the latency sleeper (tests).
+func (l *Link) setSleep(fn func(time.Duration)) {
+	l.mu.Lock()
+	l.sleep = fn
+	l.mu.Unlock()
+}
+
+// Transmit sends a frame over the link, returning ErrLinkLost when the
+// loss model drops it. The byte count includes MAC overhead — the cost a
+// battery pays per transmission.
+func (l *Link) Transmit(f Frame) (int, error) {
+	raw, err := EncodeFrame(f)
+	if err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	l.sent++
+	l.bytes += len(raw)
+	drop := l.rng.Float64() < l.lossRate
+	receiver := l.receiver
+	latency := l.latency
+	sleep := l.sleep
+	if drop {
+		l.lost++
+	} else {
+		l.delivered++
+	}
+	l.mu.Unlock()
+
+	if drop {
+		return len(raw), ErrLinkLost
+	}
+	if latency > 0 {
+		sleep(latency)
+	}
+	if receiver != nil {
+		decoded, err := DecodeFrame(raw)
+		if err != nil {
+			return len(raw), err
+		}
+		receiver(decoded)
+	}
+	return len(raw), nil
+}
+
+// Stats reports sent/delivered/lost frame counts and total bytes on air.
+func (l *Link) Stats() (sent, delivered, lost, bytes int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sent, l.delivered, l.lost, l.bytes
+}

@@ -1,0 +1,330 @@
+package spot
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sensorcer/internal/clockwork"
+)
+
+var epoch = time.Date(2009, 10, 6, 12, 0, 0, 0, time.UTC)
+
+func TestTemperatureModelDeterminism(t *testing.T) {
+	m1 := NewTemperatureModel(22, 6, 0, 0.3, 42)
+	m2 := NewTemperatureModel(22, 6, 0, 0.3, 42)
+	for i := 0; i < 100; i++ {
+		at := epoch.Add(time.Duration(i) * time.Minute)
+		if m1.At(at) != m2.At(at) {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestTemperatureDiurnalShape(t *testing.T) {
+	m := NewTemperatureModel(22, 6, 0, 0, 1) // no noise
+	afternoon := m.At(time.Date(2009, 10, 6, 15, 0, 0, 0, time.UTC))
+	night := m.At(time.Date(2009, 10, 6, 3, 0, 0, 0, time.UTC))
+	if afternoon <= night {
+		t.Fatalf("afternoon %v not warmer than night %v", afternoon, night)
+	}
+	if math.Abs(afternoon-28) > 1e-9 || math.Abs(night-16) > 1e-9 {
+		t.Fatalf("extremes: %v / %v, want 28 / 16", afternoon, night)
+	}
+}
+
+func TestTemperatureNoiseBounded(t *testing.T) {
+	m := NewTemperatureModel(22, 0, 0, 0.5, 7)
+	for i := 0; i < 1000; i++ {
+		v := m.At(epoch)
+		// AR(1) with 0.9 decay and U(-0.5, 0.5) shocks stays within
+		// noise/(1-0.9) = 5 of the base with huge margin.
+		if math.Abs(v-22) > 5 {
+			t.Fatalf("noise excursion %v at step %d", v, i)
+		}
+	}
+}
+
+func TestHumidityClampedAndAntiCorrelated(t *testing.T) {
+	m := NewHumidityModel(50, 20, 0, 3)
+	afternoon := m.At(time.Date(2009, 10, 6, 15, 0, 0, 0, time.UTC))
+	night := m.At(time.Date(2009, 10, 6, 3, 0, 0, 0, time.UTC))
+	if afternoon >= night {
+		t.Fatalf("humidity should dip in the afternoon: %v vs %v", afternoon, night)
+	}
+	ext := NewHumidityModel(99, 50, 0, 4)
+	if v := ext.At(time.Date(2009, 10, 6, 3, 0, 0, 0, time.UTC)); v > 100 {
+		t.Fatalf("humidity %v above 100", v)
+	}
+}
+
+func TestLightZeroAtNight(t *testing.T) {
+	m := NewLightModel(10000, 500, 5)
+	if v := m.At(time.Date(2009, 10, 6, 0, 30, 0, 0, time.UTC)); v != 0 {
+		t.Fatalf("midnight lux = %v", v)
+	}
+	if v := m.At(time.Date(2009, 10, 6, 12, 0, 0, 0, time.UTC)); v < 9000 {
+		t.Fatalf("noon lux = %v", v)
+	}
+}
+
+func TestConstantModel(t *testing.T) {
+	m := ConstantModel{Value: 42, UnitName: "u", KindName: "k"}
+	if m.At(epoch) != 42 || m.Unit() != "u" || m.Kind() != "k" {
+		t.Fatal("ConstantModel broken")
+	}
+}
+
+func TestBatteryDrainsAndDies(t *testing.T) {
+	b := NewBattery(100)
+	if b.Level() != 1 {
+		t.Fatalf("fresh level = %v", b.Level())
+	}
+	if err := b.Draw(60); err != nil {
+		t.Fatal(err)
+	}
+	if b.Remaining() != 40 {
+		t.Fatalf("remaining = %v", b.Remaining())
+	}
+	if err := b.Draw(50); err != nil {
+		// Draw that crosses zero reports death.
+		if !errors.Is(err, ErrBatteryDead) {
+			t.Fatalf("err = %v", err)
+		}
+	} else {
+		t.Fatal("overdraw accepted")
+	}
+	if err := b.Draw(1); !errors.Is(err, ErrBatteryDead) {
+		t.Fatalf("dead battery draw err = %v", err)
+	}
+	b.Recharge()
+	if b.Level() != 1 {
+		t.Fatal("recharge failed")
+	}
+}
+
+func TestUnlimitedBattery(t *testing.T) {
+	b := NewBattery(0)
+	for i := 0; i < 1000; i++ {
+		if err := b.Draw(1e9); err != nil {
+			t.Fatal("mains-powered battery died")
+		}
+	}
+	if b.Remaining() != -1 || b.Level() != 1 {
+		t.Fatal("unlimited battery accounting wrong")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := func(src, dst uint16, seq uint8, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		raw, err := EncodeFrame(Frame{Source: src, Dest: dst, Seq: seq, Payload: payload})
+		if err != nil {
+			return false
+		}
+		if len(raw) != FrameOverhead+len(payload) {
+			return false
+		}
+		back, err := DecodeFrame(raw)
+		if err != nil {
+			return false
+		}
+		if back.Source != src || back.Dest != dst || back.Seq != seq || len(back.Payload) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if back.Payload[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameValidation(t *testing.T) {
+	if _, err := EncodeFrame(Frame{Payload: make([]byte, MaxPayload+1)}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := DecodeFrame([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	raw, _ := EncodeFrame(Frame{Payload: []byte("hello")})
+	raw[9] ^= 0xFF // corrupt payload
+	if _, err := DecodeFrame(raw); err == nil {
+		t.Fatal("corrupt FCS accepted")
+	}
+}
+
+func TestLinkDeliveryAndStats(t *testing.T) {
+	link := NewLink(0, 0, 1)
+	var got []Frame
+	link.SetReceiver(func(f Frame) { got = append(got, f) })
+	for i := 0; i < 5; i++ {
+		if _, err := link.Transmit(Frame{Seq: uint8(i), Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	sent, delivered, lost, bytes := link.Stats()
+	if sent != 5 || delivered != 5 || lost != 0 {
+		t.Fatalf("stats = %d/%d/%d", sent, delivered, lost)
+	}
+	if bytes != 5*(FrameOverhead+1) {
+		t.Fatalf("bytes = %d", bytes)
+	}
+}
+
+func TestLinkLossStatistics(t *testing.T) {
+	link := NewLink(0.3, 0, 99)
+	n, lostCount := 2000, 0
+	for i := 0; i < n; i++ {
+		if _, err := link.Transmit(Frame{Payload: []byte{1}}); errors.Is(err, ErrLinkLost) {
+			lostCount++
+		}
+	}
+	rate := float64(lostCount) / float64(n)
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("observed loss rate %v, want ~0.3", rate)
+	}
+	_, _, lost, _ := link.Stats()
+	if lost != lostCount {
+		t.Fatalf("stats lost = %d, observed %d", lost, lostCount)
+	}
+}
+
+func TestLinkLatencyUsesSleeper(t *testing.T) {
+	link := NewLink(0, 5*time.Millisecond, 1)
+	var slept time.Duration
+	link.setSleep(func(d time.Duration) { slept += d })
+	link.SetReceiver(func(Frame) {})
+	link.Transmit(Frame{Payload: []byte{1}})
+	if slept != 5*time.Millisecond {
+		t.Fatalf("slept %v", slept)
+	}
+}
+
+func TestDeviceSample(t *testing.T) {
+	fc := clockwork.NewFake(epoch)
+	d := NewDevice(Config{Name: "Neem", Addr: 0x1000, Clock: fc})
+	d.Attach(ConstantModel{Value: 21.5, UnitName: "celsius", KindName: "temperature"})
+	v, at, err := d.Sample("temperature")
+	if err != nil || v != 21.5 || !at.Equal(epoch) {
+		t.Fatalf("Sample = %v @ %v, %v", v, at, err)
+	}
+	if d.Samples() != 1 {
+		t.Fatalf("Samples = %d", d.Samples())
+	}
+	if _, _, err := d.Sample("humidity"); !errors.Is(err, ErrNoSensor) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeviceBatteryExhaustion(t *testing.T) {
+	d := NewDevice(Config{Name: "x", BatteryMicroJ: 3 * (SampleCost + IdleTickCost)})
+	d.Attach(ConstantModel{Value: 1, KindName: "temperature"})
+	okCount := 0
+	for i := 0; i < 10; i++ {
+		if _, _, err := d.Sample("temperature"); err == nil {
+			okCount++
+		}
+	}
+	if okCount >= 10 {
+		t.Fatal("battery never died")
+	}
+	if _, _, err := d.Sample("temperature"); !errors.Is(err, ErrBatteryDead) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeviceShutdownRestart(t *testing.T) {
+	d := NewDevice(Config{Name: "x"})
+	d.Attach(ConstantModel{Value: 1, KindName: "temperature"})
+	d.Shutdown()
+	if _, _, err := d.Sample("temperature"); !errors.Is(err, ErrDeviceOff) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := d.Transmit(1, 0, []byte{1}); !errors.Is(err, ErrDeviceOff) {
+		t.Fatalf("transmit err = %v", err)
+	}
+	d.Restart()
+	if _, _, err := d.Sample("temperature"); err != nil {
+		t.Fatal("restart did not restore sampling")
+	}
+}
+
+func TestDeviceTransmitCostsBattery(t *testing.T) {
+	link := NewLink(0, 0, 1)
+	budget := 1000.0
+	d := NewDevice(Config{Name: "x", BatteryMicroJ: budget, Link: link})
+	payload := []byte("reading")
+	if err := d.Transmit(0x2000, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	wantCost := float64(FrameOverhead+len(payload)) * TxByteCost
+	if got := budget - d.Battery().Remaining(); math.Abs(got-wantCost) > 1e-9 {
+		t.Fatalf("energy drawn %v, want %v", got, wantCost)
+	}
+}
+
+func TestDeviceTransmitWithoutLink(t *testing.T) {
+	d := NewDevice(Config{Name: "x"})
+	if err := d.Transmit(1, 0, []byte{1}); err == nil {
+		t.Fatal("linkless transmit accepted")
+	}
+}
+
+func TestNewFleetPaperNames(t *testing.T) {
+	fleet := NewFleet(6, clockwork.NewFake(epoch), 42)
+	want := []string{"Neem", "Jade", "Coral", "Diamond", "Spot-5", "Spot-6"}
+	for i, d := range fleet {
+		if d.Name() != want[i] {
+			t.Fatalf("fleet[%d] = %q, want %q", i, d.Name(), want[i])
+		}
+		if len(d.Kinds()) != 1 || d.Kinds()[0] != "temperature" {
+			t.Fatalf("fleet[%d] sensors = %v", i, d.Kinds())
+		}
+	}
+	// Distinct addresses.
+	seen := map[uint16]bool{}
+	for _, d := range fleet {
+		if seen[d.Addr()] {
+			t.Fatal("duplicate radio address")
+		}
+		seen[d.Addr()] = true
+	}
+}
+
+func TestFleetDeterministicAcrossRuns(t *testing.T) {
+	fc1 := clockwork.NewFake(epoch)
+	fc2 := clockwork.NewFake(epoch)
+	f1 := NewFleet(4, fc1, 7)
+	f2 := NewFleet(4, fc2, 7)
+	for i := range f1 {
+		v1, _, _ := f1[i].Sample("temperature")
+		v2, _, _ := f2[i].Sample("temperature")
+		if v1 != v2 {
+			t.Fatalf("device %d diverged: %v vs %v", i, v1, v2)
+		}
+	}
+}
+
+func TestFleetSitesDiffer(t *testing.T) {
+	fleet := NewFleet(4, clockwork.NewFake(epoch), 7)
+	vals := map[float64]bool{}
+	for _, d := range fleet {
+		v, _, _ := d.Sample("temperature")
+		vals[v] = true
+	}
+	if len(vals) < 3 {
+		t.Fatalf("fleet readings suspiciously identical: %v", vals)
+	}
+}

@@ -1,0 +1,369 @@
+// Package srpc is the small JSON-over-TCP RPC transport sensorcer uses for
+// cross-process deployments (cmd/sensorcerd): newline-delimited JSON
+// request/response frames with integer correlation ids, concurrent calls
+// multiplexed over one connection. In-process federations never touch this
+// package — proxies registered in the lookup service are the provider
+// objects themselves — but the remote sensor browser and remote registrars
+// are srpc clients. Java dynamic proxies have no Go equivalent, so remote
+// interfaces get small hand-written stubs on top of Client.Call.
+package srpc
+
+import (
+	"bufio"
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// request is one call frame.
+type request struct {
+	ID     uint64          `json:"id"`
+	Method string          `json:"method"`
+	Params json.RawMessage `json:"params,omitempty"`
+	// Auth carries the shared secret when the server requires one — the
+	// (deliberately simple) stand-in for the Jini security services the
+	// paper inherits (§VIII). Compared in constant time.
+	Auth string `json:"auth,omitempty"`
+}
+
+// response is one reply frame.
+type response struct {
+	ID     uint64          `json:"id"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// Handler serves one method: params arrive as raw JSON, the return value
+// is marshalled as the result.
+type Handler func(params json.RawMessage) (any, error)
+
+// Server dispatches srpc requests to registered handlers.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	listener net.Listener
+	conns    map[net.Conn]bool
+	token    string
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// SetToken requires every request to carry the shared secret. Set before
+// Listen. An empty token disables authentication (the default).
+func (s *Server) SetToken(token string) {
+	s.mu.Lock()
+	s.token = token
+	s.mu.Unlock()
+}
+
+// NewServer creates a server with no handlers.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]bool),
+	}
+}
+
+// Handle registers a method handler.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	s.handlers[method] = h
+	s.mu.Unlock()
+}
+
+// HandleFunc registers a typed handler: params unmarshal into P.
+func HandleFunc[P any](s *Server, method string, fn func(P) (any, error)) {
+	s.Handle(method, func(raw json.RawMessage) (any, error) {
+		var p P
+		if len(raw) > 0 {
+			if err := json.Unmarshal(raw, &p); err != nil {
+				return nil, fmt.Errorf("srpc: bad params for %s: %w", method, err)
+			}
+		}
+		return fn(p)
+	})
+}
+
+// Listen binds addr ("127.0.0.1:0" for an ephemeral port) and serves until
+// Close.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("srpc: server closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound address (empty before Listen).
+func (s *Server) Addr() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	reader := bufio.NewReader(conn)
+	var writeMu sync.Mutex
+	enc := json.NewEncoder(conn)
+	for {
+		line, err := reader.ReadBytes('\n')
+		if err != nil {
+			return
+		}
+		var req request
+		if err := json.Unmarshal(line, &req); err != nil {
+			continue // garbage frame; drop
+		}
+		// Serve each request on its own goroutine so a slow handler
+		// doesn't head-of-line-block the connection.
+		s.wg.Add(1)
+		go func(req request) {
+			defer s.wg.Done()
+			resp := s.dispatch(req)
+			writeMu.Lock()
+			_ = enc.Encode(resp)
+			writeMu.Unlock()
+		}(req)
+	}
+}
+
+func (s *Server) dispatch(req request) response {
+	s.mu.RLock()
+	h, ok := s.handlers[req.Method]
+	token := s.token
+	s.mu.RUnlock()
+	if token != "" && subtle.ConstantTimeCompare([]byte(req.Auth), []byte(token)) != 1 {
+		return response{ID: req.ID, Error: "srpc: authentication failed"}
+	}
+	if !ok {
+		return response{ID: req.ID, Error: "srpc: unknown method " + req.Method}
+	}
+	result, err := h(req.Params)
+	if err != nil {
+		return response{ID: req.ID, Error: err.Error()}
+	}
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return response{ID: req.ID, Error: "srpc: marshalling result: " + err.Error()}
+	}
+	return response{ID: req.ID, Result: raw}
+}
+
+// Close stops accepting and closes every open connection.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// RemoteError wraps a server-side failure string.
+type RemoteError struct{ Message string }
+
+// Error implements error.
+func (e *RemoteError) Error() string { return e.Message }
+
+// ErrClientClosed is returned by calls on a closed client.
+var ErrClientClosed = errors.New("srpc: client closed")
+
+// Client is a connection to an srpc server, safe for concurrent calls.
+type Client struct {
+	conn    net.Conn
+	enc     *json.Encoder
+	encMu   sync.Mutex
+	timeout time.Duration
+	token   string
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan response
+	closed  bool
+	done    chan struct{}
+}
+
+// Dial connects to an srpc server. timeout bounds each call (0 = 10s).
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		enc:     json.NewEncoder(conn),
+		timeout: timeout,
+		pending: make(map[uint64]chan response),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// SetToken attaches the shared secret to every subsequent call.
+func (c *Client) SetToken(token string) {
+	c.mu.Lock()
+	c.token = token
+	c.mu.Unlock()
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	reader := bufio.NewReader(c.conn)
+	for {
+		line, err := reader.ReadBytes('\n')
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		var resp response
+		if err := json.Unmarshal(line, &resp); err != nil {
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		if ok {
+			delete(c.pending, resp.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	pending := c.pending
+	c.pending = make(map[uint64]chan response)
+	c.closed = true
+	c.mu.Unlock()
+	for _, ch := range pending {
+		ch <- response{Error: fmt.Sprintf("srpc: connection lost: %v", err)}
+	}
+}
+
+// Call invokes method with params, unmarshalling the result into out
+// (which may be nil to discard).
+func (c *Client) Call(method string, params any, out any) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClientClosed
+	}
+	c.nextID++
+	id := c.nextID
+	token := c.token
+	ch := make(chan response, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	var raw json.RawMessage
+	if params != nil {
+		b, err := json.Marshal(params)
+		if err != nil {
+			c.abandon(id)
+			return fmt.Errorf("srpc: marshalling params: %w", err)
+		}
+		raw = b
+	}
+	c.encMu.Lock()
+	err := c.enc.Encode(request{ID: id, Method: method, Params: raw, Auth: token})
+	c.encMu.Unlock()
+	if err != nil {
+		c.abandon(id)
+		return fmt.Errorf("srpc: sending request: %w", err)
+	}
+
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		if resp.Error != "" {
+			return &RemoteError{Message: resp.Error}
+		}
+		if out != nil && len(resp.Result) > 0 {
+			if err := json.Unmarshal(resp.Result, out); err != nil {
+				return fmt.Errorf("srpc: unmarshalling result: %w", err)
+			}
+		}
+		return nil
+	case <-timer.C:
+		c.abandon(id)
+		return fmt.Errorf("srpc: call %s timed out after %v", method, c.timeout)
+	}
+}
+
+func (c *Client) abandon(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// Close tears down the connection; in-flight calls fail.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.conn.Close()
+	<-c.done
+}

@@ -1,0 +1,155 @@
+// Package testbed assembles complete in-process SenSORCER deployments —
+// the Fig. 2 configuration (lookup service, transaction manager, lease
+// renewal service, event mailbox, provision monitor, cybernodes, SPOT
+// temperature ESPs, a façade) — for the experiment harness, the examples
+// and the benchmarks. One call stands up what the paper's lab ran as a
+// room full of services.
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/discovery"
+	"sensorcer/internal/event"
+	"sensorcer/internal/lease"
+	"sensorcer/internal/registry"
+	"sensorcer/internal/rio"
+	"sensorcer/internal/sensor"
+	"sensorcer/internal/sensor/probe"
+	"sensorcer/internal/sorcer"
+	"sensorcer/internal/space"
+	"sensorcer/internal/spot"
+	"sensorcer/internal/txn"
+)
+
+// Config shapes a deployment.
+type Config struct {
+	// Sensors is the number of simulated SPOT temperature sensors
+	// (default 4 — the paper's Neem/Jade/Coral/Diamond).
+	Sensors int
+	// Cybernodes is the number of compute nodes (default 2, as in Fig. 2).
+	Cybernodes int
+	// Seed drives all simulation randomness (default 2009).
+	Seed int64
+	// Clock defaults to the real clock.
+	Clock clockwork.Clock
+	// SampleInterval enables background sampling on the ESPs; zero
+	// means on-demand reads.
+	SampleInterval time.Duration
+	// Policy selects the provisioning policy (default least-loaded).
+	Policy rio.SelectionPolicy
+}
+
+// Deployment is a running SenSORCER network.
+type Deployment struct {
+	Clock     clockwork.Clock
+	Bus       *discovery.Bus
+	LUS       *registry.LookupService
+	Mgr       *discovery.Manager
+	Facade    *sensor.Facade
+	Monitor   *rio.Monitor
+	Factories *rio.FactoryRegistry
+	Nodes     []*rio.Cybernode
+	Devices   []*spot.Device
+	ESPs      []*sensor.ESP
+	TxnMgr    *txn.Manager
+	Mailbox   *event.Mailbox
+	Space     *space.Space
+	Exerter   *sorcer.Exerter
+
+	joins     []*discovery.Join
+	renewals  []*lease.RenewalManager
+	busCancel func()
+}
+
+// SensorNames returns the deployed sensor service names in order.
+func (d *Deployment) SensorNames() []string {
+	out := make([]string, len(d.ESPs))
+	for i, e := range d.ESPs {
+		out[i] = e.SensorName()
+	}
+	return out
+}
+
+// New stands up a deployment per the config.
+func New(cfg Config) *Deployment {
+	if cfg.Sensors <= 0 {
+		cfg.Sensors = 4
+	}
+	if cfg.Cybernodes <= 0 {
+		cfg.Cybernodes = 2
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 2009
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clockwork.Real()
+	}
+
+	d := &Deployment{Clock: cfg.Clock, Bus: discovery.NewBus()}
+	d.LUS = registry.New("persimmon.cs.ttu.edu:4160", cfg.Clock)
+	d.busCancel = d.Bus.Announce(d.LUS)
+	d.Mgr = discovery.NewManager(d.Bus)
+
+	// Jini infrastructure peers of Fig. 2.
+	d.TxnMgr = txn.NewManager(cfg.Clock, lease.Policy{Max: lease.DefaultMax})
+	d.Mailbox = event.NewMailbox(cfg.Clock, lease.Policy{Max: lease.DefaultMax}, 0)
+	d.Space = space.New(cfg.Clock, lease.Policy{Max: lease.DefaultMax})
+	d.Exerter = sorcer.NewExerter(sorcer.NewAccessor(d.Mgr))
+
+	// Simulated SPOT fleet wrapped as ESPs.
+	d.Devices = spot.NewFleet(cfg.Sensors, cfg.Clock, cfg.Seed)
+	for _, dev := range d.Devices {
+		name := dev.Name() + "-Sensor"
+		opts := []sensor.ESPOption{sensor.WithClock(cfg.Clock)}
+		if cfg.SampleInterval > 0 {
+			opts = append(opts, sensor.WithSampleInterval(cfg.SampleInterval))
+		}
+		esp := sensor.NewESP(name, probe.NewSpotProbe(name, dev, "temperature", nil), opts...)
+		esp.Start()
+		d.ESPs = append(d.ESPs, esp)
+		d.joins = append(d.joins, esp.Publish(cfg.Clock, d.Mgr))
+	}
+
+	// Façade + Rio provisioning.
+	d.Facade = sensor.NewFacade("SenSORCER Facade", cfg.Clock, d.Mgr)
+	d.joins = append(d.joins, d.Facade.Publish())
+	d.Factories = rio.NewFactoryRegistry()
+	d.Monitor = rio.NewMonitor(cfg.Clock, cfg.Policy)
+	nm := d.Facade.Network()
+	nm.AttachProvisioner(sensor.NewProvisioner(d.Monitor, d.Factories, cfg.Clock, d.Mgr, nm.FindAccessor))
+	for i := 0; i < cfg.Cybernodes; i++ {
+		node := rio.NewCybernode(fmt.Sprintf("Cybernode-%d", i+1),
+			rio.Capability{CPUs: 4, MemoryMB: 4096, Arch: "amd64"}, d.Factories)
+		d.Nodes = append(d.Nodes, node)
+		lse, err := d.Monitor.RegisterCybernode(node, time.Minute)
+		if err == nil {
+			// Keep node heartbeats alive for the deployment's life.
+			mgr := lease.NewRenewalManager(cfg.Clock)
+			l := lse
+			mgr.Manage(&l)
+			d.renewals = append(d.renewals, mgr)
+		}
+	}
+	return d
+}
+
+// Close tears the deployment down in dependency order.
+func (d *Deployment) Close() {
+	for _, j := range d.joins {
+		j.Terminate()
+	}
+	for _, e := range d.ESPs {
+		e.Close()
+	}
+	for _, m := range d.renewals {
+		m.Stop()
+	}
+	d.Monitor.Close()
+	d.Space.Close()
+	d.Mgr.Terminate()
+	d.busCancel()
+	d.LUS.Close()
+}

@@ -1,0 +1,85 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"sensorcer/internal/sensor"
+	"sensorcer/internal/sorcer"
+)
+
+func TestDefaultDeploymentShape(t *testing.T) {
+	d := New(Config{})
+	defer d.Close()
+	if len(d.ESPs) != 4 || len(d.Nodes) != 2 {
+		t.Fatalf("sensors=%d nodes=%d", len(d.ESPs), len(d.Nodes))
+	}
+	names := d.SensorNames()
+	want := []string{"Neem-Sensor", "Jade-Sensor", "Coral-Sensor", "Diamond-Sensor"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("names = %v", names)
+		}
+	}
+	// Everything visible through the façade.
+	if got := len(d.Facade.SensorEntries()); got != 4 {
+		t.Fatalf("SensorEntries = %d", got)
+	}
+	// All sensors readable.
+	for _, n := range names {
+		if _, err := d.Facade.Network().GetValue(n); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestDeploymentPaperWorkflow(t *testing.T) {
+	d := New(Config{})
+	defer d.Close()
+	nm := d.Facade.Network()
+	if _, err := nm.ComposeService("Composite-Service",
+		[]string{"Neem-Sensor", "Jade-Sensor", "Diamond-Sensor"}, "(a + b + c)/3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := nm.ProvisionComposite("New-Composite",
+		[]string{"Composite-Service", "Coral-Sensor"}, "(a + b)/2", sensor.QoSSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nm.GetValue("New-Composite"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeploymentExertions(t *testing.T) {
+	d := New(Config{})
+	defer d.Close()
+	sig := sorcer.Signature{ServiceType: sensor.AccessorType, Selector: sensor.SelGetValue, ProviderName: "Jade-Sensor"}
+	task := sorcer.NewTask("read", sig, nil)
+	res, err := d.Exerter.Exert(task, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Context().Float(sensor.PathValue); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeploymentBackgroundSampling(t *testing.T) {
+	d := New(Config{SampleInterval: time.Millisecond, Sensors: 2})
+	defer d.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for d.ESPs[0].Store().Len() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if d.ESPs[0].Store().Len() < 2 {
+		t.Fatal("background sampling not running")
+	}
+}
+
+func TestDeploymentScales(t *testing.T) {
+	d := New(Config{Sensors: 32, Cybernodes: 4})
+	defer d.Close()
+	if got := len(d.Facade.SensorEntries()); got != 32 {
+		t.Fatalf("SensorEntries = %d", got)
+	}
+}

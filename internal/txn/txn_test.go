@@ -1,0 +1,282 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/lease"
+)
+
+var epoch = time.Date(2009, 10, 6, 17, 26, 0, 0, time.UTC)
+
+func newMgr() (*clockwork.Fake, *Manager) {
+	fc := clockwork.NewFake(epoch)
+	return fc, NewManager(fc, lease.Policy{Max: time.Hour})
+}
+
+// part is a scripted participant.
+type part struct {
+	mu        sync.Mutex
+	vote      Vote
+	prepErr   error
+	commitErr error
+
+	prepared  int
+	committed int
+	aborted   int
+}
+
+func (p *part) Prepare(uint64) (Vote, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.prepared++
+	return p.vote, p.prepErr
+}
+
+func (p *part) Commit(uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.committed++
+	return p.commitErr
+}
+
+func (p *part) Abort(uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.aborted++
+	return nil
+}
+
+func (p *part) counts() (int, int, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.prepared, p.committed, p.aborted
+}
+
+func TestCommitHappyPath(t *testing.T) {
+	_, m := newMgr()
+	tx, _ := m.Create(time.Minute)
+	p1, p2 := &part{vote: VotePrepared}, &part{vote: VotePrepared}
+	tx.Join(p1)
+	tx.Join(p2)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tx.State() != Committed {
+		t.Fatalf("state = %v", tx.State())
+	}
+	for i, p := range []*part{p1, p2} {
+		pr, co, ab := p.counts()
+		if pr != 1 || co != 1 || ab != 0 {
+			t.Fatalf("participant %d: prepare=%d commit=%d abort=%d", i, pr, co, ab)
+		}
+	}
+}
+
+func TestReadOnlyParticipantSkipsPhase2(t *testing.T) {
+	_, m := newMgr()
+	tx, _ := m.Create(time.Minute)
+	ro := &part{vote: VoteNotChanged}
+	rw := &part{vote: VotePrepared}
+	tx.Join(ro)
+	tx.Join(rw)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, co, _ := ro.counts(); co != 0 {
+		t.Fatal("read-only participant was committed")
+	}
+	if _, co, _ := rw.counts(); co != 1 {
+		t.Fatal("read-write participant not committed")
+	}
+}
+
+func TestAbortVoteAbortsAll(t *testing.T) {
+	_, m := newMgr()
+	tx, _ := m.Create(time.Minute)
+	good := &part{vote: VotePrepared}
+	bad := &part{vote: VoteAborted}
+	tx.Join(good)
+	tx.Join(bad)
+	if err := tx.Commit(); !errors.Is(err, ErrCommitAbort) {
+		t.Fatalf("err = %v", err)
+	}
+	if tx.State() != Aborted {
+		t.Fatalf("state = %v", tx.State())
+	}
+	if _, co, ab := good.counts(); co != 0 || ab != 1 {
+		t.Fatalf("good participant commit=%d abort=%d", co, ab)
+	}
+}
+
+func TestPrepareErrorAborts(t *testing.T) {
+	_, m := newMgr()
+	tx, _ := m.Create(time.Minute)
+	p := &part{vote: VotePrepared, prepErr: errors.New("disk full")}
+	tx.Join(p)
+	if err := tx.Commit(); !errors.Is(err, ErrCommitAbort) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCommitErrorSurfacedButCommitted(t *testing.T) {
+	_, m := newMgr()
+	tx, _ := m.Create(time.Minute)
+	p := &part{vote: VotePrepared, commitErr: errors.New("link lost")}
+	tx.Join(p)
+	err := tx.Commit()
+	if err == nil {
+		t.Fatal("commit error swallowed")
+	}
+	if tx.State() != Committed {
+		t.Fatalf("state = %v, decision must stand", tx.State())
+	}
+}
+
+func TestAbortExplicit(t *testing.T) {
+	_, m := newMgr()
+	tx, _ := m.Create(time.Minute)
+	p := &part{vote: VotePrepared}
+	tx.Join(p)
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ab := p.counts(); ab != 1 {
+		t.Fatal("participant not aborted")
+	}
+	// Idempotent.
+	if err := tx.Abort(); err != nil {
+		t.Fatal("second abort should be a no-op")
+	}
+	// Joining a settled txn fails.
+	if err := tx.Join(&part{}); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("join after abort err = %v", err)
+	}
+}
+
+func TestCommitAfterCommitFails(t *testing.T) {
+	_, m := newMgr()
+	tx, _ := m.Create(time.Minute)
+	tx.Commit()
+	if err := tx.Commit(); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("abort after commit err = %v", err)
+	}
+}
+
+func TestLeaseExpiryAborts(t *testing.T) {
+	fc, m := newMgr()
+	tx, _ := m.Create(time.Minute)
+	p := &part{vote: VotePrepared}
+	tx.Join(p)
+	fc.Advance(2 * time.Minute)
+	m.Sweep()
+	if tx.State() != Aborted {
+		t.Fatalf("state = %v, want Aborted after lease expiry", tx.State())
+	}
+	if _, _, ab := p.counts(); ab != 1 {
+		t.Fatal("participant not aborted on expiry")
+	}
+}
+
+func TestLeaseRenewalKeepsTxnAlive(t *testing.T) {
+	fc, m := newMgr()
+	tx, lse := m.Create(time.Minute)
+	fc.Advance(45 * time.Second)
+	if err := lse.Renew(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	fc.Advance(45 * time.Second)
+	m.Sweep()
+	if tx.State() != Active {
+		t.Fatalf("state = %v", tx.State())
+	}
+}
+
+func TestJoinIdempotent(t *testing.T) {
+	_, m := newMgr()
+	tx, _ := m.Create(time.Minute)
+	p := &part{vote: VotePrepared}
+	tx.Join(p)
+	tx.Join(p)
+	tx.Commit()
+	if pr, _, _ := p.counts(); pr != 1 {
+		t.Fatalf("prepared %d times, want 1", pr)
+	}
+}
+
+func TestJoinNil(t *testing.T) {
+	_, m := newMgr()
+	tx, _ := m.Create(time.Minute)
+	if err := tx.Join(nil); err == nil {
+		t.Fatal("nil participant accepted")
+	}
+}
+
+func TestManagerGetAndSettle(t *testing.T) {
+	_, m := newMgr()
+	tx, _ := m.Create(time.Minute)
+	if got, ok := m.Get(tx.ID()); !ok || got != tx {
+		t.Fatal("Get failed")
+	}
+	if m.Active() != 1 {
+		t.Fatalf("Active = %d", m.Active())
+	}
+	tx.Commit()
+	if _, ok := m.Get(tx.ID()); ok {
+		t.Fatal("settled txn still tracked")
+	}
+	if m.Active() != 0 {
+		t.Fatalf("Active = %d", m.Active())
+	}
+}
+
+func TestEmptyCommit(t *testing.T) {
+	_, m := newMgr()
+	tx, _ := m.Create(time.Minute)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tx.State() != Committed {
+		t.Fatalf("state = %v", tx.State())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		Active: "ACTIVE", Voting: "VOTING", Committed: "COMMITTED", Aborted: "ABORTED", State(9): "State(9)",
+	} {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestConcurrentJoins(t *testing.T) {
+	_, m := newMgr()
+	tx, _ := m.Create(time.Minute)
+	var wg sync.WaitGroup
+	parts := make([]*part, 32)
+	for i := range parts {
+		parts[i] = &part{vote: VotePrepared}
+		wg.Add(1)
+		go func(p *part) {
+			defer wg.Done()
+			tx.Join(p)
+		}(parts[i])
+	}
+	wg.Wait()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range parts {
+		if _, co, _ := p.counts(); co != 1 {
+			t.Fatal("participant missed commit")
+		}
+	}
+}

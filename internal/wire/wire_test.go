@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var epoch = time.Date(2009, 10, 6, 17, 26, 0, 0, time.UTC)
+
+func batch(n int) []Reading {
+	out := make([]Reading, n)
+	for i := range out {
+		out[i] = Reading{
+			SensorID:  uint16(0x1000 + i%4),
+			Timestamp: epoch.Add(time.Duration(i) * 250 * time.Millisecond),
+			Value:     20 + float64(i%10)*0.37,
+		}
+	}
+	return out
+}
+
+func TestCompactRoundTrip(t *testing.T) {
+	in := batch(16)
+	b, err := EncodeCompact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeCompact(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range in {
+		if out[i].SensorID != in[i].SensorID {
+			t.Fatalf("reading %d id %v != %v", i, out[i].SensorID, in[i].SensorID)
+		}
+		if !out[i].Timestamp.Equal(in[i].Timestamp) {
+			t.Fatalf("reading %d ts %v != %v", i, out[i].Timestamp, in[i].Timestamp)
+		}
+		if math.Abs(out[i].Value-in[i].Value) > Quantum/2+1e-12 {
+			t.Fatalf("reading %d value %v != %v", i, out[i].Value, in[i].Value)
+		}
+	}
+}
+
+func TestCompactRejectsEmptyAndDisorder(t *testing.T) {
+	if _, err := EncodeCompact(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	bad := batch(2)
+	bad[1].Timestamp = bad[0].Timestamp.Add(-time.Second)
+	if _, err := EncodeCompact(bad); err == nil {
+		t.Fatal("out-of-order batch accepted")
+	}
+}
+
+func TestDecodeCompactRejectsGarbage(t *testing.T) {
+	good, _ := EncodeCompact(batch(3))
+	cases := [][]byte{
+		nil,
+		{9, 9, 9},
+		append([]byte{}, good[:len(good)-1]...), // truncated
+		append(append([]byte{}, good...), 0),    // trailing byte
+		func() []byte { b := append([]byte{}, good...); b[0] = 7; return b }(), // bad version
+	}
+	for i, b := range cases {
+		if _, err := DecodeCompact(b); !errors.Is(err, ErrBadBatch) && err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestIPStyleRoundTrip(t *testing.T) {
+	r := Reading{SensorID: 0x1003, Timestamp: epoch, Value: -12.75}
+	b := EncodeIPStyle(r)
+	if len(b) != IPStyleBytesPerReading {
+		t.Fatalf("len = %d", len(b))
+	}
+	back, err := DecodeIPStyle(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SensorID != r.SensorID || !back.Timestamp.Equal(r.Timestamp) || back.Value != r.Value {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if _, err := DecodeIPStyle(b[:10]); err == nil {
+		t.Fatal("short datagram accepted")
+	}
+}
+
+func TestCompactBeatsIPStyle(t *testing.T) {
+	for _, n := range []int{1, 4, 16, 64, 256} {
+		ratio, err := OverheadRatio(batch(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio <= 1 {
+			t.Fatalf("n=%d: compact not smaller (ratio %v)", n, ratio)
+		}
+		// Amortization: bigger batches waste fewer bytes per reading.
+		bpr, _ := BytesPerReadingCompact(batch(n))
+		if n >= 64 && bpr > 8 {
+			t.Fatalf("n=%d: %v bytes/reading, want <= 8", n, bpr)
+		}
+	}
+	// The headline: large batches should be ~8-10x smaller than IP-style.
+	ratio, _ := OverheadRatio(batch(256))
+	if ratio < 6 {
+		t.Fatalf("256-batch ratio = %v, want >= 6", ratio)
+	}
+}
+
+func TestAmortizationMonotonic(t *testing.T) {
+	prev := math.Inf(1)
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+		bpr, err := BytesPerReadingCompact(batch(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bpr > prev+1e-9 {
+			t.Fatalf("bytes/reading grew at n=%d: %v > %v", n, bpr, prev)
+		}
+		prev = bpr
+	}
+}
+
+// Property: compact round trip preserves ids, millisecond timestamps and
+// values to within the quantum, for arbitrary ordered batches.
+func TestPropertyCompactRoundTrip(t *testing.T) {
+	f := func(ids []uint16, deltasMS []uint16, centivals []int16) bool {
+		n := len(ids)
+		if len(deltasMS) < n {
+			n = len(deltasMS)
+		}
+		if len(centivals) < n {
+			n = len(centivals)
+		}
+		if n == 0 {
+			return true
+		}
+		in := make([]Reading, n)
+		ts := epoch
+		for i := 0; i < n; i++ {
+			ts = ts.Add(time.Duration(deltasMS[i]) * time.Millisecond)
+			in[i] = Reading{
+				SensorID:  ids[i],
+				Timestamp: ts,
+				Value:     float64(centivals[i]) * Quantum,
+			}
+		}
+		b, err := EncodeCompact(in)
+		if err != nil {
+			return false
+		}
+		out, err := DecodeCompact(b)
+		if err != nil || len(out) != n {
+			return false
+		}
+		for i := range in {
+			if out[i].SensorID != in[i].SensorID ||
+				!out[i].Timestamp.Equal(in[i].Timestamp) ||
+				math.Abs(out[i].Value-in[i].Value) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: IP-style codec is exact for all finite values.
+func TestPropertyIPStyleExact(t *testing.T) {
+	f := func(id uint16, nanos int64, val float64) bool {
+		if math.IsNaN(val) {
+			return true
+		}
+		r := Reading{SensorID: id, Timestamp: time.Unix(0, nanos), Value: val}
+		back, err := DecodeIPStyle(EncodeIPStyle(r))
+		return err == nil && back.SensorID == id && back.Timestamp.Equal(r.Timestamp) && back.Value == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

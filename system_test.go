@@ -1,0 +1,179 @@
+package sensorcer
+
+// Whole-system integration: every layer crossed at once, over real
+// sockets — a lookup service exported via srpc and announced over UDP; a
+// "sensor node" process boundary (its ESP reachable only through an
+// accessor stub); a "compute node" boundary (its provider reachable only
+// through a servicer stub); and a consumer that discovers the registrar
+// dynamically, reads sensors through a façade, composes them, and exerts
+// a task by federated method invocation.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sensorcer/internal/attr"
+	"sensorcer/internal/browser"
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/discovery"
+	"sensorcer/internal/registry"
+	"sensorcer/internal/remote"
+	"sensorcer/internal/sensor"
+	"sensorcer/internal/sensor/probe"
+	"sensorcer/internal/sorcer"
+	"sensorcer/internal/spot"
+	"sensorcer/internal/srpc"
+)
+
+func TestSystemEndToEndOverSockets(t *testing.T) {
+	clock := clockwork.Real()
+
+	// --- "LUS process": lookup service + srpc registrar + UDP announcer.
+	lus := registry.New("system-lus", clock)
+	defer lus.Close()
+	lusServer := srpc.NewServer()
+	if err := lusServer.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer lusServer.Close()
+	remote.ServeRegistrar(lusServer, lus)
+
+	// --- "consumer process": UDP listener resolving announcements into
+	// registrar stubs.
+	bus := discovery.NewBus()
+	resolver := func(locator string) (registry.Registrar, error) {
+		return remote.NewRegistrarClient(locator, 5*time.Second)
+	}
+	listener, err := discovery.NewUDPListener("127.0.0.1:0", nil, bus, resolver, clock, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer listener.Close()
+
+	ann, err := discovery.NewAnnouncer(listener.Addr(), discovery.Packet{
+		ID:      lus.ID(),
+		Name:    lus.Name(),
+		Groups:  []string{discovery.PublicGroup},
+		Locator: lusServer.Addr(),
+	}, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ann.Stop()
+
+	mgr := discovery.NewManager(bus)
+	defer mgr.Terminate()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(mgr.Registrars()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(mgr.Registrars()) == 0 {
+		t.Fatal("UDP discovery never found the lookup service")
+	}
+	consumerSide := mgr.Registrars()[0].(*remote.RegistrarClient)
+	defer consumerSide.Close()
+
+	// --- "sensor node process": SPOT ESP exported as an accessor,
+	// registered remotely.
+	sensorServer := srpc.NewServer()
+	if err := sensorServer.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer sensorServer.Close()
+	dev := spot.NewDevice(spot.Config{Name: "Neem", Clock: clock})
+	dev.Attach(spot.ConstantModel{Value: 21.5, UnitName: "celsius", KindName: "temperature"})
+	esp := sensor.NewESP("Neem-Sensor", probe.NewSpotProbe("Neem-Sensor", dev, "temperature", nil))
+	defer esp.Close()
+	accDesc := remote.ServeAccessor(sensorServer, "Neem-Sensor", esp)
+
+	providerRegistrar, err := remote.NewRegistrarClient(lusServer.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer providerRegistrar.Close()
+	if _, err := providerRegistrar.Register(registry.ServiceItem{
+		Service: accDesc,
+		Types:   []string{sensor.AccessorType},
+		Attributes: attr.Set{
+			attr.Name("Neem-Sensor"),
+			attr.SensorType("temperature", "celsius"),
+			attr.ServiceType(sensor.CategoryElementary),
+		},
+	}, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- "compute node process": a Calc provider exported as a servicer.
+	calcServer := srpc.NewServer()
+	if err := calcServer.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer calcServer.Close()
+	calc := sorcer.NewProvider("Calc-1", "Calc")
+	calc.RegisterOp("scale", func(ctx *sorcer.Context) error {
+		x, err := ctx.Float("in")
+		if err != nil {
+			return err
+		}
+		ctx.Put("out", x*10)
+		return nil
+	})
+	svcDesc := remote.ServeServicer(calcServer, "Calc-1", calc)
+	if _, err := providerRegistrar.Register(registry.ServiceItem{
+		Service:    svcDesc,
+		Types:      []string{"Calc", sorcer.ServicerType},
+		Attributes: attr.Set{attr.Name("Calc-1")},
+	}, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- consumer: façade read of the remote sensor. The consumer's own
+	// composites are exported over its srpc server so the remote
+	// registrar can carry them.
+	consumerServer := srpc.NewServer()
+	if err := consumerServer.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer consumerServer.Close()
+	facade := sensor.NewFacade("system-facade", clock, mgr)
+	facade.Network().SetExporter(remote.AccessorExporter(consumerServer))
+	reading, err := facade.Network().GetValue("Neem-Sensor")
+	if err != nil || reading.Value != 21.5 {
+		t.Fatalf("remote sensor read = %+v, %v", reading, err)
+	}
+
+	// Compose a (local) composite over the remote sensor and read it.
+	if _, err := facade.Network().ComposeService("Edge-Composite",
+		[]string{"Neem-Sensor"}, "a * 2"); err != nil {
+		t.Fatal(err)
+	}
+	cr, err := facade.Network().GetValue("Edge-Composite")
+	if err != nil || cr.Value != 43 {
+		t.Fatalf("composite over remote sensor = %+v, %v", cr, err)
+	}
+
+	// Exert a task against the remote compute provider (cross-process FMI).
+	exerter := sorcer.NewExerter(sorcer.NewAccessor(mgr))
+	task := sorcer.NewTask("t", sorcer.Sig("Calc", "scale"), sorcer.NewContextFrom("in", 4.2))
+	res, err := exerter.Exert(task, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.Context().Float("out")
+	if err != nil || out != 42 {
+		t.Fatalf("remote exertion = %v, %v", out, err)
+	}
+
+	// Browser panels over the whole network.
+	ctl := browser.NewController(facade, mgr)
+	listOut, err := ctl.Execute("list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"system-lus", "Neem-Sensor", "Edge-Composite"} {
+		if !strings.Contains(listOut, want) {
+			t.Fatalf("browser list missing %q:\n%s", want, listOut)
+		}
+	}
+}
