@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build vet test race short bench experiments examples cover clean
+.PHONY: all build vet test race short bench chaos experiments examples cover clean
+
+# Seed for the fault-injection suite; override to replay a sequence:
+#   make chaos CHAOS_SEED=42
+CHAOS_SEED ?= 1
 
 all: build vet test
 
@@ -21,6 +25,9 @@ short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+chaos:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -tags chaos -race ./internal/chaos -count=1
 
 experiments:
 	$(GO) run ./cmd/experiments

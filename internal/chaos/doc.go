@@ -1,0 +1,13 @@
+// Package chaos holds the fault-injection test suite: federations driven
+// under seeded probabilistic faults (provider errors, dropped messages,
+// crashed workers, partitioned nodes) while the resilience layer —
+// retries, backoff, per-attempt deadlines, circuit breakers, lease expiry
+// — keeps exertions either completing or failing cleanly.
+//
+// The suite is build-tagged so ordinary test runs skip it:
+//
+//	go test -tags chaos ./internal/chaos -count=1
+//
+// or `make chaos`. Runs are deterministic for a fixed seed; set CHAOS_SEED
+// to replay a particular sequence (default 1).
+package chaos

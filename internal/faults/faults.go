@@ -1,0 +1,287 @@
+// Package faults is a deterministic, seed-driven fault injector for chaos
+// testing the federation. Production components expose narrow hook points
+// ("sites") — an srpc send, a tuple-space write, a provider operation — and
+// consult an Injector before proceeding. With a nil Injector every hook is
+// a no-op, so the hooks cost one nil check on the hot path and nothing is
+// injected outside tests.
+//
+// All randomness flows from one seeded source, and delays are driven by an
+// injectable clockwork.Clock, so a chaos run with a fixed seed replays the
+// same fault pattern every time. The package also provides the two
+// non-probabilistic chaos primitives the paper's failure semantics call
+// for: Crash (a provider that stops serving and stops renewing its leases)
+// and Partition (groups of nodes that cannot reach each other).
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sensorcer/internal/clockwork"
+)
+
+// Sentinel errors distinguishing injected failures from organic ones.
+// Chaos assertions match these with errors.Is to prove every failure that
+// reaches a requestor is typed and attributable.
+var (
+	// ErrInjected is the default error returned by error-rate rules.
+	ErrInjected = errors.New("faults: injected failure")
+	// ErrCrashed is returned by hooks guarding a crashed component.
+	ErrCrashed = errors.New("faults: provider crashed")
+	// ErrPartitioned is returned when a call crosses partition groups.
+	ErrPartitioned = errors.New("faults: network partitioned")
+)
+
+// Rule is the fault profile for one site: independent probabilities of
+// returning an error, silently dropping the message, and delaying before
+// proceeding. Probabilities are evaluated in that order, each in [0, 1].
+type Rule struct {
+	// ErrorRate is the probability the hook returns Err.
+	ErrorRate float64
+	// Err overrides the error returned on an error injection
+	// (default ErrInjected).
+	Err error
+	// DropRate is the probability Drop reports true — the message is
+	// lost in flight and the caller never learns; whoever waits on the
+	// other end times out.
+	DropRate float64
+	// DelayRate is the probability the hook sleeps Delay before letting
+	// the call proceed.
+	DelayRate float64
+	// Delay is the injected latency for delay events.
+	Delay time.Duration
+}
+
+// SiteStats counts what the injector did at one site.
+type SiteStats struct {
+	Calls  uint64
+	Errors uint64
+	Drops  uint64
+	Delays uint64
+}
+
+// Injector holds per-site rules and the shared random source. All methods
+// are safe for concurrent use, and every method is safe on a nil receiver
+// (no-op / zero result), which is how production code guards its hooks.
+type Injector struct {
+	clock clockwork.Clock
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules map[string]Rule
+	// fallback applies to sites without a specific rule.
+	fallback *Rule
+	stats    map[string]*SiteStats
+}
+
+// New creates an injector whose randomness derives entirely from seed and
+// whose injected delays run on clock (nil = real clock).
+func New(seed int64, clock clockwork.Clock) *Injector {
+	if clock == nil {
+		clock = clockwork.Real()
+	}
+	return &Injector{
+		clock: clock,
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: make(map[string]Rule),
+		stats: make(map[string]*SiteStats),
+	}
+}
+
+// Set installs the rule for a site, replacing any previous one.
+func (in *Injector) Set(site string, r Rule) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.rules[site] = r
+	in.mu.Unlock()
+}
+
+// SetDefault installs a rule applied to every site without its own rule.
+func (in *Injector) SetDefault(r Rule) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.fallback = &r
+	in.mu.Unlock()
+}
+
+// Clear removes the rule for a site.
+func (in *Injector) Clear(site string) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	delete(in.rules, site)
+	in.mu.Unlock()
+}
+
+// rule resolves the effective rule for a site (zero Rule when none).
+func (in *Injector) rule(site string) (Rule, *SiteStats) {
+	st := in.stats[site]
+	if st == nil {
+		st = &SiteStats{}
+		in.stats[site] = st
+	}
+	if r, ok := in.rules[site]; ok {
+		return r, st
+	}
+	if in.fallback != nil {
+		return *in.fallback, st
+	}
+	return Rule{}, st
+}
+
+// Inject is the main hook: it applies the site's rule and returns either
+// nil (proceed — possibly after an injected delay) or the injected error.
+// Nil-safe.
+func (in *Injector) Inject(site string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	r, st := in.rule(site)
+	st.Calls++
+	var delay time.Duration
+	var injected error
+	if r.ErrorRate > 0 && in.rng.Float64() < r.ErrorRate {
+		injected = r.Err
+		if injected == nil {
+			injected = ErrInjected
+		}
+		st.Errors++
+	} else if r.DelayRate > 0 && in.rng.Float64() < r.DelayRate {
+		delay = r.Delay
+		st.Delays++
+	}
+	in.mu.Unlock()
+	if injected != nil {
+		return fmt.Errorf("%w (site %s)", injected, site)
+	}
+	if delay > 0 {
+		in.clock.Sleep(delay)
+	}
+	return nil
+}
+
+// Drop reports whether the message at this site should be silently lost.
+// Call sites that can model in-flight loss (a request never sent, a tuple
+// never stored) use Drop; everything else uses Inject. Nil-safe.
+func (in *Injector) Drop(site string) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	r, st := in.rule(site)
+	st.Calls++
+	dropped := r.DropRate > 0 && in.rng.Float64() < r.DropRate
+	if dropped {
+		st.Drops++
+	}
+	in.mu.Unlock()
+	return dropped
+}
+
+// Stats snapshots the counters for a site.
+func (in *Injector) Stats(site string) SiteStats {
+	if in == nil {
+		return SiteStats{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if st := in.stats[site]; st != nil {
+		return *st
+	}
+	return SiteStats{}
+}
+
+// Crash is a crash-provider switch: a component guards its entry points
+// with Check and the chaos harness flips it with Crash. Unlike an
+// error-rate rule, a crashed component also stops doing background work
+// (lease renewal, space polling) — callers poll Crashed for that.
+type Crash struct {
+	mu   sync.Mutex
+	down bool
+}
+
+// Crash marks the component dead.
+func (c *Crash) Crash() {
+	c.mu.Lock()
+	c.down = true
+	c.mu.Unlock()
+}
+
+// Recover brings the component back.
+func (c *Crash) Recover() {
+	c.mu.Lock()
+	c.down = false
+	c.mu.Unlock()
+}
+
+// Crashed reports the switch state.
+func (c *Crash) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down
+}
+
+// Check returns ErrCrashed while the component is down.
+func (c *Crash) Check() error {
+	if c.Crashed() {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// Partition models a network split: every node starts in group 0; Isolate
+// moves nodes to other groups; calls between different groups fail. Heal
+// restores full connectivity. Nil-safe like the Injector.
+type Partition struct {
+	mu    sync.Mutex
+	group map[string]int
+}
+
+// NewPartition creates a fully connected (unpartitioned) network.
+func NewPartition() *Partition {
+	return &Partition{group: make(map[string]int)}
+}
+
+// Isolate assigns a node to a partition group (group 0 is the majority
+// side). Unknown nodes are implicitly in group 0.
+func (p *Partition) Isolate(node string, group int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.group[node] = group
+	p.mu.Unlock()
+}
+
+// Heal reconnects everything.
+func (p *Partition) Heal() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.group = make(map[string]int)
+	p.mu.Unlock()
+}
+
+// Check returns ErrPartitioned when from and to sit in different groups.
+func (p *Partition) Check(from, to string) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	a, b := p.group[from], p.group[to]
+	p.mu.Unlock()
+	if a != b {
+		return fmt.Errorf("%w: %s -> %s", ErrPartitioned, from, to)
+	}
+	return nil
+}

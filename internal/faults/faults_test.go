@@ -1,0 +1,136 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sensorcer/internal/clockwork"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if err := in.Inject("x"); err != nil {
+		t.Fatalf("nil injector injected: %v", err)
+	}
+	if in.Drop("x") {
+		t.Fatal("nil injector dropped")
+	}
+	in.Set("x", Rule{ErrorRate: 1})
+	in.SetDefault(Rule{ErrorRate: 1})
+	in.Clear("x")
+	if got := in.Stats("x"); got != (SiteStats{}) {
+		t.Fatalf("nil injector stats = %+v", got)
+	}
+}
+
+func TestErrorRateDeterministic(t *testing.T) {
+	count := func() int {
+		in := New(42, clockwork.Real())
+		in.Set("s", Rule{ErrorRate: 0.3})
+		n := 0
+		for i := 0; i < 1000; i++ {
+			if err := in.Inject("s"); err != nil {
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("unexpected error type: %v", err)
+				}
+				n++
+			}
+		}
+		return n
+	}
+	a, b := count(), count()
+	if a != b {
+		t.Fatalf("same seed produced different fault patterns: %d vs %d", a, b)
+	}
+	if a < 200 || a > 400 {
+		t.Fatalf("error rate 0.3 produced %d/1000 errors", a)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	custom := errors.New("boom")
+	in := New(1, clockwork.Real())
+	in.Set("s", Rule{ErrorRate: 1, Err: custom})
+	if err := in.Inject("s"); !errors.Is(err, custom) {
+		t.Fatalf("got %v, want wrapped %v", err, custom)
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	in := New(7, clockwork.Real())
+	in.Set("s", Rule{DropRate: 1})
+	if !in.Drop("s") {
+		t.Fatal("DropRate 1 did not drop")
+	}
+	st := in.Stats("s")
+	if st.Drops != 1 || st.Calls != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDelayUsesClock(t *testing.T) {
+	fake := clockwork.NewFake(time.Unix(0, 0))
+	in := New(7, fake)
+	in.Set("s", Rule{DelayRate: 1, Delay: time.Second})
+	// Fake clock Sleep is a no-op, so this must not block; the delay is
+	// still accounted.
+	if err := in.Inject("s"); err != nil {
+		t.Fatalf("delay rule returned error: %v", err)
+	}
+	if st := in.Stats("s"); st.Delays != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDefaultRuleAppliesToUnknownSites(t *testing.T) {
+	in := New(3, clockwork.Real())
+	in.SetDefault(Rule{ErrorRate: 1})
+	if err := in.Inject("anything"); err == nil {
+		t.Fatal("default rule not applied")
+	}
+	in.Set("quiet", Rule{})
+	if err := in.Inject("quiet"); err != nil {
+		t.Fatalf("site rule should override default: %v", err)
+	}
+}
+
+func TestCrashSwitch(t *testing.T) {
+	var c Crash
+	if err := c.Check(); err != nil {
+		t.Fatalf("fresh switch: %v", err)
+	}
+	c.Crash()
+	if err := c.Check(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashed switch: %v", err)
+	}
+	if !c.Crashed() {
+		t.Fatal("Crashed() false after Crash")
+	}
+	c.Recover()
+	if err := c.Check(); err != nil {
+		t.Fatalf("recovered switch: %v", err)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	p := NewPartition()
+	if err := p.Check("a", "b"); err != nil {
+		t.Fatalf("unpartitioned: %v", err)
+	}
+	p.Isolate("b", 1)
+	if err := p.Check("a", "b"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("cross-group: %v", err)
+	}
+	if err := p.Check("b", "b"); err != nil {
+		t.Fatalf("same group: %v", err)
+	}
+	p.Heal()
+	if err := p.Check("a", "b"); err != nil {
+		t.Fatalf("healed: %v", err)
+	}
+	var nilP *Partition
+	if err := nilP.Check("a", "b"); err != nil {
+		t.Fatalf("nil partition: %v", err)
+	}
+}

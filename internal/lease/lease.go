@@ -30,6 +30,11 @@ const Forever = time.Duration(1<<62 - 1)
 // grantor no longer tracks (expired, cancelled, or never granted).
 var ErrUnknownLease = errors.New("lease: unknown or expired lease")
 
+// ErrCanceled is returned by Renew on a lease whose Cancel has already
+// run (or begun): a renewal racing a cancel must not resurrect the grant,
+// and must not look like an unexpected failure to renewal managers.
+var ErrCanceled = errors.New("lease: canceled")
+
 // Grantor is implemented by services that issue leases (the landlord side).
 type Grantor interface {
 	// Renew extends the lease and returns the new expiration.
@@ -47,6 +52,20 @@ type Lease struct {
 	// Grantor renews or cancels the grant; nil for detached leases
 	// (e.g. deserialized snapshots).
 	Grantor Grantor
+	// st serializes Renew against Cancel so a renewal in flight when the
+	// holder cancels cannot resurrect the grant (and vice versa: a
+	// renewal arriving after Cancel is refused locally with ErrCanceled,
+	// never reaching the grantor). Copies of the handle share it; it is
+	// nil on hand-built detached leases, which keep the historical
+	// unsynchronized behavior.
+	st *leaseState
+}
+
+// leaseState is the shared synchronization cell behind copies of one
+// lease handle.
+type leaseState struct {
+	mu       sync.Mutex
+	canceled bool
 }
 
 // Expired reports whether the lease has lapsed at the given instant.
@@ -55,10 +74,19 @@ func (l *Lease) Expired(now time.Time) bool { return !now.Before(l.Expiration) }
 // Remaining returns the time left before expiry (negative if lapsed).
 func (l *Lease) Remaining(now time.Time) time.Duration { return l.Expiration.Sub(now) }
 
-// Renew asks the grantor for an extension and updates Expiration.
+// Renew asks the grantor for an extension and updates Expiration. On a
+// lease whose Cancel has run it returns ErrCanceled without contacting
+// the grantor.
 func (l *Lease) Renew(requested time.Duration) error {
 	if l.Grantor == nil {
 		return errors.New("lease: no grantor attached")
+	}
+	if l.st != nil {
+		l.st.mu.Lock()
+		defer l.st.mu.Unlock()
+		if l.st.canceled {
+			return ErrCanceled
+		}
 	}
 	exp, err := l.Grantor.Renew(l.ID, requested)
 	if err != nil {
@@ -68,10 +96,20 @@ func (l *Lease) Renew(requested time.Duration) error {
 	return nil
 }
 
-// Cancel relinquishes the lease.
+// Cancel relinquishes the lease. It waits out any in-flight renewal of
+// the same handle, then revokes the grant, so the post-condition is
+// unconditional: after Cancel returns, the grant is gone.
 func (l *Lease) Cancel() error {
 	if l.Grantor == nil {
 		return errors.New("lease: no grantor attached")
+	}
+	if l.st != nil {
+		l.st.mu.Lock()
+		defer l.st.mu.Unlock()
+		if l.st.canceled {
+			return ErrCanceled
+		}
+		l.st.canceled = true
 	}
 	return l.Grantor.Cancel(l.ID)
 }
@@ -150,7 +188,7 @@ func (t *Table) Grant(requested time.Duration) Lease {
 		t.minExp, t.hasMinExp = exp, true
 	}
 	t.mu.Unlock()
-	return Lease{ID: id, Expiration: exp, Grantor: t}
+	return Lease{ID: id, Expiration: exp, Grantor: t, st: &leaseState{}}
 }
 
 // Renew implements Grantor.

@@ -3,11 +3,13 @@ package lease
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
 
 	"sensorcer/internal/clockwork"
+	"sensorcer/internal/resilience"
 )
 
 var epoch = time.Date(2009, 10, 6, 17, 26, 0, 0, time.UTC)
@@ -78,7 +80,7 @@ func TestCancel(t *testing.T) {
 	if tbl.Valid(l.ID) {
 		t.Fatal("cancelled lease still valid")
 	}
-	if err := l.Cancel(); !errors.Is(err, ErrUnknownLease) {
+	if err := l.Cancel(); !errors.Is(err, ErrCanceled) {
 		t.Fatalf("double cancel err = %v", err)
 	}
 }
@@ -224,8 +226,9 @@ func TestRenewalManagerReportsFailure(t *testing.T) {
 		}
 	}))
 	defer m.Stop()
-	// Cancel behind the manager's back; the next renewal must fail.
-	if err := l.Cancel(); err != nil {
+	// Revoke grantor-side, behind the handle's back (as a crashed or
+	// rebooted grantor would); the next renewal must fail organically.
+	if err := tbl.Cancel(l.ID); err != nil {
 		t.Fatal(err)
 	}
 	m.Manage(&l)
@@ -314,5 +317,165 @@ func BenchmarkSweepFastPath(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tbl.Sweep()
+	}
+}
+
+// gatedGrantor blocks Renew until released, so tests can hold a renewal
+// in flight while racing a Cancel against it.
+type gatedGrantor struct {
+	inner   Grantor
+	entered chan struct{}
+	gate    chan struct{}
+	renews  atomic.Int32
+}
+
+func (g *gatedGrantor) Renew(id uint64, d time.Duration) (time.Time, error) {
+	g.renews.Add(1)
+	close(g.entered)
+	<-g.gate
+	return g.inner.Renew(id, d)
+}
+
+func (g *gatedGrantor) Cancel(id uint64) error { return g.inner.Cancel(id) }
+
+func TestCancelWaitsOutInFlightRenewal(t *testing.T) {
+	clock := clockwork.NewFake(time.Unix(0, 0))
+	tbl := NewTable(clock, Policy{Max: time.Minute})
+	l := tbl.Grant(time.Minute)
+	g := &gatedGrantor{inner: tbl, entered: make(chan struct{}), gate: make(chan struct{})}
+	l.Grantor = g
+
+	renewDone := make(chan error, 1)
+	go func() { renewDone <- l.Renew(time.Minute) }()
+	<-g.entered // renewal is in flight at the grantor
+
+	cancelDone := make(chan error, 1)
+	go func() { cancelDone <- l.Cancel() }()
+	// Cancel must serialize behind the in-flight renewal, not interleave.
+	select {
+	case <-cancelDone:
+		t.Fatal("Cancel completed while a renewal was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(g.gate)
+	if err := <-renewDone; err != nil {
+		t.Fatalf("in-flight renew: %v", err)
+	}
+	if err := <-cancelDone; err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	// The decisive postcondition: whatever the interleaving, the grant
+	// is gone — the renewal did not resurrect it.
+	if tbl.Valid(l.ID) {
+		t.Fatal("renewal racing cancel resurrected the lease")
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("table still holds %d grants", tbl.Len())
+	}
+}
+
+func TestRenewAfterCancelRefusedLocally(t *testing.T) {
+	clock := clockwork.NewFake(time.Unix(0, 0))
+	tbl := NewTable(clock, Policy{Max: time.Minute})
+	l := tbl.Grant(time.Minute)
+	g := &gatedGrantor{inner: tbl, entered: make(chan struct{}), gate: make(chan struct{})}
+	close(g.gate) // no blocking needed here
+	if err := l.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	l.Grantor = g
+	if err := l.Renew(time.Minute); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("renew after cancel = %v, want ErrCanceled", err)
+	}
+	// The refusal is local: the grantor never saw the renewal.
+	if n := g.renews.Load(); n != 0 {
+		t.Fatalf("grantor saw %d renewals after cancel", n)
+	}
+	if err := l.Cancel(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("second cancel = %v, want ErrCanceled", err)
+	}
+}
+
+func TestRenewalManagerSilentOnDeliberateCancel(t *testing.T) {
+	clock := clockwork.Real()
+	tbl := NewTable(clock, Policy{Max: 40 * time.Millisecond, Min: time.Millisecond})
+	l := tbl.Grant(40 * time.Millisecond)
+	var failures atomic.Int32
+	m := NewRenewalManager(clock, WithFailureHandler(func(*Lease, error) {
+		failures.Add(1)
+	}))
+	defer m.Stop()
+	m.Manage(&l)
+	// Cancel through the handle: a deliberate departure racing the
+	// renewal loop. The manager must drop the lease without reporting.
+	if err := l.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Count() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("canceled lease never dropped from management")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("deliberate cancel reported as %d failure(s)", n)
+	}
+	if tbl.Valid(l.ID) {
+		t.Fatal("canceled lease still valid")
+	}
+}
+
+// flakyGrantor fails its first n renewals with a transient error.
+type flakyGrantor struct {
+	inner     Grantor
+	mu        sync.Mutex
+	failsLeft int
+	attempts  int
+}
+
+var errFlaky = errors.New("transient grantor outage")
+
+func (g *flakyGrantor) Renew(id uint64, d time.Duration) (time.Time, error) {
+	g.mu.Lock()
+	g.attempts++
+	fail := g.failsLeft > 0
+	if fail {
+		g.failsLeft--
+	}
+	g.mu.Unlock()
+	if fail {
+		return time.Time{}, errFlaky
+	}
+	return g.inner.Renew(id, d)
+}
+
+func (g *flakyGrantor) Cancel(id uint64) error { return g.inner.Cancel(id) }
+
+func TestRenewalManagerRetryPolicyRidesOutTransientFailures(t *testing.T) {
+	clock := clockwork.Real()
+	tbl := NewTable(clock, Policy{Max: 60 * time.Millisecond, Min: time.Millisecond})
+	l := tbl.Grant(60 * time.Millisecond)
+	g := &flakyGrantor{inner: tbl, failsLeft: 2}
+	l.Grantor = g
+	var failures atomic.Int32
+	m := NewRenewalManager(clock,
+		WithRetryPolicy(resilience.Policy{MaxAttempts: 3, BaseBackoff: time.Millisecond}),
+		WithFailureHandler(func(*Lease, error) { failures.Add(1) }))
+	defer m.Stop()
+	m.Manage(&l)
+	time.Sleep(300 * time.Millisecond)
+	if !tbl.Valid(l.ID) {
+		t.Fatal("lease lapsed despite retry policy covering the transient failures")
+	}
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("transient failures surfaced %d times", n)
+	}
+	g.mu.Lock()
+	attempts := g.attempts
+	g.mu.Unlock()
+	if attempts < 3 {
+		t.Fatalf("grantor saw only %d attempts", attempts)
 	}
 }

@@ -1,10 +1,12 @@
 package lease
 
 import (
+	"errors"
 	"sync"
 	"time"
 
 	"sensorcer/internal/clockwork"
+	"sensorcer/internal/resilience"
 )
 
 // RenewalManager keeps a set of leases alive by renewing each one when a
@@ -19,6 +21,9 @@ type RenewalManager struct {
 	renewAt float64
 	// request is the duration asked for on each renewal.
 	request time.Duration
+	// retry governs each renewal attempt (zero = single attempt, the
+	// historical behavior); see WithRetryPolicy.
+	retry resilience.Policy
 
 	mu sync.Mutex
 	// leases maps each managed lease to its renew deadline: the instant
@@ -60,6 +65,23 @@ func WithRequest(d time.Duration) RenewalOption {
 // (the service simply leaves the network, per the paper's semantics).
 func WithFailureHandler(fn func(l *Lease, err error)) RenewalOption {
 	return func(m *RenewalManager) { m.onFailure = fn }
+}
+
+// WithRetryPolicy runs each renewal under the resilience policy, so a
+// transiently unreachable grantor does not immediately cost the lease.
+// The policy's clock defaults to the manager's and its Retryable filter
+// defaults to refusing ErrUnknownLease and ErrCanceled (dead or
+// deliberately departed leases are never worth retrying).
+func WithRetryPolicy(p resilience.Policy) RenewalOption {
+	return func(m *RenewalManager) {
+		if p.Clock == nil {
+			p.Clock = m.clock
+		}
+		if p.Retryable == nil {
+			p.Retryable = resilience.NotRetryable(ErrUnknownLease, ErrCanceled)
+		}
+		m.retry = p
+	}
 }
 
 // NewRenewalManager starts the renewal loop. Call Stop to shut it down.
@@ -170,7 +192,9 @@ func (m *RenewalManager) loop() {
 			}
 		}
 		for _, l := range due {
-			err := l.Renew(m.request)
+			err := m.retry.Run(func(resilience.Attempt) error {
+				return l.Renew(m.request)
+			})
 			m.mu.Lock()
 			if err != nil {
 				delete(m.leases, l)
@@ -178,7 +202,9 @@ func (m *RenewalManager) loop() {
 				m.leases[l] = m.renewDeadline(l, m.clock.Now())
 			}
 			m.mu.Unlock()
-			if err != nil && onFailure != nil {
+			// A canceled lease left deliberately; only organic failures
+			// are worth reporting.
+			if err != nil && onFailure != nil && !errors.Is(err, ErrCanceled) {
 				onFailure(l, err)
 			}
 		}

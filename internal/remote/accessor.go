@@ -8,13 +8,35 @@
 package remote
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"sensorcer/internal/resilience"
 	"sensorcer/internal/sensor"
 	"sensorcer/internal/sensor/probe"
 	"sensorcer/internal/srpc"
 )
+
+// retryableCall is the default Retryable filter for remote stubs: remote
+// execution errors are final (the server ran the handler and said no), as
+// is the stub's own orderly shutdown; timeouts and lost connections are
+// worth another attempt.
+func retryableCall(err error) bool {
+	var re *srpc.RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	return !errors.Is(err, srpc.ErrClientClosed)
+}
+
+// callPolicy normalizes a user-supplied policy for stub use.
+func callPolicy(p resilience.Policy) resilience.Policy {
+	if p.Retryable == nil {
+		p.Retryable = retryableCall
+	}
+	return p
+}
 
 // ProxyDesc is the serializable stand-in for a live service proxy: enough
 // information for a remote peer to construct a stub.
@@ -94,6 +116,24 @@ func ServeAccessor(server *srpc.Server, serviceName string, acc sensor.DataAcces
 type AccessorClient struct {
 	desc   ProxyDesc
 	client *srpc.Client
+	// policy governs each remote call (zero = single attempt); see
+	// SetRetryPolicy.
+	policy resilience.Policy
+}
+
+// SetRetryPolicy runs every stub call under the resilience policy. The
+// Retryable filter defaults to refusing remote execution errors (the
+// provider ran and failed — retrying re-executes) while retrying
+// timeouts and lost connections; Attempt.Timeout bounds each try.
+func (a *AccessorClient) SetRetryPolicy(p resilience.Policy) {
+	a.policy = callPolicy(p)
+}
+
+// call runs one srpc method under the stub's policy.
+func (a *AccessorClient) call(method string, params, out any) error {
+	return a.policy.Run(func(at resilience.Attempt) error {
+		return a.client.CallWithTimeout(method, params, out, at.Timeout)
+	})
 }
 
 // NewAccessorClient materializes a stub from a proxy descriptor, dialing
@@ -115,7 +155,7 @@ func (a *AccessorClient) SensorName() string { return a.desc.Service }
 // GetValue implements sensor.DataAccessor.
 func (a *AccessorClient) GetValue() (probe.Reading, error) {
 	var w wireReading
-	if err := a.client.Call("accessor.getValue."+a.desc.Service, serviceParams{Service: a.desc.Service}, &w); err != nil {
+	if err := a.call("accessor.getValue."+a.desc.Service, serviceParams{Service: a.desc.Service}, &w); err != nil {
 		return probe.Reading{}, err
 	}
 	return fromWire(w), nil
@@ -124,7 +164,7 @@ func (a *AccessorClient) GetValue() (probe.Reading, error) {
 // GetReadings implements sensor.DataAccessor.
 func (a *AccessorClient) GetReadings(n int) []probe.Reading {
 	var ws []wireReading
-	if err := a.client.Call("accessor.getReadings."+a.desc.Service, readingsParams{Service: a.desc.Service, N: n}, &ws); err != nil {
+	if err := a.call("accessor.getReadings."+a.desc.Service, readingsParams{Service: a.desc.Service, N: n}, &ws); err != nil {
 		return nil
 	}
 	out := make([]probe.Reading, len(ws))
@@ -137,7 +177,7 @@ func (a *AccessorClient) GetReadings(n int) []probe.Reading {
 // Describe implements sensor.DataAccessor.
 func (a *AccessorClient) Describe() probe.Info {
 	var w wireInfo
-	if err := a.client.Call("accessor.describe."+a.desc.Service, serviceParams{Service: a.desc.Service}, &w); err != nil {
+	if err := a.call("accessor.describe."+a.desc.Service, serviceParams{Service: a.desc.Service}, &w); err != nil {
 		return probe.Info{Name: a.desc.Service}
 	}
 	return probe.Info{Name: w.Name, Technology: w.Technology, Kind: w.Kind, Unit: w.Unit}

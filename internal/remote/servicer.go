@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"sensorcer/internal/resilience"
 	"sensorcer/internal/sorcer"
 	"sensorcer/internal/srpc"
 	"sensorcer/internal/txn"
@@ -68,6 +69,18 @@ func ServeServicer(server *srpc.Server, serviceName string, svc sorcer.Servicer)
 type ServicerClient struct {
 	desc   ProxyDesc
 	client *srpc.Client
+	// policy governs each remote exertion call (zero = single attempt).
+	policy resilience.Policy
+}
+
+// SetRetryPolicy runs every remote exertion under the resilience policy.
+// Remote execution errors are never retried by default — the provider ran
+// the task and failed; re-running would double-execute. Only transport
+// faults (timeouts, lost connections) are retried, and those carry the
+// risk the request was executed but the reply lost: at-most-once becomes
+// at-least-once, which exertion operations must tolerate.
+func (s *ServicerClient) SetRetryPolicy(p resilience.Policy) {
+	s.policy = callPolicy(p)
 }
 
 // NewServicerClient materializes a stub from a servicer proxy descriptor.
@@ -104,7 +117,10 @@ func (s *ServicerClient) Service(ex sorcer.Exertion, tx *txn.Transaction) (sorce
 		Context:      contextToWire(task.Context()),
 	}
 	var res wireTaskResult
-	if err := s.client.Call("servicer.service."+s.desc.Service, req, &res); err != nil {
+	err := s.policy.Run(func(at resilience.Attempt) error {
+		return s.client.CallWithTimeout("servicer.service."+s.desc.Service, req, &res, at.Timeout)
+	})
+	if err != nil {
 		sorcer.FinishTask(task, nil, err)
 		return task, err
 	}

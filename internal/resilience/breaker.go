@@ -1,0 +1,233 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sensorcer/internal/clockwork"
+)
+
+// ErrBreakerOpen is returned by Allow while a breaker rejects calls.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// Breaker states.
+const (
+	// Closed: calls flow; consecutive failures are counted.
+	Closed BreakerState = iota
+	// Open: calls are rejected until the cooldown elapses.
+	Open
+	// HalfOpen: a bounded number of probe calls are admitted; success
+	// closes the breaker, failure re-opens it.
+	HalfOpen
+)
+
+// String renders the state for logs.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "CLOSED"
+	case Open:
+		return "OPEN"
+	case HalfOpen:
+		return "HALF-OPEN"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// BreakerConfig tunes a Breaker. Zero fields take the defaults.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures open the
+	// breaker (default 5).
+	FailureThreshold int
+	// Cooldown is how long an open breaker rejects before admitting
+	// half-open probes (default 1s).
+	Cooldown time.Duration
+	// HalfOpenProbes bounds concurrently admitted probe calls while
+	// half-open (default 1).
+	HalfOpenProbes int
+	// SuccessesToClose is how many probe successes close the breaker
+	// (default 1).
+	SuccessesToClose int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.SuccessesToClose <= 0 {
+		c.SuccessesToClose = 1
+	}
+	return c
+}
+
+// Breaker is a per-peer circuit breaker: after FailureThreshold
+// consecutive failures it rejects calls for Cooldown, then admits a few
+// probes (half-open) and closes again once they succeed — the standard
+// way to stop hammering a provider that is down while still noticing when
+// it comes back. All methods are safe for concurrent use and safe on a
+// nil receiver (a nil breaker never rejects), so optional breaker fields
+// need no guards.
+type Breaker struct {
+	clock clockwork.Clock
+	cfg   BreakerConfig
+
+	mu        sync.Mutex
+	state     BreakerState
+	fails     int
+	openedAt  time.Time
+	inflight  int
+	successes int
+}
+
+// NewBreaker creates a closed breaker on the clock (nil = real).
+func NewBreaker(clock clockwork.Clock, cfg BreakerConfig) *Breaker {
+	if clock == nil {
+		clock = clockwork.Real()
+	}
+	return &Breaker{clock: clock, cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a call may proceed, transitioning Open→HalfOpen
+// when the cooldown has elapsed. Every successful Allow must be paired
+// with a Record.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return nil
+	case Open:
+		if b.clock.Since(b.openedAt) < b.cfg.Cooldown {
+			return ErrBreakerOpen
+		}
+		b.state = HalfOpen
+		b.inflight = 0
+		b.successes = 0
+		fallthrough
+	default: // HalfOpen
+		if b.inflight >= b.cfg.HalfOpenProbes {
+			return ErrBreakerOpen
+		}
+		b.inflight++
+		return nil
+	}
+}
+
+// Record reports a call outcome (nil = success).
+func (b *Breaker) Record(err error) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		if err != nil {
+			b.fails++
+			if b.fails >= b.cfg.FailureThreshold {
+				b.trip()
+			}
+		} else {
+			b.fails = 0
+		}
+	case HalfOpen:
+		if b.inflight > 0 {
+			b.inflight--
+		}
+		if err != nil {
+			b.trip()
+		} else {
+			b.successes++
+			if b.successes >= b.cfg.SuccessesToClose {
+				b.state = Closed
+				b.fails = 0
+			}
+		}
+	case Open:
+		// A straggler from before the trip; nothing to update.
+	}
+}
+
+// trip opens the breaker. Caller holds b.mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.clock.Now()
+	b.fails = 0
+	b.inflight = 0
+	b.successes = 0
+}
+
+// State returns the breaker's current position (Closed for nil).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerSet is a lazily populated family of breakers keyed by peer
+// identity — the Exerter keeps one per provider so a flapping provider is
+// skipped during rebinding without penalizing its equivalents.
+type BreakerSet struct {
+	clock clockwork.Clock
+	cfg   BreakerConfig
+
+	mu sync.Mutex
+	m  map[string]*Breaker
+}
+
+// NewBreakerSet creates an empty set; each breaker is built from cfg.
+func NewBreakerSet(clock clockwork.Clock, cfg BreakerConfig) *BreakerSet {
+	if clock == nil {
+		clock = clockwork.Real()
+	}
+	return &BreakerSet{clock: clock, cfg: cfg.withDefaults(), m: make(map[string]*Breaker)}
+}
+
+// For returns the breaker for a key, creating it closed on first use.
+// Nil-safe: a nil set yields a nil (always-allowing) breaker.
+func (s *BreakerSet) For(key string) *Breaker {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[key]
+	if !ok {
+		b = &Breaker{clock: s.clock, cfg: s.cfg}
+		s.m[key] = b
+	}
+	return b
+}
+
+// States snapshots every tracked breaker's state (for tests and the
+// browser's health panel).
+func (s *BreakerSet) States() map[string]BreakerState {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]BreakerState, len(s.m))
+	for k, b := range s.m {
+		out[k] = b.State()
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+// Package resilience is the single place sensorcer expresses "try again,
+// but not forever": a Policy bundles bounded retries, exponential backoff
+// with jitter, a per-attempt deadline, and an optional circuit breaker.
+// Before this package each layer hand-rolled its own timeout/retry code
+// (srpc calls, exertion rebinding, spacer result waits, lease renewal);
+// they now all run operations through a Policy, so degradation behavior is
+// configured — and chaos-tested — in one vocabulary.
+//
+// A zero Policy runs the operation exactly once with no deadline, no
+// backoff and no breaker, which keeps it safe to embed as an optional
+// field: callers that never configure one get the historical behavior.
+package resilience
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sensorcer/internal/clockwork"
+)
+
+// Defaults for Policy fields left zero when retries are enabled.
+const (
+	DefaultBaseBackoff = 10 * time.Millisecond
+	DefaultMaxBackoff  = time.Second
+)
+
+// Attempt tells the operation which try this is and what deadline applies.
+type Attempt struct {
+	// N is the 1-based attempt number.
+	N int
+	// Timeout is the per-attempt deadline (0 = none). Operations that
+	// support native timeouts (srpc calls, space takes) should honor it;
+	// the Policy does not forcibly interrupt an attempt, because killing
+	// a goroutine mid-operation would leak it.
+	Timeout time.Duration
+}
+
+// Policy is a reusable description of how to run a fallible operation.
+// Policies are values: copy freely, share between goroutines.
+type Policy struct {
+	// MaxAttempts bounds the total tries (0 or 1 = no retry).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; it doubles every
+	// further retry. Zero means DefaultBaseBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the (pre-jitter) backoff. Zero means
+	// DefaultMaxBackoff.
+	MaxBackoff time.Duration
+	// Jitter in [0, 1] randomizes each backoff within
+	// [d*(1-Jitter), d], decorrelating retry storms. Zero disables.
+	Jitter float64
+	// AttemptTimeout is handed to the operation via Attempt.Timeout.
+	AttemptTimeout time.Duration
+	// Clock drives backoff sleeps (nil = real clock). Chaos tests inject
+	// a fake so retry schedules are deterministic.
+	Clock clockwork.Clock
+	// Retryable filters errors worth retrying (nil = retry everything).
+	// Non-retryable errors return immediately.
+	Retryable func(error) bool
+	// Breaker, when set, is consulted before and informed after every
+	// attempt. Use a per-provider breaker from a BreakerSet when the
+	// policy guards calls to one specific peer.
+	Breaker *Breaker
+}
+
+// jitterRand is the shared jitter source; jitter only perturbs sleep
+// lengths, never control flow, so a process-global source keeps Policy a
+// plain value without threatening chaos-test determinism.
+var (
+	jitterMu   sync.Mutex
+	jitterRand = rand.New(rand.NewSource(1))
+)
+
+func jitterFloat() float64 {
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return jitterRand.Float64()
+}
+
+// backoff computes the sleep before retry n+1 (n is the failed attempt's
+// 1-based number).
+func (p Policy) backoff(n int) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = DefaultBaseBackoff
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = DefaultMaxBackoff
+	}
+	d := base
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= max || d <= 0 {
+			d = max
+			break
+		}
+	}
+	if d > max {
+		d = max
+	}
+	if j := p.Jitter; j > 0 {
+		if j > 1 {
+			j = 1
+		}
+		d = time.Duration(float64(d) * (1 - j*jitterFloat()))
+	}
+	return d
+}
+
+// Run executes op under the policy and returns the final attempt's error
+// (unwrapped, so call sites keep their error identity).
+func (p Policy) Run(op func(Attempt) error) error {
+	attempts := p.MaxAttempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	clock := p.Clock
+	if clock == nil {
+		clock = clockwork.Real()
+	}
+	var err error
+	for n := 1; ; n++ {
+		if berr := p.Breaker.Allow(); berr != nil {
+			if err != nil {
+				// A previous attempt's error is more informative
+				// than "breaker open".
+				return err
+			}
+			return berr
+		}
+		err = op(Attempt{N: n, Timeout: p.AttemptTimeout})
+		p.Breaker.Record(err)
+		if err == nil {
+			return nil
+		}
+		if n >= attempts {
+			return err
+		}
+		if p.Retryable != nil && !p.Retryable(err) {
+			return err
+		}
+		clock.Sleep(p.backoff(n))
+	}
+}
+
+// Do is Run for operations that produce a value.
+func Do[T any](p Policy, op func(Attempt) (T, error)) (T, error) {
+	var out T
+	err := p.Run(func(a Attempt) error {
+		v, err := op(a)
+		if err != nil {
+			return err
+		}
+		out = v
+		return nil
+	})
+	return out, err
+}
+
+// NotRetryable wraps sentinel errors into a Retryable predicate that
+// refuses them and retries everything else.
+func NotRetryable(sentinels ...error) func(error) bool {
+	return func(err error) bool {
+		for _, s := range sentinels {
+			if errors.Is(err, s) {
+				return false
+			}
+		}
+		return true
+	}
+}

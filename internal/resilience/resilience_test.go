@@ -1,0 +1,229 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sensorcer/internal/clockwork"
+)
+
+var errBoom = errors.New("boom")
+
+func TestZeroPolicyRunsOnce(t *testing.T) {
+	calls := 0
+	err := Policy{}.Run(func(a Attempt) error {
+		calls++
+		if a.N != 1 || a.Timeout != 0 {
+			t.Fatalf("attempt = %+v", a)
+		}
+		return errBoom
+	})
+	if !errors.Is(err, errBoom) || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetriesUntilSuccess(t *testing.T) {
+	fake := clockwork.NewFake(time.Unix(0, 0))
+	calls := 0
+	p := Policy{MaxAttempts: 5, Clock: fake, BaseBackoff: time.Millisecond}
+	err := p.Run(func(a Attempt) error {
+		calls++
+		if calls < 3 {
+			return errBoom
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestAttemptsBounded(t *testing.T) {
+	fake := clockwork.NewFake(time.Unix(0, 0))
+	calls := 0
+	p := Policy{MaxAttempts: 3, Clock: fake}
+	err := p.Run(func(Attempt) error { calls++; return errBoom })
+	if !errors.Is(err, errBoom) || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestNonRetryableReturnsImmediately(t *testing.T) {
+	sentinel := errors.New("fatal")
+	calls := 0
+	p := Policy{MaxAttempts: 5, Clock: clockwork.NewFake(time.Unix(0, 0)), Retryable: NotRetryable(sentinel)}
+	err := p.Run(func(Attempt) error { calls++; return sentinel })
+	if !errors.Is(err, sentinel) || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestAttemptTimeoutPropagated(t *testing.T) {
+	p := Policy{AttemptTimeout: 42 * time.Millisecond}
+	_ = p.Run(func(a Attempt) error {
+		if a.Timeout != 42*time.Millisecond {
+			t.Fatalf("timeout = %v", a.Timeout)
+		}
+		return nil
+	})
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	p := Policy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 35 * time.Millisecond}
+	want := []time.Duration{10, 20, 35, 35}
+	for i, w := range want {
+		if got := p.backoff(i + 1); got != w*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestJitterStaysInRange(t *testing.T) {
+	p := Policy{BaseBackoff: 100 * time.Millisecond, MaxBackoff: 100 * time.Millisecond, Jitter: 0.5}
+	for i := 0; i < 100; i++ {
+		d := p.backoff(1)
+		if d < 50*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("jittered backoff %v outside [50ms, 100ms]", d)
+		}
+	}
+}
+
+func TestDoReturnsValue(t *testing.T) {
+	v, err := Do(Policy{MaxAttempts: 2, Clock: clockwork.NewFake(time.Unix(0, 0))}, func(a Attempt) (int, error) {
+		if a.N == 1 {
+			return 0, errBoom
+		}
+		return 7, nil
+	})
+	if err != nil || v != 7 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	fake := clockwork.NewFake(time.Unix(0, 0))
+	b := NewBreaker(fake, BreakerConfig{FailureThreshold: 3, Cooldown: time.Second})
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker rejected call %d", i)
+		}
+		b.Record(errBoom)
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v, want OPEN", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker allowed: %v", err)
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b := NewBreaker(clockwork.NewFake(time.Unix(0, 0)), BreakerConfig{FailureThreshold: 3})
+	b.Record(errBoom)
+	b.Record(errBoom)
+	b.Record(nil)
+	b.Record(errBoom)
+	b.Record(errBoom)
+	if b.State() != Closed {
+		t.Fatalf("state = %v after interleaved success", b.State())
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	fake := clockwork.NewFake(time.Unix(0, 0))
+	b := NewBreaker(fake, BreakerConfig{FailureThreshold: 1, Cooldown: time.Second})
+	b.Record(errBoom)
+	if b.State() != Open {
+		t.Fatal("breaker did not open")
+	}
+	fake.Advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected after cooldown: %v", err)
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want HALF-OPEN", b.State())
+	}
+	// Only one probe admitted while the first is in flight.
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second concurrent probe allowed: %v", err)
+	}
+	b.Record(nil)
+	if b.State() != Closed {
+		t.Fatalf("state = %v after probe success", b.State())
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	fake := clockwork.NewFake(time.Unix(0, 0))
+	b := NewBreaker(fake, BreakerConfig{FailureThreshold: 1, Cooldown: time.Second})
+	b.Record(errBoom)
+	fake.Advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	b.Record(errBoom)
+	if b.State() != Open {
+		t.Fatalf("state = %v after probe failure", b.State())
+	}
+}
+
+func TestPolicyWithBreakerShortCircuits(t *testing.T) {
+	fake := clockwork.NewFake(time.Unix(0, 0))
+	b := NewBreaker(fake, BreakerConfig{FailureThreshold: 2, Cooldown: time.Minute})
+	p := Policy{MaxAttempts: 10, Clock: fake, Breaker: b}
+	calls := 0
+	err := p.Run(func(Attempt) error { calls++; return errBoom })
+	// Two attempts trip the breaker; the third Allow fails and the last
+	// attempt error is surfaced.
+	if !errors.Is(err, errBoom) || calls != 2 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	// With no prior attempt, the breaker error itself surfaces.
+	err = p.Run(func(Attempt) error { t.Fatal("should not run"); return nil })
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err=%v, want ErrBreakerOpen", err)
+	}
+}
+
+func TestNilBreakerAlwaysAllows(t *testing.T) {
+	var b *Breaker
+	if err := b.Allow(); err != nil {
+		t.Fatal("nil breaker rejected")
+	}
+	b.Record(errBoom)
+	if b.State() != Closed {
+		t.Fatal("nil breaker state not closed")
+	}
+}
+
+func TestBreakerSet(t *testing.T) {
+	fake := clockwork.NewFake(time.Unix(0, 0))
+	s := NewBreakerSet(fake, BreakerConfig{FailureThreshold: 1})
+	a := s.For("p1")
+	if a != s.For("p1") {
+		t.Fatal("For not stable per key")
+	}
+	a.Record(errBoom)
+	states := s.States()
+	if states["p1"] != Open {
+		t.Fatalf("states = %v", states)
+	}
+	var nilSet *BreakerSet
+	if nilSet.For("x") != nil {
+		t.Fatal("nil set returned a breaker")
+	}
+	if nilSet.States() != nil {
+		t.Fatal("nil set returned states")
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	if Closed.String() != "CLOSED" || Open.String() != "OPEN" || HalfOpen.String() != "HALF-OPEN" {
+		t.Fatal("state strings wrong")
+	}
+	if BreakerState(9).String() == "" {
+		t.Fatal("unknown state unrendered")
+	}
+}

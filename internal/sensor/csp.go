@@ -28,6 +28,39 @@ const HistoryWindow = 16
 // ErrChildTimeout is returned when a component read exceeds the deadline.
 var ErrChildTimeout = errors.New("sensor: component read timed out")
 
+// ErrQuorum is returned when fewer components than the configured quorum
+// produced a value.
+var ErrQuorum = errors.New("sensor: quorum not met")
+
+// Quality describes how complete the last composite evaluation was — the
+// data-quality annotation degraded reads stamp into task contexts.
+type Quality struct {
+	// Responded is how many components produced a value.
+	Responded int
+	// Composed is how many components the CSP holds.
+	Composed int
+	// Degraded reports that at least one component was missing.
+	Degraded bool
+	// Missing lists the sensor names of the failed components.
+	Missing []string
+}
+
+// String renders the annotation, e.g. "full 4/4" or
+// "degraded 3/4 (missing: rtd-1)".
+func (q Quality) String() string {
+	if !q.Degraded {
+		return fmt.Sprintf("full %d/%d", q.Responded, q.Composed)
+	}
+	return fmt.Sprintf("degraded %d/%d (missing: %s)",
+		q.Responded, q.Composed, strings.Join(q.Missing, ", "))
+}
+
+// QualityReporter is implemented by accessors that can qualify their last
+// value; serveAccessor stamps the annotation into the task context.
+type QualityReporter interface {
+	ReadQuality() (Quality, bool)
+}
+
 // CSP is the Composite Sensor Provider (§V-B): it composes ESPs and other
 // CSPs, collects their values, binds them to runtime variables (a, b, c,
 // ... in composition order — §VI: "the variables that are used in the
@@ -49,10 +82,19 @@ type CSP struct {
 	// cacheTTL serves repeated reads from the last computed value while
 	// it is younger than the TTL (0 = recompute every read).
 	cacheTTL time.Duration
+	// quorum, when positive, lets reads degrade gracefully: components
+	// that error or time out are dropped and the expression evaluates
+	// over the survivors, as long as at least quorum of them responded.
+	// Zero keeps the strict historical behavior (any failure fails the
+	// read).
+	quorum int
 
 	mu       sync.Mutex
 	children []childBinding
 	program  *expr.Program
+	// lastQuality qualifies the most recent successful evaluation.
+	lastQuality Quality
+	hasQuality  bool
 }
 
 type childBinding struct {
@@ -90,6 +132,20 @@ func WithCSPClock(clock clockwork.Clock) CSPOption {
 // requestors share one composite.
 func WithCacheTTL(ttl time.Duration) CSPOption {
 	return func(c *CSP) { c.cacheTTL = ttl }
+}
+
+// WithQuorum lets composite reads survive component faults: failed or
+// timed-out components are dropped and the value is computed over the
+// surviving ones, provided at least min responded. Expressions referring
+// to a missing component's variable fall back to the average of the
+// survivors. Each degraded read is qualified via ReadQuality and, when
+// served through an exertion, annotated at PathQuality.
+func WithQuorum(min int) CSPOption {
+	return func(c *CSP) {
+		if min > 0 {
+			c.quorum = min
+		}
+	}
 }
 
 // NewCSP creates an empty composite sensor provider.
@@ -238,12 +294,25 @@ func (c *CSP) GetValue() (probe.Reading, error) {
 		}
 		timer := c.clock.NewTimer(c.timeout)
 		defer timer.Stop()
+		arrived := make([]bool, len(children))
+	collect:
 		for received := 0; received < len(children); received++ {
 			select {
 			case cv := <-resCh:
 				results[cv.idx] = cv
+				arrived[cv.idx] = true
 			case <-timer.C():
-				return probe.Reading{}, fmt.Errorf("%w after %v in %q", ErrChildTimeout, c.timeout, c.name)
+				if c.quorum <= 0 {
+					return probe.Reading{}, fmt.Errorf("%w after %v in %q", ErrChildTimeout, c.timeout, c.name)
+				}
+				// Degradable composite: the stragglers are treated as
+				// failed components and the survivors carry the read.
+				for i := range results {
+					if !arrived[i] {
+						results[i] = childValue{idx: i, err: ErrChildTimeout}
+					}
+				}
+				break collect
 			}
 		}
 	}
@@ -260,15 +329,20 @@ func (c *CSP) GetValue() (probe.Reading, error) {
 	}
 
 	env := expr.Env{}
-	values := make([]float64, len(children))
-	unit, uniformUnit := "", true
+	values := make([]float64, 0, len(children))
+	var missing []string
+	unit, uniformUnit, first := "", true, true
 	for i, ch := range children {
 		if results[i].err != nil {
-			return probe.Reading{}, fmt.Errorf("sensor: component %q (%s) of %q: %w",
-				ch.accessor.SensorName(), ch.varName, c.name, results[i].err)
+			if c.quorum <= 0 {
+				return probe.Reading{}, fmt.Errorf("sensor: component %q (%s) of %q: %w",
+					ch.accessor.SensorName(), ch.varName, c.name, results[i].err)
+			}
+			missing = append(missing, ch.accessor.SensorName())
+			continue
 		}
 		env[ch.varName] = results[i].reading.Value
-		values[i] = results[i].reading.Value
+		values = append(values, results[i].reading.Value)
 		if histWanted[ch.varName] {
 			// Bind the child's recent history (oldest first, including
 			// the value just read) as "<var>_hist" — enabling trend and
@@ -280,25 +354,47 @@ func (c *CSP) GetValue() (probe.Reading, error) {
 			}
 			env[ch.varName+"_hist"] = hist
 		}
-		if i == 0 {
-			unit = results[i].reading.Unit
+		if first {
+			unit, first = results[i].reading.Unit, false
 		} else if unit != results[i].reading.Unit {
 			uniformUnit = false
 		}
 	}
+	if len(missing) > 0 && len(values) < c.quorum {
+		return probe.Reading{}, fmt.Errorf("%w: %d of %d components of %q responded, quorum %d (missing: %s)",
+			ErrQuorum, len(values), len(children), c.name, c.quorum, strings.Join(missing, ", "))
+	}
 	env["values"] = values
 
+	// A degraded read may have lost variables the expression refers to;
+	// evaluating would fail on the unbound name, so fall back to the
+	// survivors' average — the same default an expressionless composite
+	// uses.
+	useProgram := program
+	if useProgram != nil && len(missing) > 0 {
+		for _, v := range useProgram.Vars() {
+			base := strings.TrimSuffix(v, "_hist")
+			if base == "values" {
+				continue
+			}
+			if _, bound := env[base]; !bound {
+				useProgram = nil
+				break
+			}
+		}
+	}
+
 	var value float64
-	if program == nil {
+	if useProgram == nil {
 		sum := 0.0
 		for _, v := range values {
 			sum += v
 		}
 		value = sum / float64(len(values))
 	} else {
-		v, err := program.EvalNumber(env)
+		v, err := useProgram.EvalNumber(env)
 		if err != nil {
-			return probe.Reading{}, fmt.Errorf("sensor: evaluating %q for %q: %w", program.Source(), c.name, err)
+			return probe.Reading{}, fmt.Errorf("sensor: evaluating %q for %q: %w", useProgram.Source(), c.name, err)
 		}
 		value = v
 	}
@@ -312,8 +408,25 @@ func (c *CSP) GetValue() (probe.Reading, error) {
 		Value:     value,
 		Timestamp: c.clock.Now(),
 	}
+	c.mu.Lock()
+	c.lastQuality = Quality{
+		Responded: len(values),
+		Composed:  len(children),
+		Degraded:  len(missing) > 0,
+		Missing:   missing,
+	}
+	c.hasQuality = true
+	c.mu.Unlock()
 	c.store.Add(r)
 	return r, nil
+}
+
+// ReadQuality implements QualityReporter: it qualifies the most recent
+// successful evaluation (false before the first one).
+func (c *CSP) ReadQuality() (Quality, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastQuality, c.hasQuality
 }
 
 // GetReadings implements DataAccessor, returning previously computed

@@ -240,6 +240,14 @@ func serveAccessor(acc DataAccessor, ex sorcer.Exertion, _ *txn.Transaction) (so
 				return err
 			}
 			putReading(ctx, r)
+			// Composites qualify their values: a read that survived
+			// component faults carries its completeness alongside the
+			// value, so requestors can judge the number they got.
+			if qr, ok := acc.(QualityReporter); ok {
+				if q, has := qr.ReadQuality(); has {
+					ctx.Put(PathQuality, q.String())
+				}
+			}
 			return nil
 		case SelGetReadings:
 			n := 0

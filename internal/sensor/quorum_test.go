@@ -1,0 +1,161 @@
+package sensor
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"sensorcer/internal/sensor/probe"
+	"sensorcer/internal/sorcer"
+)
+
+// faultyAccessor always fails its reads.
+type faultyAccessor struct{ name string }
+
+func (f *faultyAccessor) SensorName() string { return f.name }
+func (f *faultyAccessor) GetValue() (probe.Reading, error) {
+	return probe.Reading{}, errors.New("sensor hardware gone")
+}
+func (f *faultyAccessor) GetReadings(int) []probe.Reading { return nil }
+func (f *faultyAccessor) Describe() probe.Info            { return probe.Info{Name: f.name} }
+
+func TestCSPQuorumSurvivesFailedComponent(t *testing.T) {
+	c := NewCSP("c", WithQuorum(2))
+	for _, cfg := range []struct {
+		name string
+		v    float64
+	}{{"s1", 10}, {"s2", 20}} {
+		e := replayESP(cfg.name, cfg.v)
+		defer e.Close()
+		if _, err := c.AddChild(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.AddChild(&faultyAccessor{name: "dead"})
+
+	r, err := c.GetValue()
+	if err != nil {
+		t.Fatalf("quorum read failed: %v", err)
+	}
+	// Average of the two survivors, not of three.
+	if r.Value != 15 {
+		t.Fatalf("value = %v, want 15", r.Value)
+	}
+	q, ok := c.ReadQuality()
+	if !ok || !q.Degraded || q.Responded != 2 || q.Composed != 3 {
+		t.Fatalf("quality = %+v %v", q, ok)
+	}
+	if len(q.Missing) != 1 || q.Missing[0] != "dead" {
+		t.Fatalf("missing = %v", q.Missing)
+	}
+	if !strings.Contains(q.String(), "degraded 2/3") {
+		t.Fatalf("annotation = %q", q.String())
+	}
+}
+
+func TestCSPQuorumNotMet(t *testing.T) {
+	c := NewCSP("c", WithQuorum(2))
+	e := replayESP("s1", 10)
+	defer e.Close()
+	c.AddChild(e)
+	c.AddChild(&faultyAccessor{name: "dead-1"})
+	c.AddChild(&faultyAccessor{name: "dead-2"})
+	if _, err := c.GetValue(); !errors.Is(err, ErrQuorum) {
+		t.Fatalf("err = %v, want ErrQuorum", err)
+	}
+}
+
+func TestCSPWithoutQuorumStaysStrict(t *testing.T) {
+	c := NewCSP("c")
+	e := replayESP("s1", 10)
+	defer e.Close()
+	c.AddChild(e)
+	c.AddChild(&faultyAccessor{name: "dead"})
+	if _, err := c.GetValue(); err == nil {
+		t.Fatal("strict composite must fail on any component error")
+	}
+}
+
+func TestCSPQuorumExpressionFallsBackToAverage(t *testing.T) {
+	c := NewCSP("c", WithQuorum(1))
+	a := replayESP("s1", 10)
+	defer a.Close()
+	c.AddChild(a)                           // a
+	c.AddChild(&faultyAccessor{name: "s2"}) // b, dead
+	if err := c.SetExpression("a + b"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.GetValue()
+	if err != nil {
+		t.Fatalf("degraded read: %v", err)
+	}
+	// "b" is unbound, so the expression is abandoned for the survivors'
+	// average.
+	if r.Value != 10 {
+		t.Fatalf("value = %v, want survivors' average 10", r.Value)
+	}
+}
+
+func TestCSPQuorumExpressionOverSurvivors(t *testing.T) {
+	c := NewCSP("c", WithQuorum(1))
+	a := replayESP("s1", 10)
+	defer a.Close()
+	c.AddChild(a)                           // a
+	c.AddChild(&faultyAccessor{name: "s2"}) // b, dead
+	if err := c.SetExpression("a * 3"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.GetValue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The expression only uses surviving variables, so it still runs.
+	if r.Value != 30 {
+		t.Fatalf("value = %v, want 30", r.Value)
+	}
+}
+
+func TestCSPQuorumTimedOutChildDegrades(t *testing.T) {
+	c := NewCSP("c", WithQuorum(1), WithReadTimeout(40*time.Millisecond))
+	e := replayESP("fast", 7)
+	defer e.Close()
+	c.AddChild(e)
+	slow := &slowAccessor{name: "slow", release: make(chan struct{})}
+	defer close(slow.release)
+	c.AddChild(slow)
+
+	r, err := c.GetValue()
+	if err != nil {
+		t.Fatalf("degraded read: %v", err)
+	}
+	if r.Value != 7 {
+		t.Fatalf("value = %v, want the fast child's 7", r.Value)
+	}
+	q, _ := c.ReadQuality()
+	if !q.Degraded || len(q.Missing) != 1 || q.Missing[0] != "slow" {
+		t.Fatalf("quality = %+v", q)
+	}
+}
+
+func TestServeAccessorStampsQualityAnnotation(t *testing.T) {
+	c := NewCSP("q-composite", WithQuorum(1))
+	e := replayESP("s1", 5)
+	defer e.Close()
+	c.AddChild(e)
+	c.AddChild(&faultyAccessor{name: "dead"})
+
+	task := sorcer.NewTask("read", sorcer.Sig(AccessorType, SelGetValue), nil)
+	res, err := c.Service(task, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann, _ := res.Context().Get(PathQuality)
+	s, _ := ann.(string)
+	if !strings.Contains(s, "degraded 1/2") || !strings.Contains(s, "dead") {
+		t.Fatalf("annotation = %q", s)
+	}
+	if v, err := res.Context().Float(PathValue); err != nil || v != 5 {
+		t.Fatalf("value = %v, %v", v, err)
+	}
+}

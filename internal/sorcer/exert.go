@@ -2,8 +2,11 @@ package sorcer
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
+	"sensorcer/internal/ids"
+	"sensorcer/internal/resilience"
 	"sensorcer/internal/txn"
 )
 
@@ -32,11 +35,55 @@ type Exerter struct {
 	// load across successive exertions (the federation has no global
 	// queue-depth view; round-robin is the classic blind spreading).
 	rr atomic.Uint64
+	// breakers, when set, tracks a circuit breaker per provider so a
+	// repeatedly failing peer is skipped outright instead of burning a
+	// binding slot on every exertion; see WithBreakers. brCache memoizes
+	// the Servicer→Breaker resolution off the bind hot path.
+	breakers *resilience.BreakerSet
+	brCache  sync.Map
+	// rebind, when non-zero, re-runs the whole discover-and-bind cycle
+	// after all current candidates fail — a crashed federation member may
+	// be replaced by a freshly registered equivalent between attempts.
+	rebind resilience.Policy
+}
+
+// ExertOption customizes an Exerter.
+type ExertOption func(*Exerter)
+
+// WithMaxBindings caps how many equivalent providers a failing task is
+// retried against per bind cycle (default 4).
+func WithMaxBindings(n int) ExertOption {
+	return func(e *Exerter) {
+		if n > 0 {
+			e.maxBindings = n
+		}
+	}
+}
+
+// WithBreakers tracks per-provider circuit breakers: candidates whose
+// breaker is open are skipped during binding, and every service outcome
+// feeds the provider's breaker. A provider that keeps failing stops being
+// tried until its cooldown elapses and a half-open probe succeeds.
+func WithBreakers(bs *resilience.BreakerSet) ExertOption {
+	return func(e *Exerter) { e.breakers = bs }
+}
+
+// WithRebindPolicy retries the whole discover-and-bind cycle under the
+// policy when every candidate in a pass fails. Between attempts new
+// equivalent providers may have registered (or a breaker may have
+// half-opened), so each attempt sees fresh candidates. ErrNoProvider is
+// still retried — a provider may simply not have joined yet.
+func WithRebindPolicy(p resilience.Policy) ExertOption {
+	return func(e *Exerter) { e.rebind = p }
 }
 
 // NewExerter creates an FMI executor over the accessor.
-func NewExerter(accessor *Accessor) *Exerter {
-	return &Exerter{accessor: accessor, maxBindings: 4}
+func NewExerter(accessor *Accessor, opts ...ExertOption) *Exerter {
+	e := &Exerter{accessor: accessor, maxBindings: 4}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
 }
 
 // Exert runs the exertion and returns it with result state and contexts
@@ -53,11 +100,53 @@ func (e *Exerter) Exert(ex Exertion, tx *txn.Transaction) (Exertion, error) {
 	}
 }
 
+// providerKey identifies a provider for breaker bookkeeping: its service
+// ID when it has one, its pointer identity otherwise.
+func providerKey(svc Servicer) string {
+	if ider, ok := svc.(interface{ ID() ids.ServiceID }); ok {
+		return ider.ID().String()
+	}
+	return fmt.Sprintf("%p", svc)
+}
+
+// breakerFor resolves a candidate's breaker. The result is memoized per
+// Servicer identity so the no-fault bind path skips the key formatting and
+// set lock after the first exertion against a provider; a nil breaker set
+// costs nothing at all.
+func (e *Exerter) breakerFor(svc Servicer) *resilience.Breaker {
+	if e.breakers == nil {
+		return nil
+	}
+	if br, ok := e.brCache.Load(svc); ok {
+		return br.(*resilience.Breaker)
+	}
+	br := e.breakers.For(providerKey(svc))
+	e.brCache.Store(svc, br)
+	return br
+}
+
 func (e *Exerter) exertTask(task *Task, tx *txn.Transaction) (Exertion, error) {
-	candidates, err := e.accessor.FindAll(task.Signature(), e.maxBindings)
+	var out Exertion
+	err := e.rebind.Run(func(resilience.Attempt) error {
+		res, err := e.bindOnce(task, tx)
+		if err == nil {
+			out = res
+		}
+		return err
+	})
 	if err != nil {
 		task.setResult(nil, Failed, err)
 		return task, err
+	}
+	return out, nil
+}
+
+// bindOnce runs one discover-and-bind pass: find candidates, rotate, try
+// each non-open one in turn.
+func (e *Exerter) bindOnce(task *Task, tx *txn.Transaction) (Exertion, error) {
+	candidates, err := e.accessor.FindAll(task.Signature(), e.maxBindings)
+	if err != nil {
+		return nil, err
 	}
 	if len(candidates) > 1 {
 		// Rotate the starting point across calls.
@@ -68,8 +157,18 @@ func (e *Exerter) exertTask(task *Task, tx *txn.Transaction) (Exertion, error) {
 		candidates = rotated
 	}
 	var lastErr error
+	skipped := 0
 	for _, svc := range candidates {
+		br := e.breakerFor(svc)
+		if err := br.Allow(); err != nil {
+			// Open breaker: this provider has been failing; spend the
+			// binding on an equivalent one instead.
+			skipped++
+			lastErr = err
+			continue
+		}
 		res, err := svc.Service(task, tx)
+		br.Record(err)
 		if err == nil {
 			return res, nil
 		}
@@ -79,9 +178,8 @@ func (e *Exerter) exertTask(task *Task, tx *txn.Transaction) (Exertion, error) {
 		// identical operation sets.
 		lastErr = err
 	}
-	err = fmt.Errorf("sorcer: all %d binding(s) failed for %s: %w", len(candidates), task.Signature(), lastErr)
-	task.setResult(nil, Failed, err)
-	return task, err
+	return nil, fmt.Errorf("sorcer: all %d binding(s) failed (%d breaker-skipped) for %s: %w",
+		len(candidates), skipped, task.Signature(), lastErr)
 }
 
 func (e *Exerter) exertJob(job *Job, tx *txn.Transaction) (Exertion, error) {
@@ -101,4 +199,13 @@ func (e *Exerter) exertJob(job *Job, tx *txn.Transaction) (Exertion, error) {
 	// Fall back to coordinating the push job locally.
 	local := NewJobber("local-jobber", e)
 	return local.Service(job, tx)
+}
+
+// BreakerStates exposes the per-provider breaker states (nil map when no
+// breaker set is installed) for dashboards and tests.
+func (e *Exerter) BreakerStates() map[string]resilience.BreakerState {
+	if e.breakers == nil {
+		return nil
+	}
+	return e.breakers.States()
 }

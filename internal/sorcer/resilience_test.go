@@ -1,0 +1,137 @@
+package sorcer
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/lease"
+	"sensorcer/internal/resilience"
+	"sensorcer/internal/space"
+)
+
+// failingProvider always errors, counting how often it was actually tried.
+func failingProvider(name string, calls *atomic.Int64) *Provider {
+	p := NewProvider(name, "Breaky")
+	p.RegisterOp("run", func(*Context) error {
+		calls.Add(1)
+		return errors.New("hardware fault")
+	})
+	return p
+}
+
+func TestExerterBreakerStopsTryingDeadProvider(t *testing.T) {
+	r := newRig(t)
+	var badCalls atomic.Int64
+	r.publish(t, failingProvider("Breaky-dead", &badCalls))
+	healthy := NewProvider("Breaky-ok", "Breaky")
+	healthy.RegisterOp("run", func(ctx *Context) error {
+		ctx.Put("by", "Breaky-ok")
+		return nil
+	})
+	r.publish(t, healthy)
+
+	breakers := resilience.NewBreakerSet(clockwork.Real(), resilience.BreakerConfig{
+		FailureThreshold: 2,
+		Cooldown:         time.Hour, // never half-opens within the test
+	})
+	ex := NewExerter(r.accessor, WithBreakers(breakers))
+
+	for i := 0; i < 10; i++ {
+		task := NewTask("run", Sig("Breaky", "run"), nil)
+		res, err := ex.Exert(task, nil)
+		if err != nil {
+			t.Fatalf("exert %d: %v", i, err)
+		}
+		if by, _ := res.Context().Get("by"); by != "Breaky-ok" {
+			t.Fatalf("exert %d served by %v", i, by)
+		}
+	}
+	// The dead provider was tried exactly up to the breaker threshold,
+	// then skipped for the remaining exertions.
+	if n := badCalls.Load(); n != 2 {
+		t.Fatalf("dead provider tried %d times, want 2 (threshold)", n)
+	}
+	open := 0
+	for _, st := range ex.BreakerStates() {
+		if st == resilience.Open {
+			open++
+		}
+	}
+	if open != 1 {
+		t.Fatalf("%d breakers open, want 1", open)
+	}
+}
+
+func TestExerterRebindPolicyWaitsOutLateProvider(t *testing.T) {
+	r := newRig(t)
+	ex := NewExerter(r.accessor, WithRebindPolicy(resilience.Policy{
+		MaxAttempts: 100,
+		BaseBackoff: 5 * time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+	}))
+	// The provider joins the federation only after the first bind attempts
+	// have already failed with ErrNoProvider. Joined before the test ends
+	// so the publish can't race the rig's cleanup.
+	published := make(chan struct{})
+	go func() {
+		defer close(published)
+		time.Sleep(60 * time.Millisecond)
+		r.publish(t, adderProvider("Late-Adder"))
+	}()
+	defer func() { <-published }()
+	task := NewTask("add", Sig("Adder", "add"), NewContextFrom("arg/a", 1.0, "arg/b", 2.0))
+	res, err := ex.Exert(task, nil)
+	if err != nil {
+		t.Fatalf("exert never bound the late provider: %v", err)
+	}
+	if v, err := res.Context().Float("result/value"); err != nil || v != 3 {
+		t.Fatalf("result = %v, %v", v, err)
+	}
+}
+
+func TestSpacerRedispatchesEnvelopeLostToCrashedWorker(t *testing.T) {
+	r := newRig(t)
+	sp := space.New(clockwork.Real(), lease.Policy{Max: time.Hour})
+	defer sp.Close()
+
+	spacer := NewSpacer("Spacer-1", sp,
+		WithTaskTimeout(50*time.Millisecond),
+		WithAwaitPolicy(resilience.Policy{MaxAttempts: 20, BaseBackoff: time.Millisecond}))
+	join := PublishServicer(clockwork.Real(), r.mgr, spacer, spacer.ID(), spacer.Name(), []string{SpacerType}, nil)
+	defer join.Terminate()
+
+	job := NewJob("pull-job", Strategy{Flow: Parallel, Access: Pull},
+		NewTask("t0", Sig("Adder", "add"), NewContextFrom("arg/a", 1.0, "arg/b", 2.0)))
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.exerter.Exert(job, nil)
+		done <- err
+	}()
+
+	// Play a worker that crashes after taking the envelope: the envelope
+	// disappears from the space and no result is ever written.
+	envTmpl := space.NewEntry(EnvelopeKind, "type", "Adder")
+	if _, err := sp.Take(envTmpl, nil, 2*time.Second); err != nil {
+		t.Fatalf("crashing worker never saw the envelope: %v", err)
+	}
+	// Now a healthy worker appears. The spacer's await policy must notice
+	// the vanished envelope and redispatch the task to it.
+	w := NewSpaceWorker(sp, adderProvider("Adder-1"), "Adder")
+	defer w.Stop()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("pull job failed despite redispatch: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pull job hung: lost envelope was never redispatched")
+	}
+	if v, err := job.Context().Float("t0/result/value"); err != nil || v != 3 {
+		t.Fatalf("result = %v, %v", v, err)
+	}
+}

@@ -1,10 +1,12 @@
 package sorcer
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"sensorcer/internal/ids"
+	"sensorcer/internal/resilience"
 	"sensorcer/internal/space"
 	"sensorcer/internal/txn"
 )
@@ -31,6 +33,11 @@ type Spacer struct {
 	taskTimeout time.Duration
 	// envelopeLease bounds how long an unclaimed envelope survives.
 	envelopeLease time.Duration
+	// await, when non-zero, governs result waits: on a timed-out wait the
+	// spacer redispatches the task if its envelope is gone (a worker
+	// crashed holding it, or the write was lost) and waits again. Pull
+	// federation thereby gets at-least-once delivery; see WithAwaitPolicy.
+	await resilience.Policy
 }
 
 // SpacerOption customizes a Spacer.
@@ -39,6 +46,22 @@ type SpacerOption func(*Spacer)
 // WithTaskTimeout sets the per-task result wait (default 10s).
 func WithTaskTimeout(d time.Duration) SpacerOption {
 	return func(s *Spacer) { s.taskTimeout = d }
+}
+
+// WithAwaitPolicy retries timed-out result waits under the policy. Before
+// each retry the spacer checks whether the task's envelope is still in the
+// space: if it vanished without a result (worker crash mid-execution, lost
+// write, expired lease) the task is redispatched. Tasks may therefore
+// execute more than once — pull-mode semantics become at-least-once, the
+// standard trade for liveness in tuple-space federations. Only timeouts
+// are retried; a worker's clean failure report is final.
+func WithAwaitPolicy(p resilience.Policy) SpacerOption {
+	return func(s *Spacer) {
+		if p.Retryable == nil {
+			p.Retryable = func(err error) bool { return errors.Is(err, space.ErrTimeout) }
+		}
+		s.await = p
+	}
 }
 
 // NewSpacer creates a pull-mode coordinator over the tuple space.
@@ -117,7 +140,7 @@ func (s *Spacer) runSequential(job *Job, tasks []*Task, tx *txn.Transaction) err
 		if err := s.dispatch(t, tx); err != nil {
 			return err
 		}
-		if err := s.await(t, tx); err != nil {
+		if err := s.awaitResult(t, tx); err != nil {
 			return err
 		}
 	}
@@ -131,7 +154,7 @@ func (s *Spacer) runParallel(tasks []*Task, tx *txn.Transaction) error {
 		}
 	}
 	for _, t := range tasks {
-		if err := s.await(t, tx); err != nil {
+		if err := s.awaitResult(t, tx); err != nil {
 			return err
 		}
 	}
@@ -151,16 +174,33 @@ func (s *Spacer) dispatch(t *Task, tx *txn.Transaction) error {
 	return nil
 }
 
-func (s *Spacer) await(t *Task, tx *txn.Transaction) error {
-	tmpl := space.NewEntry(ResultKind, "taskID", t.ID().String())
-	res, err := s.space.Take(tmpl, tx, s.taskTimeout)
-	if err != nil {
-		return fmt.Errorf("sorcer: awaiting result of %q: %w", t.Name(), err)
-	}
-	if failMsg, _ := res.Field("error").(string); failMsg != "" {
-		return fmt.Errorf("sorcer: task %q failed in space: %s", t.Name(), failMsg)
-	}
-	return nil
+func (s *Spacer) awaitResult(t *Task, tx *txn.Transaction) error {
+	return s.await.Run(func(a resilience.Attempt) error {
+		if a.N > 1 {
+			// Retry: if the envelope is gone but no result ever arrived,
+			// the worker (or the envelope itself) was lost mid-flight —
+			// put the task back into play.
+			envTmpl := space.NewEntry(EnvelopeKind, "taskID", t.ID().String())
+			if s.space.Count(envTmpl) == 0 {
+				if err := s.dispatch(t, tx); err != nil {
+					return err
+				}
+			}
+		}
+		timeout := a.Timeout
+		if timeout <= 0 {
+			timeout = s.taskTimeout
+		}
+		tmpl := space.NewEntry(ResultKind, "taskID", t.ID().String())
+		res, err := s.space.Take(tmpl, tx, timeout)
+		if err != nil {
+			return fmt.Errorf("sorcer: awaiting result of %q: %w", t.Name(), err)
+		}
+		if failMsg, _ := res.Field("error").(string); failMsg != "" {
+			return fmt.Errorf("sorcer: task %q failed in space: %s", t.Name(), failMsg)
+		}
+		return nil
+	})
 }
 
 // SpaceWorker pulls envelopes for one service type from the space and

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"sensorcer/internal/clockwork"
+	"sensorcer/internal/faults"
 	"sensorcer/internal/ids"
 	"sensorcer/internal/lease"
 	"sensorcer/internal/txn"
@@ -127,6 +128,11 @@ type Space struct {
 	txns    map[uint64]*spaceTxnPart
 	notifs  map[uint64]*spaceNotification
 	closed  bool
+
+	// inj, when set, injects faults at sites "<site>/write" and
+	// "<site>/take" (chaos testing only; nil in production).
+	inj     *faults.Injector
+	injSite string
 }
 
 // spaceNotification is one leased write-notification registration.
@@ -236,13 +242,41 @@ func (s *Space) onNotifyLeaseExpired(leaseID uint64) {
 // ID returns the space's service identity.
 func (s *Space) ID() ids.ServiceID { return s.id }
 
+// SetFaultInjector arms chaos hooks: Write consults site "<site>/write"
+// (injected errors fail the write, drops lose the entry silently — the
+// caller believes it was stored) and Read/Take consult "<site>/take"
+// (injected errors fail the operation before matching).
+func (s *Space) SetFaultInjector(inj *faults.Injector, site string) {
+	s.mu.Lock()
+	s.inj = inj
+	s.injSite = site
+	s.mu.Unlock()
+}
+
+// faultHooks snapshots the injector under the lock.
+func (s *Space) faultHooks() (*faults.Injector, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inj, s.injSite
+}
+
 // Write stores an entry under a lease. With a transaction, the entry is
 // visible only inside that transaction until it commits.
 func (s *Space) Write(e Entry, tx *txn.Transaction, leaseDur time.Duration) (lease.Lease, error) {
 	if e.Kind == "" {
 		return lease.Lease{}, errors.New("space: entry must have a kind")
 	}
+	inj, site := s.faultHooks()
+	if err := inj.Inject(site + "/write"); err != nil {
+		return lease.Lease{}, err
+	}
 	lse := s.leases.Grant(leaseDur)
+	if inj.Drop(site + "/write") {
+		// Lost write: the caller gets a lease and believes the entry was
+		// stored, but nothing ever becomes visible — the tuple-space
+		// analogue of a message lost on the wire.
+		return lse, nil
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -330,6 +364,10 @@ func (s *Space) Close() {
 }
 
 func (s *Space) acquire(tmpl Entry, tx *txn.Transaction, timeout time.Duration, take bool) (Entry, error) {
+	inj, site := s.faultHooks()
+	if err := inj.Inject(site + "/take"); err != nil {
+		return Entry{}, err
+	}
 	s.leases.Sweep()
 	txnID := uint64(0)
 	if tx != nil {

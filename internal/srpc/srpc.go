@@ -17,6 +17,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"sensorcer/internal/faults"
 )
 
 // request is one call frame.
@@ -217,8 +219,24 @@ type RemoteError struct{ Message string }
 // Error implements error.
 func (e *RemoteError) Error() string { return e.Message }
 
-// ErrClientClosed is returned by calls on a closed client.
+// ErrClientClosed is returned by calls on an explicitly Closed client.
 var ErrClientClosed = errors.New("srpc: client closed")
+
+// ErrConnClosed is returned — promptly, not after the call timeout — by
+// every call pending when the peer closes the connection mid-call, and by
+// calls issued after the connection was lost. Distinct from
+// ErrClientClosed so requestors can tell a dead provider (rebind to an
+// equivalent one) from their own orderly shutdown.
+var ErrConnClosed = errors.New("srpc: connection closed by peer")
+
+// ErrTimeout is wrapped by per-call deadline expiries.
+var ErrTimeout = errors.New("srpc: call timed out")
+
+// callResult is what the read loop (or failAll) delivers to a waiter.
+type callResult struct {
+	resp response
+	err  error
+}
 
 // Client is a connection to an srpc server, safe for concurrent calls.
 type Client struct {
@@ -230,9 +248,16 @@ type Client struct {
 
 	mu      sync.Mutex
 	nextID  uint64
-	pending map[uint64]chan response
+	pending map[uint64]chan callResult
 	closed  bool
-	done    chan struct{}
+	// lost records that the connection died underneath us (vs an
+	// explicit Close), so later calls fail with ErrConnClosed.
+	lost bool
+	done chan struct{}
+	// inj, when set, injects faults at site "<site>/send" before each
+	// request (chaos testing only; nil in production).
+	inj     *faults.Injector
+	injSite string
 }
 
 // Dial connects to an srpc server. timeout bounds each call (0 = 10s).
@@ -248,7 +273,7 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 		conn:    conn,
 		enc:     json.NewEncoder(conn),
 		timeout: timeout,
-		pending: make(map[uint64]chan response),
+		pending: make(map[uint64]chan callResult),
 		done:    make(chan struct{}),
 	}
 	go c.readLoop()
@@ -259,6 +284,16 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 func (c *Client) SetToken(token string) {
 	c.mu.Lock()
 	c.token = token
+	c.mu.Unlock()
+}
+
+// SetFaultInjector arms chaos hooks on this client: each call consults
+// inj at site "<site>/send" — injected errors fail the call, drops lose
+// the request in flight (the call then hits its deadline).
+func (c *Client) SetFaultInjector(inj *faults.Injector, site string) {
+	c.mu.Lock()
+	c.inj = inj
+	c.injSite = site
 	c.mu.Unlock()
 }
 
@@ -282,70 +317,104 @@ func (c *Client) readLoop() {
 		}
 		c.mu.Unlock()
 		if ok {
-			ch <- resp
+			ch <- callResult{resp: resp}
 		}
 	}
 }
 
+// failAll runs when the read loop dies: every pending call fails fast
+// with ErrConnClosed instead of waiting out its deadline.
 func (c *Client) failAll(err error) {
 	c.mu.Lock()
 	pending := c.pending
-	c.pending = make(map[uint64]chan response)
+	c.pending = make(map[uint64]chan callResult)
+	if !c.closed {
+		c.lost = true
+	}
 	c.closed = true
 	c.mu.Unlock()
 	for _, ch := range pending {
-		ch <- response{Error: fmt.Sprintf("srpc: connection lost: %v", err)}
+		ch <- callResult{err: fmt.Errorf("%w: %v", ErrConnClosed, err)}
 	}
 }
 
 // Call invokes method with params, unmarshalling the result into out
-// (which may be nil to discard).
+// (which may be nil to discard), bounded by the client's default timeout.
 func (c *Client) Call(method string, params any, out any) error {
+	return c.CallWithTimeout(method, params, out, 0)
+}
+
+// CallWithTimeout is Call with a per-call deadline override (0 = the
+// client default) — the hook resilience.Policy uses to bound each attempt.
+func (c *Client) CallWithTimeout(method string, params any, out any, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = c.timeout
+	}
 	c.mu.Lock()
 	if c.closed {
+		lost := c.lost
 		c.mu.Unlock()
+		if lost {
+			return fmt.Errorf("%w: %s not sent", ErrConnClosed, method)
+		}
 		return ErrClientClosed
 	}
 	c.nextID++
 	id := c.nextID
 	token := c.token
-	ch := make(chan response, 1)
+	inj, injSite := c.inj, c.injSite
+	ch := make(chan callResult, 1)
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	var raw json.RawMessage
-	if params != nil {
-		b, err := json.Marshal(params)
+	dropped := false
+	if inj != nil {
+		if err := inj.Inject(injSite + "/send"); err != nil {
+			c.abandon(id)
+			return err
+		}
+		// A dropped request is never written to the wire; the call
+		// waits out its deadline exactly as with real message loss.
+		dropped = inj.Drop(injSite + "/send")
+	}
+	if !dropped {
+		var raw json.RawMessage
+		if params != nil {
+			b, err := json.Marshal(params)
+			if err != nil {
+				c.abandon(id)
+				return fmt.Errorf("srpc: marshalling params: %w", err)
+			}
+			raw = b
+		}
+		c.encMu.Lock()
+		err := c.enc.Encode(request{ID: id, Method: method, Params: raw, Auth: token})
+		c.encMu.Unlock()
 		if err != nil {
 			c.abandon(id)
-			return fmt.Errorf("srpc: marshalling params: %w", err)
+			return fmt.Errorf("srpc: sending request: %w", err)
 		}
-		raw = b
-	}
-	c.encMu.Lock()
-	err := c.enc.Encode(request{ID: id, Method: method, Params: raw, Auth: token})
-	c.encMu.Unlock()
-	if err != nil {
-		c.abandon(id)
-		return fmt.Errorf("srpc: sending request: %w", err)
 	}
 
-	timer := time.NewTimer(c.timeout)
+	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
-	case resp := <-ch:
-		if resp.Error != "" {
-			return &RemoteError{Message: resp.Error}
+	case res := <-ch:
+		if res.err != nil {
+			return res.err
 		}
-		if out != nil && len(resp.Result) > 0 {
-			if err := json.Unmarshal(resp.Result, out); err != nil {
+		if res.resp.Error != "" {
+			return &RemoteError{Message: res.resp.Error}
+		}
+		if out != nil && len(res.resp.Result) > 0 {
+			if err := json.Unmarshal(res.resp.Result, out); err != nil {
 				return fmt.Errorf("srpc: unmarshalling result: %w", err)
 			}
 		}
 		return nil
 	case <-timer.C:
 		c.abandon(id)
-		return fmt.Errorf("srpc: call %s timed out after %v", method, c.timeout)
+		return fmt.Errorf("%w: %s after %v", ErrTimeout, method, timeout)
 	}
 }
 

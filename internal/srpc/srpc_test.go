@@ -297,3 +297,82 @@ func TestNoTokenMeansOpen(t *testing.T) {
 		t.Fatalf("open server rejected: %v", err)
 	}
 }
+
+func TestConnClosedMidCallFailsFastWithErrConnClosed(t *testing.T) {
+	release := make(chan struct{})
+	s := NewServer()
+	HandleFunc(s, "hang", func(struct{}) (any, error) {
+		<-release
+		return nil, nil
+	})
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	defer close(release)
+	// Long call timeout: a prompt failure proves the pending call was
+	// failed by the connection loss, not by the deadline.
+	c, err := Dial(s.Addr(), 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan error, 1)
+	go func() { done <- c.Call("hang", nil, nil) }()
+	time.Sleep(20 * time.Millisecond) // let the request reach the server
+	start := time.Now()
+	// Close in the background: Server.Close waits for the stuck handler,
+	// but the connections are torn down immediately, which is what the
+	// pending call must react to.
+	go s.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrConnClosed) {
+			t.Fatalf("err = %v, want ErrConnClosed", err)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("pending call took %v to fail after close", elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pending call hung after server closed the connection")
+	}
+	// Calls after the loss also report the lost connection, not a
+	// client-side close the caller never requested.
+	if err := c.Call("hang", nil, nil); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("post-loss call err = %v, want ErrConnClosed", err)
+	}
+}
+
+func TestExplicitCloseStillReportsClientClosed(t *testing.T) {
+	s := newServer(t)
+	c := dial(t, s)
+	c.Close()
+	if err := c.Call("add", addParams{}, nil); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("err = %v, want ErrClientClosed", err)
+	}
+}
+
+func TestCallWithTimeoutOverridesDefault(t *testing.T) {
+	s := NewServer()
+	HandleFunc(s, "hang", func(struct{}) (any, error) {
+		time.Sleep(time.Second)
+		return nil, nil
+	})
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr(), 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	err = c.CallWithTimeout("hang", nil, nil, 30*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("override deadline not honored: %v", elapsed)
+	}
+}

@@ -1,0 +1,97 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// Abort-path coverage: what exactly happens to each participant when one
+// of them errors during prepare.
+
+func TestPrepareErrorAbortsAlreadyPreparedPeers(t *testing.T) {
+	_, m := newMgr()
+	tx, _ := m.Create(time.Minute)
+	first := &part{vote: VotePrepared}
+	failing := &part{vote: VotePrepared, prepErr: errors.New("participant crashed in prepare")}
+	last := &part{vote: VotePrepared}
+	tx.Join(first)
+	tx.Join(failing)
+	tx.Join(last) // joined after the failer: never even asked to prepare
+
+	if err := tx.Commit(); !errors.Is(err, ErrCommitAbort) {
+		t.Fatalf("err = %v, want ErrCommitAbort", err)
+	}
+	// The peer that had prepared must be told to roll back.
+	if pr, co, ab := first.counts(); pr != 1 || co != 0 || ab != 1 {
+		t.Fatalf("prepared peer: prepare=%d commit=%d abort=%d", pr, co, ab)
+	}
+	// The failer itself is aborted too (it may have partial state).
+	if _, co, ab := failing.counts(); co != 0 || ab != 1 {
+		t.Fatalf("failing peer: commit=%d abort=%d", co, ab)
+	}
+	// Voting stopped at the failure, but phase-2 abort reaches everyone.
+	if pr, co, ab := last.counts(); pr != 0 || co != 0 || ab != 1 {
+		t.Fatalf("unvoted peer: prepare=%d commit=%d abort=%d", pr, co, ab)
+	}
+	if tx.State() != Aborted {
+		t.Fatalf("state = %v", tx.State())
+	}
+}
+
+func TestPrepareErrorSettlesWithManager(t *testing.T) {
+	_, m := newMgr()
+	tx, _ := m.Create(time.Minute)
+	tx.Join(&part{vote: VotePrepared, prepErr: errors.New("boom")})
+	if m.Active() != 1 {
+		t.Fatalf("Active = %d before commit", m.Active())
+	}
+	_ = tx.Commit()
+	if m.Active() != 0 {
+		t.Fatalf("aborted transaction not settled, Active = %d", m.Active())
+	}
+	if _, ok := m.Get(tx.ID()); ok {
+		t.Fatal("settled transaction still retrievable")
+	}
+}
+
+func TestCommitAfterPrepareErrorAbortFails(t *testing.T) {
+	_, m := newMgr()
+	tx, _ := m.Create(time.Minute)
+	tx.Join(&part{vote: VotePrepared, prepErr: errors.New("boom")})
+	_ = tx.Commit()
+	if err := tx.Commit(); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("second commit err = %v, want ErrNotActive", err)
+	}
+	// Abort of an already aborted transaction stays a no-op.
+	if err := tx.Abort(); err != nil {
+		t.Fatalf("abort after aborted = %v", err)
+	}
+}
+
+func TestPrepareErrorAbortsReadOnlyPeersToo(t *testing.T) {
+	_, m := newMgr()
+	tx, _ := m.Create(time.Minute)
+	readonly := &part{vote: VoteNotChanged}
+	failing := &part{vote: VotePrepared, prepErr: errors.New("boom")}
+	tx.Join(readonly)
+	tx.Join(failing)
+	if err := tx.Commit(); !errors.Is(err, ErrCommitAbort) {
+		t.Fatalf("err = %v", err)
+	}
+	// Read-only peers get the abort notification as well — they may hold
+	// read locks or cached state keyed to the transaction.
+	if _, _, ab := readonly.counts(); ab != 1 {
+		t.Fatalf("read-only peer aborts = %d", ab)
+	}
+}
+
+func TestJoinAfterVotingRejected(t *testing.T) {
+	_, m := newMgr()
+	tx, _ := m.Create(time.Minute)
+	tx.Join(&part{vote: VotePrepared, prepErr: errors.New("boom")})
+	_ = tx.Commit()
+	if err := tx.Join(&part{vote: VotePrepared}); err == nil {
+		t.Fatal("join after settle accepted")
+	}
+}

@@ -1,0 +1,134 @@
+package sensorcer
+
+// Overhead of the resilience layer on the exert hot path. The acceptance
+// bar (DESIGN.md §6): a configured-but-idle Policy + BreakerSet must cost
+// <5% over a bare exert when no faults occur.
+//
+//	go test -bench=Resilience -benchmem
+
+import (
+	"testing"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/discovery"
+	"sensorcer/internal/registry"
+	"sensorcer/internal/resilience"
+	"sensorcer/internal/sorcer"
+)
+
+// benchRig is the minimal push federation: one LUS, one Adder provider.
+type benchRig struct {
+	accessor *sorcer.Accessor
+	close    func()
+}
+
+func newBenchRig(b *testing.B) *benchRig {
+	b.Helper()
+	bus := discovery.NewBus()
+	lus := registry.New("bench-lus", clockwork.Real())
+	cancel := bus.Announce(lus)
+	mgr := discovery.NewManager(bus)
+	p := sorcer.NewProvider("Adder", "Adder")
+	p.RegisterOp("add", func(ctx *sorcer.Context) error {
+		a, err := ctx.Float("arg/a")
+		if err != nil {
+			return err
+		}
+		x, err := ctx.Float("arg/b")
+		if err != nil {
+			return err
+		}
+		ctx.Put("result/value", a+x)
+		return nil
+	})
+	join := p.Publish(clockwork.Real(), mgr, nil)
+	return &benchRig{
+		accessor: sorcer.NewAccessor(mgr),
+		close: func() {
+			join.Terminate()
+			mgr.Terminate()
+			cancel()
+			lus.Close()
+		},
+	}
+}
+
+func benchExert(b *testing.B, ex *sorcer.Exerter) {
+	b.Helper()
+	task := sorcer.NewTask("add", sorcer.Sig("Adder", "add"),
+		sorcer.NewContextFrom("arg/a", 2.0, "arg/b", 3.0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Exert(task, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResilienceExertBare(b *testing.B) {
+	r := newBenchRig(b)
+	defer r.close()
+	benchExert(b, sorcer.NewExerter(r.accessor))
+}
+
+func BenchmarkResilienceExertUnderPolicy(b *testing.B) {
+	r := newBenchRig(b)
+	defer r.close()
+	ex := sorcer.NewExerter(r.accessor,
+		sorcer.WithRebindPolicy(resilience.Policy{
+			MaxAttempts: 3,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  50 * time.Millisecond,
+		}),
+		sorcer.WithBreakers(resilience.NewBreakerSet(clockwork.Real(), resilience.BreakerConfig{
+			FailureThreshold: 5,
+			Cooldown:         time.Second,
+		})))
+	benchExert(b, ex)
+}
+
+// BenchmarkResiliencePolicyRun isolates the policy wrapper itself: a no-op
+// operation under the zero policy (single attempt) and under a full retry
+// configuration that never has to retry.
+func BenchmarkResiliencePolicyRun(b *testing.B) {
+	noop := func(resilience.Attempt) error { return nil }
+	b.Run("zero-policy", func(b *testing.B) {
+		var p resilience.Policy
+		for i := 0; i < b.N; i++ {
+			if err := p.Run(noop); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("configured-no-fault", func(b *testing.B) {
+		p := resilience.Policy{
+			MaxAttempts:    5,
+			BaseBackoff:    time.Millisecond,
+			MaxBackoff:     100 * time.Millisecond,
+			AttemptTimeout: time.Second,
+		}
+		for i := 0; i < b.N; i++ {
+			if err := p.Run(noop); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkResilienceBreakerAllow isolates the per-call breaker check on
+// the bound-provider path.
+func BenchmarkResilienceBreakerAllow(b *testing.B) {
+	bs := resilience.NewBreakerSet(clockwork.Real(), resilience.BreakerConfig{
+		FailureThreshold: 5,
+		Cooldown:         time.Second,
+	})
+	br := bs.For("provider-1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := br.Allow(); err != nil {
+			b.Fatal("closed breaker refused:", err)
+		}
+		br.Record(nil)
+	}
+}
