@@ -1,18 +1,23 @@
 GO ?= go
 
-.PHONY: all build vet test race short bench chaos experiments examples cover clean
+.PHONY: all build vet lint test race short bench chaos experiments examples cover clean
 
 # Seed for the fault-injection suite; override to replay a sequence:
 #   make chaos CHAOS_SEED=42
 CHAOS_SEED ?= 1
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific invariants (clock, goroutine, lock/RPC, fault-site,
+# context, lifecycle-error discipline); see DESIGN.md "Enforced invariants".
+lint:
+	$(GO) run ./cmd/sensorlint ./...
 
 test:
 	$(GO) test ./... -count=1

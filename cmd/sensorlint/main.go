@@ -1,0 +1,95 @@
+// Command sensorlint runs sensorcer's project-specific static analyzers
+// over the repository (see internal/lint). It is the machine check behind
+// `make lint`: the invariants that keep the federation deterministic and
+// un-wedgeable — no wall-clock in library code, no uncancellable
+// goroutines, no RPC under a mutex, disciplined fault sites and contexts,
+// no silently dropped Cancel/Abort/Close errors.
+//
+// Usage:
+//
+//	sensorlint [-checks rawclock,ctxflow] [-list] [packages]
+//
+// Packages default to ./... relative to the enclosing module root. Exit
+// codes compose staticcheck-style: 0 clean, 1 diagnostics reported, 2 the
+// analysis itself failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sensorcer/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		list   = flag.Bool("list", false, "list analyzers and exit")
+		checks = flag.String("checks", "", "comma-separated analyzers to run (default: all)")
+	)
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *checks != "" {
+		var err error
+		analyzers, err = lint.ByName(*checks)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sensorlint:", err)
+			return 2
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sensorlint:", err)
+		return 2
+	}
+	root, module, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sensorlint:", err)
+		return 2
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// Patterns are interpreted relative to the invocation directory but
+	// loaded against the module root, so `sensorlint ./...` works from a
+	// subdirectory too.
+	if rel, err := filepath.Rel(root, cwd); err == nil && rel != "." {
+		for i, p := range patterns {
+			patterns[i] = filepath.Join(rel, strings.TrimPrefix(p, "./"))
+		}
+	}
+
+	diags, err := lint.Run(root, module, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sensorlint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: %s (sensorlint/%s)\n", pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sensorlint: %d violation(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -180,7 +180,7 @@ func TestPullFederationUnderFaults(t *testing.T) {
 			inj := faults.New(seed(t), clockwork.Real())
 			// Workers and the spacer share the space; losing writes
 			// loses both envelopes and results.
-			inj.Set("space/write", faults.Rule{DropRate: rate})
+			inj.Set("space"+space.FaultSiteWrite, faults.Rule{DropRate: rate})
 			r := newRig()
 			sp := space.New(clockwork.Real(), lease.Policy{Max: time.Hour})
 			sp.SetFaultInjector(inj, "space")
@@ -262,7 +262,7 @@ func TestSrpcUnderFaults(t *testing.T) {
 				t.Fatal(err)
 			}
 			inj := faults.New(seed(t), clockwork.Real())
-			inj.Set("client/send", faults.Rule{ErrorRate: rate / 2, DropRate: rate / 2})
+			inj.Set("client"+srpc.FaultSiteSend, faults.Rule{ErrorRate: rate / 2, DropRate: rate / 2})
 			c.SetFaultInjector(inj, "client")
 
 			policy := resilience.Policy{
@@ -439,7 +439,7 @@ func TestExertionsFailCleanlyWhenAllProvidersDead(t *testing.T) {
 // space is injecting take faults around it.
 func TestTransactionalTakeSurvivesFaultyCohort(t *testing.T) {
 	inj := faults.New(seed(t), clockwork.Real())
-	inj.Set("space/take", faults.Rule{ErrorRate: 0.2})
+	inj.Set("space"+space.FaultSiteTake, faults.Rule{ErrorRate: 0.2})
 	fc := clockwork.Real()
 	sp := space.New(fc, lease.Policy{Max: time.Hour})
 	defer sp.Close()

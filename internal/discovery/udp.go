@@ -64,6 +64,7 @@ type Announcer struct {
 	conn     *net.UDPConn
 	packet   []byte
 	interval time.Duration
+	clock    clockwork.Clock
 	stop     chan struct{}
 	done     chan struct{}
 }
@@ -89,6 +90,7 @@ func NewAnnouncer(dst string, p Packet, interval time.Duration) (*Announcer, err
 		conn:     conn,
 		packet:   buf,
 		interval: interval,
+		clock:    clockwork.Real(),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -98,13 +100,14 @@ func NewAnnouncer(dst string, p Packet, interval time.Duration) (*Announcer, err
 
 func (a *Announcer) loop() {
 	defer close(a.done)
-	ticker := time.NewTicker(a.interval)
-	defer ticker.Stop()
+	timer := a.clock.NewTimer(a.interval)
+	defer timer.Stop()
 	a.conn.Write(a.packet)
 	for {
 		select {
-		case <-ticker.C:
+		case <-timer.C():
 			a.conn.Write(a.packet)
+			timer.Reset(a.interval)
 		case <-a.stop:
 			return
 		}

@@ -73,32 +73,32 @@ func C2PlugAndPlay(w io.Writer) error {
 	// Join: publish and poll until visible.
 	esp := mustReplayESP("Popup-Sensor", 21)
 	defer esp.Close()
-	start := time.Now()
+	start := expClock.Now()
 	join := esp.Publish(clockwork.Real(), mgr)
 	var joinLatency time.Duration
 	for {
 		if _, err := facade.Network().GetValue("Popup-Sensor"); err == nil {
-			joinLatency = time.Since(start)
+			joinLatency = expClock.Since(start)
 			break
 		}
-		if time.Since(start) > 5*time.Second {
+		if expClock.Since(start) > 5*time.Second {
 			return fmt.Errorf("join never became visible")
 		}
 	}
 	fmt.Fprintf(w, "C2: join -> readable through facade: %v\n", joinLatency)
 
 	// Orderly leave.
-	start = time.Now()
+	start = expClock.Now()
 	join.Terminate()
 	for {
 		if _, err := facade.Network().GetValue("Popup-Sensor"); err != nil {
 			break
 		}
-		if time.Since(start) > 5*time.Second {
+		if expClock.Since(start) > 5*time.Second {
 			return fmt.Errorf("orderly departure never propagated")
 		}
 	}
-	fmt.Fprintf(w, "C2: orderly leave -> gone: %v\n", time.Since(start))
+	fmt.Fprintf(w, "C2: orderly leave -> gone: %v\n", expClock.Since(start))
 
 	// Crash departure: register directly with a lease and never renew.
 	esp2 := mustReplayESP("Crash-Sensor", 22)
@@ -109,15 +109,15 @@ func C2PlugAndPlay(w io.Writer) error {
 	}, 100*time.Millisecond); err != nil {
 		return err
 	}
-	start = time.Now()
+	start = expClock.Now()
 	for lus.Len() != 0 {
-		if time.Since(start) > 5*time.Second {
+		if expClock.Since(start) > 5*time.Second {
 			return fmt.Errorf("crashed sensor never expired")
 		}
-		time.Sleep(time.Millisecond)
+		expClock.Sleep(time.Millisecond)
 		lus.SweepNow()
 	}
-	fmt.Fprintf(w, "C2: crash (no renewals, 100ms lease) -> swept: %v\n", time.Since(start))
+	fmt.Fprintf(w, "C2: crash (no renewals, 100ms lease) -> swept: %v\n", expClock.Since(start))
 	fmt.Fprintln(w, "  expectation: join/leave immediate; crash bounded by lease term")
 	return nil
 }
@@ -141,17 +141,17 @@ func C3Failover(w io.Writer) error {
 		victim = d.Nodes[1]
 	}
 	fmt.Fprintf(w, "C3: HA-Composite hosted on %s; killing it\n", victim.Name())
-	start := time.Now()
+	start := expClock.Now()
 	victim.Kill()
 	for {
 		if _, err := nm.GetValue("HA-Composite"); err == nil {
 			break
 		}
-		if time.Since(start) > 5*time.Second {
+		if expClock.Since(start) > 5*time.Second {
 			return fmt.Errorf("failover never completed")
 		}
 	}
-	fmt.Fprintf(w, "C3: service answering again after %v (re-provisioned on survivor)\n", time.Since(start))
+	fmt.Fprintf(w, "C3: service answering again after %v (re-provisioned on survivor)\n", expClock.Since(start))
 	st, err := d.Monitor.Status("sensorcer/HA-Composite")
 	if err != nil {
 		return err
@@ -298,7 +298,7 @@ func C7PushVsPull(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		time.Sleep(time.Duration(cost) * time.Millisecond)
+		expClock.Sleep(time.Duration(cost) * time.Millisecond)
 		ctx.Put("work/done", true)
 		return nil
 	}
@@ -326,11 +326,11 @@ func C7PushVsPull(w io.Writer) error {
 			joins = append(joins, j.Terminate)
 		}
 		job := sorcer.NewJob("push", sorcer.Strategy{Flow: sorcer.Parallel, Access: sorcer.Push}, makeTasks()...)
-		start := time.Now()
+		start := expClock.Now()
 		if _, err := exerter.Exert(job, nil); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "  push (jobber binds, 4 providers @1 slot): %v\n", time.Since(start))
+		fmt.Fprintf(w, "  push (jobber binds, 4 providers @1 slot): %v\n", expClock.Since(start))
 		for _, j := range joins {
 			j()
 		}
@@ -352,11 +352,11 @@ func C7PushVsPull(w io.Writer) error {
 		join := sorcer.PublishServicer(clockwork.Real(), mgr, spacer, spacer.ID(), spacer.Name(),
 			[]string{sorcer.SpacerType}, nil)
 		job := sorcer.NewJob("pull", sorcer.Strategy{Flow: sorcer.Parallel, Access: sorcer.Pull}, makeTasks()...)
-		start := time.Now()
+		start := expClock.Now()
 		if _, err := exerter.Exert(job, nil); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "  pull (spacer, 4 workers @1 slot steal):   %v\n", time.Since(start))
+		fmt.Fprintf(w, "  pull (spacer, 4 workers @1 slot steal):   %v\n", expClock.Since(start))
 		join.Terminate()
 		for _, wk := range workers {
 			wk.Stop()

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"sensorcer/internal/browser"
+	"sensorcer/internal/clockwork"
 	"sensorcer/internal/sensor"
 	"sensorcer/internal/sensor/probe"
 	"sensorcer/internal/sorcer"
@@ -211,13 +212,19 @@ func mustReplayESP(name string, vals ...float64) *sensor.ESP {
 	return sensor.NewESP(name, probe.NewReplayProbe(name, "temperature", "celsius", vals, true, nil))
 }
 
+// expClock is the clock behind all experiment timing. Experiments measure
+// real end-to-end latencies, so it stays the real clock — but going
+// through clockwork keeps the package under the rawclock invariant and
+// leaves a single seam for replaying runs against a fake.
+var expClock = clockwork.Real()
+
 // timeIt measures fn over n iterations, returning per-op latency.
 func timeIt(n int, fn func()) time.Duration {
-	start := time.Now()
+	start := expClock.Now()
 	for i := 0; i < n; i++ {
 		fn()
 	}
-	return time.Since(start) / time.Duration(n)
+	return expClock.Since(start) / time.Duration(n)
 }
 
 var _ = spot.PaperFleetNames // referenced by claims.go

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces context discipline in library code:
+//
+//  1. When an exported function or method under internal/* accepts a
+//     context.Context, it must be the first parameter — the Go API
+//     convention that keeps cancellation wiring mechanical.
+//  2. context.Background()/context.TODO() are forbidden in internal/*
+//     non-test code: a library that mints its own root context detaches
+//     itself from caller cancellation, which is how federations wedge.
+//     Roots belong at the edges (cmd/ binaries, tests).
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context.Context first on exported APIs; no context.Background in internal/*",
+	Run: func(pass *Pass) {
+		if !isInternalPath(pass.Pkg.Path) {
+			return
+		}
+		info := pass.Pkg.Info
+		for _, f := range pass.Pkg.Files {
+			if pass.Pkg.IsTestFile(f) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !fd.Name.IsExported() {
+					continue
+				}
+				checkCtxFirst(pass, fd)
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+					return true
+				}
+				if isPkgSelector(info, sel, "context") {
+					pass.Reportf(call.Pos(),
+						"context.%s mints a root context inside library code, detaching it from caller cancellation; accept a ctx parameter instead",
+						sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// checkCtxFirst reports a context.Context parameter anywhere but first.
+func checkCtxFirst(pass *Pass, fd *ast.FuncDecl) {
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pass.Pkg.Info, field.Type) && idx > 0 {
+			pass.Reportf(field.Pos(),
+				"context.Context must be the first parameter of exported API %s", fd.Name.Name)
+		}
+		idx += n
+	}
+}
+
+// isContextType reports whether the expression denotes context.Context.
+func isContextType(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Context" && named.Obj().Pkg().Path() == "context"
+}

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// faultSitePrefix is the naming convention for fault-injection site
+// constants: `const FaultSiteSend = "/send"`.
+const faultSitePrefix = "FaultSite"
+
+// FaultSite enforces the fault-injection registry discipline, repo-wide:
+//
+//  1. Site strings handed to (*faults.Injector).Inject/Drop in production
+//     code must be built from package-level constants — no inline string
+//     literals, no function-local constants. Chaos runs replay by seed;
+//     a site that drifts or is misspelled silently stops injecting.
+//  2. FaultSite* constants must be globally unique by value, so a chaos
+//     rule targets exactly one hook point.
+//  3. Every FaultSite* constant must be referenced from at least one
+//     test, proving the site is actually exercised by the chaos/fault
+//     suites rather than dead wiring.
+//
+// It runs as a program-level pass because uniqueness and test coverage
+// are cross-package properties.
+var FaultSite = &Analyzer{
+	Name: "faultsite",
+	Doc:  "fault-injection sites must be unique, test-covered, package-level constants",
+	RunProgram: func(pass *ProgramPass) {
+		checkSiteArgs(pass)
+		consts := collectSiteConsts(pass)
+		checkTestCoverage(pass, consts)
+	},
+}
+
+// checkSiteArgs validates the site expression of every production
+// Inject/Drop call.
+func checkSiteArgs(pass *ProgramPass) {
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			if pkg.IsTestFile(f) {
+				continue
+			}
+			info := pkg.Info
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				if !isInjectorHook(info, call) {
+					return true
+				}
+				validateSiteExpr(pass, info, call.Args[0])
+				return true
+			})
+		}
+	}
+}
+
+// isInjectorHook reports whether call invokes Inject or Drop on
+// *faults.Injector.
+func isInjectorHook(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeOf(info, call)
+	if fn == nil || (fn.Name() != "Inject" && fn.Name() != "Drop") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Injector" || named.Obj().Pkg() == nil {
+		return false
+	}
+	return isFaultsPath(named.Obj().Pkg().Path())
+}
+
+func isFaultsPath(path string) bool {
+	return path == "faults" || len(path) > 7 && path[len(path)-7:] == "/faults"
+}
+
+// validateSiteExpr walks a site argument: string literals and
+// function-local constants are violations; package-level constants and
+// dynamic site bases (fields, parameters) are fine.
+func validateSiteExpr(pass *ProgramPass, info *types.Info, arg ast.Expr) {
+	ast.Inspect(arg, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.BasicLit:
+			pass.Reportf(v.Pos(),
+				"fault-injection site built from a string literal; hoist it into a package-level %s* constant", faultSitePrefix)
+		case *ast.Ident:
+			if c, ok := info.Uses[v].(*types.Const); ok && c.Pkg() != nil && c.Parent() != c.Pkg().Scope() {
+				pass.Reportf(v.Pos(),
+					"fault-injection site constant %s must be declared at package level", c.Name())
+			}
+		}
+		return true
+	})
+}
+
+// siteConst is one collected FaultSite* declaration.
+type siteConst struct {
+	obj   *types.Const
+	pos   ast.Node
+	value string
+}
+
+// collectSiteConsts gathers every package-level FaultSite* string
+// constant from production code, reporting duplicates by value.
+func collectSiteConsts(pass *ProgramPass) []siteConst {
+	var consts []siteConst
+	firstByValue := make(map[string]*types.Const)
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			if pkg.IsTestFile(f) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						c, ok := pkg.Info.Defs[name].(*types.Const)
+						if !ok || len(c.Name()) < len(faultSitePrefix) || c.Name()[:len(faultSitePrefix)] != faultSitePrefix {
+							continue
+						}
+						if c.Pkg() == nil || c.Parent() != c.Pkg().Scope() || c.Val().Kind() != constant.String {
+							continue
+						}
+						val := constant.StringVal(c.Val())
+						if prev, dup := firstByValue[val]; dup {
+							pass.Reportf(name.Pos(),
+								"duplicate fault-injection site %q (already registered as %s.%s); sites must be globally unique",
+								val, prev.Pkg().Path(), prev.Name())
+							continue
+						}
+						firstByValue[val] = c
+						consts = append(consts, siteConst{obj: c, pos: name, value: val})
+					}
+				}
+			}
+		}
+	}
+	return consts
+}
+
+// checkTestCoverage requires each site constant to be referenced from at
+// least one test file anywhere in the program.
+func checkTestCoverage(pass *ProgramPass, consts []siteConst) {
+	used := make(map[string]bool) // "pkgpath.Name"
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			if !pkg.IsTestFile(f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if c, ok := pkg.Info.Uses[id].(*types.Const); ok && c.Pkg() != nil {
+					used[c.Pkg().Path()+"."+c.Name()] = true
+				}
+				return true
+			})
+		}
+	}
+	for _, sc := range consts {
+		key := sc.obj.Pkg().Path() + "." + sc.obj.Name()
+		if !used[key] {
+			pass.Reportf(sc.pos.Pos(),
+				"fault-injection site %s (%q) is not exercised by any test; add a chaos/fault test that references it",
+				sc.obj.Name(), sc.value)
+		}
+	}
+}

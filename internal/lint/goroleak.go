@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak flags `go func` literals in library code with no visible exit
+// path. A federation provider that wedges a goroutine can never be
+// unplugged cleanly, so every library goroutine must be observably
+// cancellable: a receive (ctx.Done(), a done/stop channel, a timer), a
+// select, a send that a consumer drains, a range over a closable channel,
+// or a WaitGroup.Done handshake. The check is syntactic and
+// intraprocedural by design — it asks that the exit path be *visible in
+// the literal*, which is also the reviewable style the repo wants.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "flag go-statement func literals in internal/* with no visible exit path",
+	Run: func(pass *Pass) {
+		if !isInternalPath(pass.Pkg.Path) {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			if pass.Pkg.IsTestFile(f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := unparen(g.Call.Fun).(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				if !hasExitPath(pass.Pkg.Info, lit.Body) {
+					pass.Reportf(g.Pos(),
+						"goroutine has no visible exit path (no ctx.Done/stop-channel receive, select, channel send, channel range, or WaitGroup.Done); library goroutines must be cancellable")
+				}
+				return true
+			})
+		}
+	},
+}
+
+// hasExitPath reports whether body contains any construct that lets the
+// goroutine terminate or be observed terminating.
+func hasExitPath(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.SelectStmt, *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(v.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := unparen(v.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				found = true // ctx.Done() or wg.Done()
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden harness: testdata/src/sensorcer is a miniature module with
+// one scenario package per analyzer. Lines that must produce a diagnostic
+// carry a `// want `+"`regex`"+` comment; every diagnostic must match a
+// want and every want must be hit, so positives and negatives are checked
+// in one pass.
+
+// wantRe extracts the expectation regex from a want comment.
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+type wantEntry struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants scans every .go file under root for want comments, keyed
+// by "file:line".
+func collectWants(t *testing.T, root string) map[string]*wantEntry {
+	t.Helper()
+	wants := make(map[string]*wantEntry)
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".go") {
+			return err
+		}
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRe.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", p, line, m[1], err)
+			}
+			wants[fmt.Sprintf("%s:%d", p, line)] = &wantEntry{re: re}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+func TestGoldenScenarios(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "sensorcer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(root, "sensorcer", []string{"./..."}, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, root)
+	if len(wants) == 0 {
+		t.Fatal("no want comments found under testdata")
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		w, ok := wants[key]
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		if !w.re.MatchString(d.Message) {
+			t.Errorf("%s: diagnostic %q does not match want %q", key, d.Message, w.re)
+			continue
+		}
+		w.matched = true
+	}
+	for key, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic matching %q", key, w.re)
+		}
+	}
+}
+
+// TestRepositoryIsClean is the self-lint meta-test: every sensorlint
+// invariant must hold over the entire repository, so a violation anywhere
+// in the tree fails the ordinary test suite too, not just `make lint`.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository")
+	}
+	root, module, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(root, module, []string{"./..."}, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName("rawclock,sensorlint/ctxflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "rawclock" || as[1].Name != "ctxflow" {
+		t.Fatalf("ByName = %v", as)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("unknown analyzer accepted")
+	}
+}

@@ -1,0 +1,383 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader turns directories of Go source into type-checked Packages
+// using only the standard library: go/parser for syntax, go/types for
+// semantics, and the from-source stdlib importer for dependencies outside
+// the module. There is deliberately no golang.org/x/tools here — the repo
+// is dependency-free and the analyzers need nothing a from-scratch loader
+// cannot provide.
+//
+// Two views of every package exist: the import view (non-test files only,
+// cached, used when other packages import it) and the analysis view (main
+// plus in-package test files, so analyzers can see test coverage of fault
+// sites). External test packages (package foo_test) are loaded as a
+// separate all-test Package.
+
+// sharedFset and sharedStd are process-wide so the expensive from-source
+// type-check of stdlib dependencies is paid once even when several loaders
+// run in one process (the golden scenarios plus the self-lint meta-test).
+var (
+	sharedFset *token.FileSet
+	sharedStd  types.ImporterFrom
+)
+
+func initShared() {
+	if sharedFset != nil {
+		return
+	}
+	// The source importer reads &build.Default. Disable cgo so packages
+	// like net resolve through their pure-Go fallbacks (no C toolchain
+	// needed), and enable the chaos tag so the fault-injection suite is
+	// part of the analyzed (and coverage-checked) tree.
+	build.Default.CgoEnabled = false
+	hasChaos := false
+	for _, t := range build.Default.BuildTags {
+		if t == "chaos" {
+			hasChaos = true
+		}
+	}
+	if !hasChaos {
+		build.Default.BuildTags = append(build.Default.BuildTags, "chaos")
+	}
+	sharedFset = token.NewFileSet()
+	sharedStd = importer.ForCompiler(sharedFset, "source", nil).(types.ImporterFrom)
+}
+
+// Package is one type-checked unit under analysis.
+type Package struct {
+	// Path is the import path ("sensorcer/internal/space").
+	Path string
+	// Dir is the absolute directory the files came from.
+	Dir string
+	// Files holds every parsed file, including in-package test files.
+	Files []*ast.File
+	// Types and Info carry the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+
+	testFiles map[*ast.File]bool
+}
+
+// IsTestFile reports whether f came from a _test.go file.
+func (p *Package) IsTestFile(f *ast.File) bool { return p.testFiles[f] }
+
+// Loader loads and type-checks packages of one module rooted at Dir.
+type Loader struct {
+	// Dir is the absolute module root directory.
+	Dir string
+	// Module is the module path every import path is joined under.
+	Module string
+
+	imported map[string]*importResult
+	loading  map[string]bool
+}
+
+type importResult struct {
+	pkg *types.Package
+	err error
+}
+
+// NewLoader creates a loader for the module at dir with the given module
+// path (as declared in go.mod).
+func NewLoader(dir, module string) *Loader {
+	initShared()
+	return &Loader{
+		Dir:      dir,
+		Module:   module,
+		imported: make(map[string]*importResult),
+		loading:  make(map[string]bool),
+	}
+}
+
+// Fset returns the file set all positions are resolved against.
+func (l *Loader) Fset() *token.FileSet { return sharedFset }
+
+// dirFor maps a module import path to its directory, or ok=false for
+// paths outside the module.
+func (l *Loader) dirFor(path string) (string, bool) {
+	if path == l.Module {
+		return l.Dir, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.Module+"/"); ok {
+		return filepath.Join(l.Dir, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// goFilesIn lists the build-constraint-matching .go files of dir.
+func goFilesIn(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		ok, err := build.Default.MatchFile(dir, name)
+		if err != nil {
+			return nil, fmt.Errorf("matching %s: %w", filepath.Join(dir, name), err)
+		}
+		if ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func parseOne(dir, name string) (*ast.File, error) {
+	return parser.ParseFile(sharedFset, filepath.Join(dir, name), nil, parser.ParseComments)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// check type-checks files as package path, returning a hard error when the
+// sources do not type-check (the repo builds, so any error here is a real
+// defect in the analyzed tree or the loader).
+func (l *Loader) check(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
+	var firstErr error
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, sharedFset, files, info)
+	if firstErr != nil {
+		return pkg, fmt.Errorf("type-checking %s: %w", path, firstErr)
+	}
+	if err != nil {
+		return pkg, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return pkg, nil
+}
+
+// importModule resolves an in-module import path to its non-test package,
+// caching the result.
+func (l *Loader) importModule(path string) (*types.Package, error) {
+	if r, ok := l.imported[path]; ok {
+		return r.pkg, r.err
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("%s is outside module %s", path, l.Module)
+	}
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range names {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parseOne(dir, name)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	pkg, err := l.check(path, files, nil)
+	l.imported[path] = &importResult{pkg: pkg, err: err}
+	return pkg, err
+}
+
+// loaderImporter adapts a Loader to types.ImporterFrom: module paths load
+// from source within the module, everything else delegates to the stdlib
+// source importer.
+type loaderImporter Loader
+
+// Import implements types.Importer.
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (li *loaderImporter) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.dirFor(path); ok {
+		return l.importModule(path)
+	}
+	return sharedStd.ImportFrom(path, l.Dir, 0)
+}
+
+// Load builds the analysis view of the package at import path: the package
+// with its in-package test files, plus (when present) the external test
+// package as a second all-test Package. Returns no packages for a
+// directory with no buildable files.
+func (l *Loader) Load(path string) ([]*Package, error) {
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("%s is outside module %s", path, l.Module)
+	}
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	var main, intest, xtest []*ast.File
+	testFiles := make(map[*ast.File]bool)
+	for _, name := range names {
+		f, err := parseOne(dir, name)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			xtest = append(xtest, f)
+			testFiles[f] = true
+		case strings.HasSuffix(name, "_test.go"):
+			intest = append(intest, f)
+			testFiles[f] = true
+		default:
+			main = append(main, f)
+		}
+	}
+	var pkgs []*Package
+	if len(main)+len(intest) > 0 {
+		files := append(append([]*ast.File{}, main...), intest...)
+		info := newInfo()
+		tpkg, err := l.check(path, files, info)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{
+			Path: path, Dir: dir, Files: files,
+			Types: tpkg, Info: info, testFiles: testFiles,
+		})
+	}
+	if len(xtest) > 0 {
+		info := newInfo()
+		tpkg, err := l.check(path+"_test", xtest, info)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{
+			Path: path, Dir: dir, Files: xtest,
+			Types: tpkg, Info: info, testFiles: testFiles,
+		})
+	}
+	return pkgs, nil
+}
+
+// Expand resolves package patterns ("./...", "./internal/space", "cmd/...")
+// relative to the module root into sorted import paths. Directories named
+// testdata or vendor and hidden directories are never descended into.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(dir string) error {
+		names, err := goFilesIn(dir)
+		if err != nil || len(names) == 0 {
+			return nil // not a package directory
+		}
+		rel, err := filepath.Rel(l.Dir, dir)
+		if err != nil {
+			return err
+		}
+		path := l.Module
+		if rel != "." {
+			path = l.Module + "/" + filepath.ToSlash(rel)
+		}
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(strings.TrimPrefix(pat, "./"))
+		if pat == "" {
+			pat = "."
+		}
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			root := filepath.Join(l.Dir, filepath.FromSlash(strings.TrimSuffix(rest, "/")))
+			err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				return add(p)
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := add(filepath.Join(l.Dir, filepath.FromSlash(pat))); err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest go.mod, returning the
+// root directory and the declared module path.
+func FindModuleRoot(dir string) (root, module string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("go.mod in %s has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}

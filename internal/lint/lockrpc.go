@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// LockRPC flags calls that cross into the RPC layer (internal/srpc,
+// internal/remote) while a sync.Mutex/RWMutex acquired in the same
+// function is still held. An RPC under a lock couples local critical
+// sections to remote peers: one slow or partitioned provider stalls every
+// goroutine contending for the mutex — exactly the wedge a managed
+// federation must not allow.
+//
+// The scan is a straight-line intraprocedural approximation: Lock/RLock
+// raises the held depth, Unlock/RUnlock lowers it, a deferred unlock pins
+// the lock to function end, and nested function literals are scanned as
+// their own scopes. Branchy flows can slip past it; it is a tripwire for
+// the common shapes, not an alias analysis.
+var LockRPC = &Analyzer{
+	Name: "lockrpc",
+	Doc:  "flag srpc/remote calls made while a mutex acquired in the same function is held",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			if pass.Pkg.IsTestFile(f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.FuncDecl:
+					lockrpcScan(pass, v.Body)
+				case *ast.FuncLit:
+					lockrpcScan(pass, v.Body)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// isRPCPath reports whether a package path is the RPC boundary.
+func isRPCPath(path string) bool {
+	return strings.HasSuffix(path, "/srpc") || strings.HasSuffix(path, "/remote")
+}
+
+// syncLockMethod returns "Lock"/"Unlock"/"RLock"/"RUnlock" when call is
+// one of package sync's locking methods, else "".
+func syncLockMethod(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return ""
+	}
+	if fn := calleeOf(pass.Pkg.Info, call); fn != nil && pkgPathOf(fn) == "sync" {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// lockrpcScan walks one function body in source order tracking lock depth.
+func lockrpcScan(pass *Pass, body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	depth := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false // its own scope; scanned separately
+		case *ast.DeferStmt:
+			// A deferred unlock keeps the lock held to function end:
+			// neither decrement nor descend. Other deferred calls are
+			// inspected normally (a deferred RPC still runs under any
+			// lock still held at return).
+			if m := syncLockMethod(pass, v.Call); m == "Unlock" || m == "RUnlock" {
+				return false
+			}
+		case *ast.CallExpr:
+			switch syncLockMethod(pass, v) {
+			case "Lock", "RLock":
+				depth++
+			case "Unlock", "RUnlock":
+				if depth > 0 {
+					depth--
+				}
+			default:
+				if depth == 0 {
+					break
+				}
+				fn := calleeOf(pass.Pkg.Info, v)
+				if fn == nil {
+					break
+				}
+				if path := pkgPathOf(fn); isRPCPath(path) {
+					pass.Reportf(v.Pos(),
+						"call to %s.%s while a sync lock acquired in this function is still held; release the lock before crossing the RPC boundary",
+						path[strings.LastIndex(path, "/")+1:], fn.Name())
+				}
+			}
+		}
+		return true
+	})
+}

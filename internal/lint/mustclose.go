@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// mustCloseNames are the lifecycle methods whose error results carry real
+// failure information in this codebase: a lease that would not cancel
+// keeps an entry alive, an abort that failed leaves a transaction
+// half-rolled-back, a close that failed leaks a connection.
+var mustCloseNames = map[string]bool{
+	"Cancel": true,
+	"Abort":  true,
+	"Close":  true,
+}
+
+// MustClose flags statement-position calls to Cancel/Abort/Close methods
+// (declared in this module, returning exactly one error) whose result is
+// implicitly discarded. An explicit `_ = l.Cancel()` is allowed — the
+// discard is then a visible, reviewable decision — as is `defer c.Close()`
+// on the exit path, where there is no caller left to act on the error.
+var MustClose = &Analyzer{
+	Name: "mustclose",
+	Doc:  "flag implicitly discarded errors from Cancel/Abort/Close on module types",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			if pass.Pkg.IsTestFile(f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				stmt, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := unparen(stmt.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeOf(pass.Pkg.Info, call)
+				if fn == nil || !mustCloseNames[fn.Name()] {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Recv() == nil {
+					return true
+				}
+				path := pkgPathOf(fn)
+				if path != pass.Module && !strings.HasPrefix(path, pass.Module+"/") {
+					return true
+				}
+				if sig.Results().Len() != 1 || !isErrorType(sig.Results().At(0).Type()) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"error from %s.%s is silently discarded; handle it or discard explicitly with `_ =`",
+					path[strings.LastIndex(path, "/")+1:], fn.Name())
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// rawClockForbidden is the package-time surface that reads or arms the
+// wall clock. Everything here has a clockwork.Clock equivalent; anything
+// else in package time (Duration arithmetic, Date construction, parsing)
+// is pure and allowed.
+var rawClockForbidden = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// RawClock forbids wall-clock time in library code. Every component under
+// internal/ must be drivable by the fake clock (internal/clockwork), or
+// lease-expiry, failure-detection, and the chaos suite stop being
+// deterministic. Only internal/clockwork itself may touch package time's
+// clock; tests are exempt (they choose their own clocks).
+var RawClock = &Analyzer{
+	Name: "rawclock",
+	Doc:  "forbid time.Now/Sleep/After/NewTimer/... in internal/* outside internal/clockwork",
+	Run: func(pass *Pass) {
+		if !isInternalPath(pass.Pkg.Path) || isClockworkPath(pass.Pkg.Path) {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			if pass.Pkg.IsTestFile(f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if rawClockForbidden[sel.Sel.Name] && isPkgSelector(pass.Pkg.Info, sel, "time") {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock and defeats fake-clock determinism; thread a clockwork.Clock instead",
+						sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	},
+}

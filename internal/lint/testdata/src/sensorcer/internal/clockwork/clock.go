@@ -1,0 +1,20 @@
+// Package clockwork is the testdata stand-in for the real clock
+// abstraction. It is the one internal package permitted to read the wall
+// clock, so its time.Now/time.Sleep uses below are rawclock negatives.
+package clockwork
+
+import "time"
+
+// Clock is the injectable time source.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time        { return time.Now() }
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Real returns the wall clock.
+func Real() Clock { return realClock{} }

@@ -1,0 +1,35 @@
+// Package ctxflowcase exercises sensorlint/ctxflow.
+package ctxflowcase
+
+import "context"
+
+// Fetch takes its context second — the convention violation.
+func Fetch(name string, ctx context.Context) error { // want `context\.Context must be the first parameter`
+	_ = name
+	return ctx.Err()
+}
+
+// Root mints a root context inside library code.
+func Root() context.Context {
+	return context.Background() // want `context\.Background mints a root context`
+}
+
+// Todo is the same violation through the other constructor.
+func Todo() context.Context {
+	return context.TODO() // want `context\.TODO mints a root context`
+}
+
+// Good follows both rules.
+func Good(ctx context.Context, name string) error {
+	_ = name
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// helper is unexported; the first-parameter rule binds only exported API.
+func helper(name string, ctx context.Context) {
+	_ = name
+	_ = ctx
+}
+
+var _ = helper

@@ -1,0 +1,12 @@
+// Package faults is the testdata stand-in for the fault-injection
+// registry; the faultsite analyzer keys off its Injector hook methods.
+package faults
+
+// Injector decides per-site fault outcomes.
+type Injector struct{}
+
+// Inject returns the injected error for site, if any.
+func (i *Injector) Inject(site string) error { return nil }
+
+// Drop reports whether the operation at site should be silently lost.
+func (i *Injector) Drop(site string) bool { return false }

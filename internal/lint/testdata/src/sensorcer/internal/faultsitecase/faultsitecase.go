@@ -1,0 +1,37 @@
+// Package faultsitecase exercises sensorlint/faultsite.
+package faultsitecase
+
+import "sensorcer/internal/faults"
+
+// Package-level, unique, test-covered constants — the blessed pattern.
+const (
+	FaultSiteIngest = "/ingest"
+	FaultSiteFlush  = "/flush"
+)
+
+// FaultSiteOrphan is never referenced from any test.
+const FaultSiteOrphan = "/orphan" // want `not exercised by any test`
+
+// FaultSiteFlushAlias collides with FaultSiteFlush by value.
+const FaultSiteFlushAlias = "/flush" // want `duplicate fault-injection site`
+
+// Ingest consults its site through a registered constant.
+func Ingest(inj *faults.Injector, site string) error {
+	return inj.Inject(site + FaultSiteIngest)
+}
+
+// Flush likewise.
+func Flush(inj *faults.Injector, site string) {
+	inj.Drop(site + FaultSiteFlush)
+}
+
+// Literal builds the site inline.
+func Literal(inj *faults.Injector, site string) error {
+	return inj.Inject(site + "/literal") // want `fault-injection site built from a string literal`
+}
+
+// LocalConst hides the site in a function-local constant.
+func LocalConst(inj *faults.Injector, site string) bool {
+	const FaultSiteLocal = "/local"
+	return inj.Drop(site + FaultSiteLocal) // want `must be declared at package level`
+}

@@ -1,0 +1,5 @@
+package faultsitecase
+
+// The fault suite must exercise every registered site; these references
+// are what checkTestCoverage counts.
+var exercised = []string{FaultSiteIngest, FaultSiteFlush}

@@ -1,0 +1,35 @@
+// Package goroleakcase exercises sensorlint/goroleak.
+package goroleakcase
+
+import "sync"
+
+// Leak spawns a goroutine with no visible exit path.
+func Leak() {
+	go func() { // want `goroutine has no visible exit path`
+		for {
+		}
+	}()
+}
+
+// StopChannel is cancellable via a stop-channel receive.
+func StopChannel(stop chan struct{}) {
+	go func() {
+		<-stop
+	}()
+}
+
+// Worker drains a channel; closing it terminates the range.
+func Worker(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// Tracked signals completion through the WaitGroup handshake.
+func Tracked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}

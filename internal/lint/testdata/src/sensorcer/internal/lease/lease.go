@@ -1,0 +1,9 @@
+// Package lease is the testdata stand-in for the lease layer; Cancel's
+// error result is what the mustclose analyzer protects.
+package lease
+
+// Lease is a granted lease.
+type Lease struct{}
+
+// Cancel relinquishes the lease; a failure leaves the entry alive.
+func (l *Lease) Cancel() error { return nil }

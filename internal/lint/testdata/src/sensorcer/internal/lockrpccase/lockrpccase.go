@@ -1,0 +1,42 @@
+// Package lockrpccase exercises sensorlint/lockrpc.
+package lockrpccase
+
+import (
+	"sync"
+
+	"sensorcer/internal/remote"
+	"sensorcer/internal/srpc"
+)
+
+var mu sync.Mutex
+
+// UnderLock calls into the RPC layer with the mutex still held.
+func UnderLock() {
+	mu.Lock()
+	srpc.Ping() // want `call to srpc\.Ping while a sync lock`
+	mu.Unlock()
+}
+
+// DeferredHold: a deferred unlock keeps the lock held to function end.
+func DeferredHold() {
+	mu.Lock()
+	defer mu.Unlock()
+	remote.Fetch() // want `call to remote\.Fetch while a sync lock`
+}
+
+// Released unlocks before crossing the boundary.
+func Released() {
+	mu.Lock()
+	mu.Unlock()
+	srpc.Ping()
+}
+
+// LiteralScope: the returned literal acquired nothing itself; each
+// function body is scanned as its own scope.
+func LiteralScope() func() {
+	mu.Lock()
+	defer mu.Unlock()
+	return func() {
+		srpc.Ping()
+	}
+}

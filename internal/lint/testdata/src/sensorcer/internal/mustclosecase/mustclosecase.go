@@ -1,0 +1,27 @@
+// Package mustclosecase exercises sensorlint/mustclose.
+package mustclosecase
+
+import "sensorcer/internal/lease"
+
+// Closer is a module type whose Close returns a meaningful error.
+type Closer struct{}
+
+// Close releases the resource.
+func (Closer) Close() error { return nil }
+
+// DropBoth discards lifecycle errors implicitly.
+func DropBoth(l *lease.Lease, c Closer) {
+	l.Cancel() // want `error from lease\.Cancel is silently discarded`
+	c.Close()  // want `error from mustclosecase\.Close is silently discarded`
+}
+
+// Explicit discards are visible decisions; handled errors and deferred
+// exit-path closes are the normal forms. All allowed.
+func Explicit(l *lease.Lease, c Closer) error {
+	_ = l.Cancel()
+	defer c.Close()
+	if err := c.Close(); err != nil {
+		return err
+	}
+	return nil
+}

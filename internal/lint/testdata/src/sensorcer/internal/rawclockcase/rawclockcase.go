@@ -1,0 +1,40 @@
+// Package rawclockcase exercises sensorlint/rawclock.
+package rawclockcase
+
+import (
+	"time"
+
+	"sensorcer/internal/clockwork"
+)
+
+// Tick reads the wall clock directly.
+func Tick() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// Nap sleeps on the wall clock.
+func Nap() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+// Window references the wall-clock surface as a value — still forbidden.
+var Window = time.After // want `time\.After reads the wall clock`
+
+// Allowed: pure Duration arithmetic and an injected clock are fine.
+func Allowed(c clockwork.Clock) time.Time {
+	d := 2 * time.Second
+	_ = d
+	return c.Now()
+}
+
+// Ignored: the escape hatch with a reason suppresses the diagnostic.
+func Ignored() time.Time {
+	//lint:ignore sensorlint/rawclock boot stamp is intentionally wall-clock
+	return time.Now()
+}
+
+// IgnoredBadly lacks a reason, so the directive does not suppress.
+func IgnoredBadly() time.Time {
+	//lint:ignore sensorlint/rawclock
+	return time.Now() // want `time\.Now reads the wall clock`
+}

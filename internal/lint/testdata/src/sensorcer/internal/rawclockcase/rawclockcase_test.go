@@ -1,0 +1,6 @@
+package rawclockcase
+
+import "time"
+
+// Test files are exempt: tests choose their own clocks.
+var bootStamp = time.Now()

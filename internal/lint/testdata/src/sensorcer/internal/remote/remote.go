@@ -1,0 +1,6 @@
+// Package remote is the testdata stand-in for the remote-proxy layer,
+// the second package lockrpc treats as the RPC boundary.
+package remote
+
+// Fetch crosses the RPC boundary.
+func Fetch() {}

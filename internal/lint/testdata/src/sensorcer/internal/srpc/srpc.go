@@ -1,0 +1,6 @@
+// Package srpc is the testdata stand-in for the RPC client layer; calls
+// into it are what the lockrpc analyzer treats as crossing the boundary.
+package srpc
+
+// Ping crosses the RPC boundary.
+func Ping() {}

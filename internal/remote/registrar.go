@@ -74,19 +74,31 @@ type remoteProxyHolder struct {
 	client *AccessorClient
 }
 
-// Accessor materializes (and caches) a stub for the held descriptor.
+// Accessor materializes (and caches) a stub for the held descriptor. The
+// dial happens outside h.mu — holding a lock across a TCP connect would
+// stall every concurrent lookup behind one slow peer — so two callers may
+// race; the loser's client is closed and the cached winner returned.
 func (h *remoteProxyHolder) Accessor(timeout time.Duration) (*AccessorClient, error) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.client != nil {
-		return h.client, nil
+	cached := h.client
+	h.mu.Unlock()
+	if cached != nil {
+		return cached, nil
 	}
 	c, err := NewAccessorClient(h.desc, timeout)
 	if err != nil {
 		return nil, err
 	}
-	h.client = c
-	return c, nil
+	h.mu.Lock()
+	if h.client == nil {
+		h.client = c
+	}
+	cached = h.client
+	h.mu.Unlock()
+	if cached != c {
+		c.Close()
+	}
+	return cached, nil
 }
 
 // Describer is implemented by local services that know their own remote

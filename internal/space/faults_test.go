@@ -15,7 +15,7 @@ func TestFaultInjectorWriteError(t *testing.T) {
 	s := New(clockwork.Real(), lease.Policy{Max: time.Hour})
 	defer s.Close()
 	inj := faults.New(1, clockwork.Real())
-	inj.Set("sp/write", faults.Rule{ErrorRate: 1})
+	inj.Set("sp"+FaultSiteWrite, faults.Rule{ErrorRate: 1})
 	s.SetFaultInjector(inj, "sp")
 	if _, err := s.Write(NewEntry("E"), nil, time.Minute); !errors.Is(err, faults.ErrInjected) {
 		t.Fatalf("write err = %v, want ErrInjected", err)
@@ -26,7 +26,7 @@ func TestFaultInjectorDroppedWriteIsSilentlyLost(t *testing.T) {
 	s := New(clockwork.Real(), lease.Policy{Max: time.Hour})
 	defer s.Close()
 	inj := faults.New(1, clockwork.Real())
-	inj.Set("sp/write", faults.Rule{DropRate: 1})
+	inj.Set("sp"+FaultSiteWrite, faults.Rule{DropRate: 1})
 	s.SetFaultInjector(inj, "sp")
 	if _, err := s.Write(NewEntry("E"), nil, time.Minute); err != nil {
 		t.Fatalf("dropped write must look successful, got %v", err)
@@ -35,7 +35,7 @@ func TestFaultInjectorDroppedWriteIsSilentlyLost(t *testing.T) {
 		t.Fatalf("dropped entry is visible (%d)", n)
 	}
 	// Disarm: the space works normally again.
-	inj.Clear("sp/write")
+	inj.Clear("sp" + FaultSiteWrite)
 	if _, err := s.Write(NewEntry("E"), nil, time.Minute); err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestFaultInjectorTakeError(t *testing.T) {
 		t.Fatal(err)
 	}
 	inj := faults.New(1, clockwork.Real())
-	inj.Set("sp/take", faults.Rule{ErrorRate: 1})
+	inj.Set("sp"+FaultSiteTake, faults.Rule{ErrorRate: 1})
 	s.SetFaultInjector(inj, "sp")
 	if _, err := s.Take(NewEntry("E"), nil, 0); !errors.Is(err, faults.ErrInjected) {
 		t.Fatalf("take err = %v, want ErrInjected", err)

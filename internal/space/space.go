@@ -242,10 +242,20 @@ func (s *Space) onNotifyLeaseExpired(leaseID uint64) {
 // ID returns the space's service identity.
 func (s *Space) ID() ids.ServiceID { return s.id }
 
-// SetFaultInjector arms chaos hooks: Write consults site "<site>/write"
-// (injected errors fail the write, drops lose the entry silently — the
-// caller believes it was stored) and Read/Take consult "<site>/take"
-// (injected errors fail the operation before matching).
+// Fault-injection site suffixes appended to the base site handed to
+// SetFaultInjector. They are the space's two chaos hook points.
+const (
+	// FaultSiteWrite is consulted by Write: injected errors fail the
+	// write, drops lose the entry silently — the caller believes it was
+	// stored.
+	FaultSiteWrite = "/write"
+	// FaultSiteTake is consulted by Read and Take: injected errors fail
+	// the operation before matching.
+	FaultSiteTake = "/take"
+)
+
+// SetFaultInjector arms chaos hooks: Write consults site
+// "<site>"+FaultSiteWrite and Read/Take consult "<site>"+FaultSiteTake.
 func (s *Space) SetFaultInjector(inj *faults.Injector, site string) {
 	s.mu.Lock()
 	s.inj = inj
@@ -267,11 +277,11 @@ func (s *Space) Write(e Entry, tx *txn.Transaction, leaseDur time.Duration) (lea
 		return lease.Lease{}, errors.New("space: entry must have a kind")
 	}
 	inj, site := s.faultHooks()
-	if err := inj.Inject(site + "/write"); err != nil {
+	if err := inj.Inject(site + FaultSiteWrite); err != nil {
 		return lease.Lease{}, err
 	}
 	lse := s.leases.Grant(leaseDur)
-	if inj.Drop(site + "/write") {
+	if inj.Drop(site + FaultSiteWrite) {
 		// Lost write: the caller gets a lease and believes the entry was
 		// stored, but nothing ever becomes visible — the tuple-space
 		// analogue of a message lost on the wire.
@@ -365,7 +375,7 @@ func (s *Space) Close() {
 
 func (s *Space) acquire(tmpl Entry, tx *txn.Transaction, timeout time.Duration, take bool) (Entry, error) {
 	inj, site := s.faultHooks()
-	if err := inj.Inject(site + "/take"); err != nil {
+	if err := inj.Inject(site + FaultSiteTake); err != nil {
 		return Entry{}, err
 	}
 	s.leases.Sweep()

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"sensorcer/internal/clockwork"
 )
 
 // The radio layer models an IEEE 802.15.4 link, the SPOT's transport. A
@@ -94,30 +96,32 @@ type Link struct {
 	lost      int
 	bytes     int
 	receiver  func(Frame)
-	sleep     func(time.Duration)
+	clock     clockwork.Clock
 }
 
 // NewLink creates a link with the loss probability and one-way latency.
+// Latency is modelled on the real clock; inject a fake with SetClock to
+// make frame timing (and the battery drain it drives) deterministic.
 func NewLink(lossRate float64, latency time.Duration, seed int64) *Link {
 	return &Link{
 		rng:      rand.New(rand.NewSource(seed)),
 		lossRate: lossRate,
 		latency:  latency,
-		sleep:    time.Sleep,
+		clock:    clockwork.Real(),
 	}
+}
+
+// SetClock overrides the clock that models transmission latency.
+func (l *Link) SetClock(c clockwork.Clock) {
+	l.mu.Lock()
+	l.clock = c
+	l.mu.Unlock()
 }
 
 // SetReceiver installs the frame sink (the host-side probe).
 func (l *Link) SetReceiver(fn func(Frame)) {
 	l.mu.Lock()
 	l.receiver = fn
-	l.mu.Unlock()
-}
-
-// setSleep overrides the latency sleeper (tests).
-func (l *Link) setSleep(fn func(time.Duration)) {
-	l.mu.Lock()
-	l.sleep = fn
 	l.mu.Unlock()
 }
 
@@ -135,7 +139,7 @@ func (l *Link) Transmit(f Frame) (int, error) {
 	drop := l.rng.Float64() < l.lossRate
 	receiver := l.receiver
 	latency := l.latency
-	sleep := l.sleep
+	clock := l.clock
 	if drop {
 		l.lost++
 	} else {
@@ -147,7 +151,7 @@ func (l *Link) Transmit(f Frame) (int, error) {
 		return len(raw), ErrLinkLost
 	}
 	if latency > 0 {
-		sleep(latency)
+		clock.Sleep(latency)
 	}
 	if receiver != nil {
 		decoded, err := DecodeFrame(raw)

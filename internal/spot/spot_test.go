@@ -201,10 +201,19 @@ func TestLinkLossStatistics(t *testing.T) {
 	}
 }
 
-func TestLinkLatencyUsesSleeper(t *testing.T) {
+// sleepRecorder wraps a fake clock and records Sleep durations without
+// blocking (no other goroutine advances the fake during Transmit).
+type sleepRecorder struct {
+	clockwork.Clock
+	slept *time.Duration
+}
+
+func (s sleepRecorder) Sleep(d time.Duration) { *s.slept += d }
+
+func TestLinkLatencyUsesClock(t *testing.T) {
 	link := NewLink(0, 5*time.Millisecond, 1)
 	var slept time.Duration
-	link.setSleep(func(d time.Duration) { slept += d })
+	link.SetClock(sleepRecorder{Clock: clockwork.NewFake(epoch), slept: &slept})
 	link.SetReceiver(func(Frame) {})
 	link.Transmit(Frame{Payload: []byte{1}})
 	if slept != 5*time.Millisecond {

@@ -18,8 +18,14 @@ import (
 	"sync"
 	"time"
 
+	"sensorcer/internal/clockwork"
 	"sensorcer/internal/faults"
 )
+
+// FaultSiteSend is the injection-site suffix consulted before each client
+// request: errors fail the call, drops lose it in flight (the call then
+// waits out its deadline exactly like real message loss).
+const FaultSiteSend = "/send"
 
 // request is one call frame.
 type request struct {
@@ -244,6 +250,7 @@ type Client struct {
 	enc     *json.Encoder
 	encMu   sync.Mutex
 	timeout time.Duration
+	clock   clockwork.Clock
 	token   string
 
 	mu      sync.Mutex
@@ -273,6 +280,7 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 		conn:    conn,
 		enc:     json.NewEncoder(conn),
 		timeout: timeout,
+		clock:   clockwork.Real(),
 		pending: make(map[uint64]chan callResult),
 		done:    make(chan struct{}),
 	}
@@ -369,13 +377,13 @@ func (c *Client) CallWithTimeout(method string, params any, out any, timeout tim
 
 	dropped := false
 	if inj != nil {
-		if err := inj.Inject(injSite + "/send"); err != nil {
+		if err := inj.Inject(injSite + FaultSiteSend); err != nil {
 			c.abandon(id)
 			return err
 		}
 		// A dropped request is never written to the wire; the call
 		// waits out its deadline exactly as with real message loss.
-		dropped = inj.Drop(injSite + "/send")
+		dropped = inj.Drop(injSite + FaultSiteSend)
 	}
 	if !dropped {
 		var raw json.RawMessage
@@ -396,7 +404,7 @@ func (c *Client) CallWithTimeout(method string, params any, out any, timeout tim
 		}
 	}
 
-	timer := time.NewTimer(timeout)
+	timer := c.clock.NewTimer(timeout)
 	defer timer.Stop()
 	select {
 	case res := <-ch:
@@ -412,7 +420,7 @@ func (c *Client) CallWithTimeout(method string, params any, out any, timeout tim
 			}
 		}
 		return nil
-	case <-timer.C:
+	case <-timer.C():
 		c.abandon(id)
 		return fmt.Errorf("%w: %s after %v", ErrTimeout, method, timeout)
 	}

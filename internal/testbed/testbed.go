@@ -142,7 +142,9 @@ func (d *Deployment) Close() {
 		j.Terminate()
 	}
 	for _, e := range d.ESPs {
-		e.Close()
+		// Teardown is best-effort: a provider that fails to close cleanly
+		// must not stop the rest of the deployment from coming down.
+		_ = e.Close()
 	}
 	for _, m := range d.renewals {
 		m.Stop()
