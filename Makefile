@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race short bench chaos experiments examples cover clean
+.PHONY: all build vet lint test race short bench chaos chaos-recovery experiments examples cover clean
 
 # Seed for the fault-injection suite; override to replay a sequence:
 #   make chaos CHAOS_SEED=42
@@ -33,6 +33,11 @@ bench:
 
 chaos:
 	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -tags chaos -race ./internal/chaos -count=1
+
+# Just the crash/recovery invariant sweeps (a subset of `make chaos`).
+chaos-recovery:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -tags chaos -race ./internal/chaos -count=1 \
+		-run 'CrashRecovery|SpacerJobAcrossCrashRecovery'
 
 experiments:
 	$(GO) run ./cmd/experiments

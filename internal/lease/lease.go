@@ -220,6 +220,21 @@ func (t *Table) Cancel(id uint64) error {
 	return nil
 }
 
+// Expiration returns the grant's current deadline and whether the grant
+// exists and has not lapsed. Durability checkpoints use it to record the
+// remaining lifetime of each lease, which recovery rebases onto the
+// post-restart clock.
+func (t *Table) Expiration(id uint64) (time.Time, bool) {
+	now := t.clock.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	exp, ok := t.grants[id]
+	if !ok || !now.Before(exp) {
+		return time.Time{}, false
+	}
+	return exp, true
+}
+
 // Valid reports whether the grant exists and has not lapsed.
 func (t *Table) Valid(id uint64) bool {
 	now := t.clock.Now()

@@ -9,16 +9,20 @@ import (
 // mustCloseNames are the lifecycle methods whose error results carry real
 // failure information in this codebase: a lease that would not cancel
 // keeps an entry alive, an abort that failed leaves a transaction
-// half-rolled-back, a close that failed leaks a connection.
+// half-rolled-back, a close that failed leaks a connection, and a sync or
+// flush that failed means data believed durable is not — the fsyncgate
+// class of bug the WAL's fail-stop semantics exist to prevent.
 var mustCloseNames = map[string]bool{
 	"Cancel": true,
 	"Abort":  true,
 	"Close":  true,
+	"Sync":   true,
+	"Flush":  true,
 }
 
-// MustClose flags statement-position calls to Cancel/Abort/Close methods
-// (declared in this module, returning exactly one error) whose result is
-// implicitly discarded. An explicit `_ = l.Cancel()` is allowed — the
+// MustClose flags statement-position calls to Cancel/Abort/Close and
+// Sync/Flush methods (declared in this module, returning exactly one
+// error) whose result is implicitly discarded. An explicit `_ = l.Cancel()` is allowed — the
 // discard is then a visible, reviewable decision — as is `defer c.Close()`
 // on the exit path, where there is no caller left to act on the error.
 var MustClose = &Analyzer{

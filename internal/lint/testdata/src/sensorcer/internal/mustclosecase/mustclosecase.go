@@ -9,17 +9,37 @@ type Closer struct{}
 // Close releases the resource.
 func (Closer) Close() error { return nil }
 
+// Journal is a module type with durability methods: a discarded Sync or
+// Flush error means data believed durable is not.
+type Journal struct{}
+
+// Sync forces buffered records to stable storage.
+func (Journal) Sync() error { return nil }
+
+// Flush drains buffered records downstream.
+func (Journal) Flush() error { return nil }
+
 // DropBoth discards lifecycle errors implicitly.
 func DropBoth(l *lease.Lease, c Closer) {
 	l.Cancel() // want `error from lease\.Cancel is silently discarded`
 	c.Close()  // want `error from mustclosecase\.Close is silently discarded`
 }
 
+// DropDurability discards durability errors implicitly.
+func DropDurability(j Journal) {
+	j.Sync()  // want `error from mustclosecase\.Sync is silently discarded`
+	j.Flush() // want `error from mustclosecase\.Flush is silently discarded`
+}
+
 // Explicit discards are visible decisions; handled errors and deferred
 // exit-path closes are the normal forms. All allowed.
-func Explicit(l *lease.Lease, c Closer) error {
+func Explicit(l *lease.Lease, c Closer, j Journal) error {
 	_ = l.Cancel()
+	_ = j.Flush()
 	defer c.Close()
+	if err := j.Sync(); err != nil {
+		return err
+	}
 	if err := c.Close(); err != nil {
 		return err
 	}

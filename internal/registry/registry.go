@@ -20,6 +20,7 @@ import (
 	"sensorcer/internal/clockwork"
 	"sensorcer/internal/ids"
 	"sensorcer/internal/lease"
+	"sensorcer/internal/wal"
 )
 
 // ServiceItem is a registered service: its identity, its proxy object (for
@@ -147,6 +148,12 @@ type LookupService struct {
 	// every browser read) avoids a full template scan.
 	byName map[string]map[ids.ServiceID]bool
 	closed bool
+
+	// journal, when set, is the write-ahead log every registration change
+	// is recorded in before it is acknowledged (see durable.go). Nil for
+	// volatile registries. The log's lifecycle belongs to whoever opened
+	// it.
+	journal *wal.Log
 }
 
 type record struct {
@@ -235,6 +242,15 @@ func (l *LookupService) Register(item ServiceItem, leaseDur time.Duration) (Regi
 		_ = lse.Cancel()
 		return Registration{}, errors.New("registry: closed")
 	}
+	if err := l.journalLocked(regRecord{
+		Op: regOpRegister, ID: item.ID, Types: item.Types,
+		Attrs:   item.Attributes,
+		LeaseMS: int64(leaseDur / time.Millisecond),
+	}); err != nil {
+		l.mu.Unlock()
+		_ = lse.Cancel()
+		return Registration{}, err
+	}
 	var prev *ServiceItem
 	if old, ok := l.items[item.ID]; ok {
 		// Replacement: retire the old lease silently.
@@ -261,6 +277,10 @@ func (l *LookupService) Deregister(id ids.ServiceID) error {
 		l.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNotFound, id.Short())
 	}
+	if err := l.journalLocked(regRecord{Op: regOpDeregister, ID: id}); err != nil {
+		l.mu.Unlock()
+		return err
+	}
 	delete(l.items, id)
 	delete(l.byLease, rec.leaseID)
 	_ = l.itemLeases.Cancel(rec.leaseID)
@@ -279,6 +299,10 @@ func (l *LookupService) ModifyAttributes(id ids.ServiceID, attrs attr.Set) error
 	if !ok {
 		l.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNotFound, id.Short())
+	}
+	if err := l.journalLocked(regRecord{Op: regOpModAttrs, ID: id, Attrs: attrs}); err != nil {
+		l.mu.Unlock()
+		return err
 	}
 	prev := rec.item
 	l.indexRemoveLocked(rec.item)
@@ -455,6 +479,10 @@ func (l *LookupService) onItemLeaseExpired(leaseID uint64) {
 		return
 	}
 	rec := l.items[id]
+	// Best-effort journaling: if the expire record fails to land, replay
+	// re-grants the rebased lease and the item re-expires after recovery
+	// instead — expiry is idempotent.
+	_ = l.journalLocked(regRecord{Op: regOpExpire, ID: id})
 	delete(l.items, id)
 	delete(l.byLease, leaseID)
 	l.indexRemoveLocked(rec.item)

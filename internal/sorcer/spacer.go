@@ -3,6 +3,7 @@ package sorcer
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"sensorcer/internal/ids"
@@ -26,8 +27,11 @@ const (
 // dispatch direction — workers pull work at their own pace, which is how
 // SORCER balances load across heterogeneous providers.
 type Spacer struct {
-	id    ids.ServiceID
-	name  string
+	id   ids.ServiceID
+	name string
+	// mu guards space, which Rebind swaps after a crash-recovery cycle:
+	// jobs in flight pick up the recovered space on their next retry.
+	mu    sync.Mutex
 	space *space.Space
 	// taskTimeout bounds the wait for each result envelope.
 	taskTimeout time.Duration
@@ -58,7 +62,13 @@ func WithTaskTimeout(d time.Duration) SpacerOption {
 func WithAwaitPolicy(p resilience.Policy) SpacerOption {
 	return func(s *Spacer) {
 		if p.Retryable == nil {
-			p.Retryable = func(err error) bool { return errors.Is(err, space.ErrTimeout) }
+			// ErrClosed is retryable alongside ErrTimeout so awaits survive
+			// a durable space being closed for crash recovery: once Rebind
+			// installs the recovered space, the retry proceeds against it
+			// and redispatches any envelope the recovery did not preserve.
+			p.Retryable = func(err error) bool {
+				return errors.Is(err, space.ErrTimeout) || errors.Is(err, space.ErrClosed)
+			}
 		}
 		s.await = p
 	}
@@ -81,6 +91,24 @@ func NewSpacer(name string, sp *space.Space, opts ...SpacerOption) *Spacer {
 
 // ID returns the spacer's identity.
 func (s *Spacer) ID() ids.ServiceID { return s.id }
+
+// sp returns the current tuple space.
+func (s *Spacer) sp() *space.Space {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.space
+}
+
+// Rebind points the spacer at a recovered tuple space after the previous
+// one was closed by a crash (or an orderly restart). In-flight awaits —
+// retrying on ErrClosed under the await policy — continue against the new
+// space; recovered-but-untaken envelopes are simply taken by workers
+// again, and lost ones are redispatched by the envelope-count check.
+func (s *Spacer) Rebind(sp *space.Space) {
+	s.mu.Lock()
+	s.space = sp
+	s.mu.Unlock()
+}
 
 // Name returns the spacer's name.
 func (s *Spacer) Name() string { return s.name }
@@ -168,7 +196,7 @@ func (s *Spacer) dispatch(t *Task, tx *txn.Transaction) error {
 		"taskID", t.ID().String(),
 		"task", t,
 	)
-	if _, err := s.space.Write(env, tx, s.envelopeLease); err != nil {
+	if _, err := s.sp().Write(env, tx, s.envelopeLease); err != nil {
 		return fmt.Errorf("sorcer: writing envelope for %q: %w", t.Name(), err)
 	}
 	return nil
@@ -181,7 +209,7 @@ func (s *Spacer) awaitResult(t *Task, tx *txn.Transaction) error {
 			// the worker (or the envelope itself) was lost mid-flight —
 			// put the task back into play.
 			envTmpl := space.NewEntry(EnvelopeKind, "taskID", t.ID().String())
-			if s.space.Count(envTmpl) == 0 {
+			if s.sp().Count(envTmpl) == 0 {
 				if err := s.dispatch(t, tx); err != nil {
 					return err
 				}
@@ -192,12 +220,20 @@ func (s *Spacer) awaitResult(t *Task, tx *txn.Transaction) error {
 			timeout = s.taskTimeout
 		}
 		tmpl := space.NewEntry(ResultKind, "taskID", t.ID().String())
-		res, err := s.space.Take(tmpl, tx, timeout)
+		res, err := s.sp().Take(tmpl, tx, timeout)
 		if err != nil {
 			return fmt.Errorf("sorcer: awaiting result of %q: %w", t.Name(), err)
 		}
 		if failMsg, _ := res.Field("error").(string); failMsg != "" {
 			return fmt.Errorf("sorcer: task %q failed in space: %s", t.Name(), failMsg)
+		}
+		if rt, ok := res.Field("task").(*Task); ok && rt != t {
+			// The worker executed a copy of the task — it decoded the
+			// envelope from a recovered durable space, where pointer
+			// identity does not survive. Graft the copy's outputs onto our
+			// instance so the job's aggregated context is complete.
+			t.Context().Merge(rt.Context())
+			FinishTask(t, nil, nil)
 		}
 		return nil
 	})
@@ -254,7 +290,10 @@ func (w *SpaceWorker) loop() {
 			continue // malformed envelope
 		}
 		_, execErr := w.servicer.Service(task, nil)
-		result := space.NewEntry(ResultKind, "taskID", task.ID().String())
+		// The executed task rides along so a spacer holding a different
+		// instance (envelope recovered from a durable space) still gets
+		// the outputs.
+		result := space.NewEntry(ResultKind, "taskID", task.ID().String(), "task", task)
 		if execErr != nil {
 			result.Fields["error"] = execErr.Error()
 		}

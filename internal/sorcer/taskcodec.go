@@ -1,0 +1,110 @@
+package sorcer
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"sensorcer/internal/ids"
+	"sensorcer/internal/space"
+)
+
+// taskCodec makes *Task values durable inside tuple-space entries: the
+// Spacer's exertion envelopes carry the task as a payload field, and a
+// durable space must journal it to redispatch recovered-but-untaken
+// envelopes after a restart. Only the dispatchable essence is serialized —
+// identity, name, signature and context data. Execution state (status,
+// error) is not: a recovered envelope is by definition un-executed, and
+// its task restarts from Initial, matching at-least-once redispatch
+// semantics.
+type taskCodec struct{}
+
+func init() { space.RegisterPayloadCodec(taskCodec{}) }
+
+// taskWire is the durable form of a *Task (on-disk format).
+type taskWire struct {
+	ID        ids.ServiceID  `json:"id"`
+	Name      string         `json:"name"`
+	Signature Signature      `json:"sig"`
+	Context   map[string]any `json:"ctx,omitempty"`
+}
+
+// Name implements space.PayloadCodec.
+func (taskCodec) Name() string { return "sorcer.task" }
+
+// Encode implements space.PayloadCodec.
+func (taskCodec) Encode(v any) ([]byte, bool) {
+	t, ok := v.(*Task)
+	if !ok {
+		return nil, false
+	}
+	w := taskWire{ID: t.ID(), Name: t.Name(), Signature: t.Signature()}
+	ctx := t.Context()
+	if n := ctx.Len(); n > 0 {
+		w.Context = make(map[string]any, n)
+		for _, p := range ctx.Paths() {
+			v, _ := ctx.Get(p)
+			w.Context[p] = v
+		}
+	}
+	data, err := json.Marshal(w)
+	if err != nil {
+		// Unserializable context payload: degrade to opaque rather than
+		// failing the write (matching encodeFields' policy).
+		return nil, false
+	}
+	return data, true
+}
+
+// Decode implements space.PayloadCodec.
+func (taskCodec) Decode(data []byte) (any, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var w taskWire
+	if err := dec.Decode(&w); err != nil {
+		return nil, fmt.Errorf("sorcer: decoding task: %w", err)
+	}
+	for _, e := range w.Signature.Attributes {
+		for k, v := range e.Fields {
+			e.Fields[k] = fixNumber(v)
+		}
+	}
+	ctx := NewContext()
+	for p, v := range w.Context {
+		ctx.Put(p, fixNumber(v))
+	}
+	return &Task{id: w.ID, name: w.Name, signature: w.Signature, ctx: ctx}, nil
+}
+
+// fixNumber converts json.Number values (and any nested inside maps or
+// slices) to int64 when integral, float64 otherwise — matching package
+// attr's canonical kinds so signature attributes keep matching and
+// Context.Float keeps coercing after recovery.
+func fixNumber(v any) any {
+	switch x := v.(type) {
+	case json.Number:
+		if !strings.ContainsAny(x.String(), ".eE") {
+			if i, err := x.Int64(); err == nil {
+				return i
+			}
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return x.String()
+		}
+		return f
+	case map[string]any:
+		for k, e := range x {
+			x[k] = fixNumber(e)
+		}
+		return x
+	case []any:
+		for i, e := range x {
+			x[i] = fixNumber(e)
+		}
+		return x
+	default:
+		return v
+	}
+}

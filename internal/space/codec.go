@@ -1,0 +1,122 @@
+package space
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// PayloadCodec serializes entry field values that plain JSON cannot
+// round-trip — rich payload objects such as exertion tasks. Packages that
+// put such values into a durable space register a codec (package sorcer
+// registers one for *Task); plain JSON-native values (strings, bools,
+// float64s, maps, slices) need none.
+//
+// Encode reports ok=false when the value is not this codec's type; when it
+// is, the returned bytes must be valid JSON (they are embedded verbatim in
+// the journal record). Decode must invert Encode.
+type PayloadCodec interface {
+	// Name tags encoded values in the journal; it must be unique and
+	// stable across restarts — it is part of the on-disk format.
+	Name() string
+	// Encode serializes v, or reports ok=false for foreign values.
+	Encode(v any) (data []byte, ok bool)
+	// Decode reverses Encode.
+	Decode(data []byte) (any, error)
+}
+
+var (
+	codecMu     sync.RWMutex
+	codecs      []PayloadCodec
+	codecByName = make(map[string]PayloadCodec)
+)
+
+// RegisterPayloadCodec installs a codec for durable field serialization.
+// Typically called from an init function; registering two codecs with the
+// same name panics (the name is an on-disk format tag).
+func RegisterPayloadCodec(c PayloadCodec) {
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if _, dup := codecByName[c.Name()]; dup {
+		panic(fmt.Sprintf("space: payload codec %q registered twice", c.Name()))
+	}
+	codecByName[c.Name()] = c
+	codecs = append(codecs, c)
+}
+
+// opaqueCodec tags values no codec claimed and JSON rejected (channels,
+// functions, cyclic payloads). They survive as nil after recovery: the
+// entry and its matchable fields persist, the opaque payload does not.
+const opaqueCodec = "opaque"
+
+// fieldWire is one serialized entry field. An empty Codec means native
+// JSON.
+type fieldWire struct {
+	Codec string          `json:"c,omitempty"`
+	Data  json.RawMessage `json:"d,omitempty"`
+}
+
+// encodeFields serializes an entry's field map for journaling. Values are
+// tried against registered codecs first, then native JSON; unserializable
+// values degrade to opaque (recovered as nil).
+func encodeFields(fields map[string]any) map[string]fieldWire {
+	if fields == nil {
+		return nil
+	}
+	out := make(map[string]fieldWire, len(fields))
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	for k, v := range fields {
+		out[k] = encodeFieldLocked(v)
+	}
+	return out
+}
+
+func encodeFieldLocked(v any) fieldWire {
+	for _, c := range codecs {
+		if data, ok := c.Encode(v); ok {
+			return fieldWire{Codec: c.Name(), Data: data}
+		}
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fieldWire{Codec: opaqueCodec}
+	}
+	return fieldWire{Data: raw}
+}
+
+// decodeFields reverses encodeFields. Numeric values come back as float64
+// (JSON semantics, matching package attr's canonical kinds); template
+// fields on durable entries should therefore stick to strings, bools and
+// float64s.
+func decodeFields(wire map[string]fieldWire) (map[string]any, error) {
+	if wire == nil {
+		return nil, nil
+	}
+	out := make(map[string]any, len(wire))
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	for k, w := range wire {
+		switch w.Codec {
+		case "":
+			var v any
+			if err := json.Unmarshal(w.Data, &v); err != nil {
+				return nil, fmt.Errorf("space: decoding field %q: %w", k, err)
+			}
+			out[k] = v
+		case opaqueCodec:
+			out[k] = nil
+		default:
+			c, ok := codecByName[w.Codec]
+			if !ok {
+				return nil, fmt.Errorf("space: field %q uses unregistered codec %q", k, w.Codec)
+			}
+			v, err := c.Decode(w.Data)
+			if err != nil {
+				return nil, fmt.Errorf("space: codec %q decoding field %q: %w", w.Codec, k, err)
+			}
+			out[k] = v
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,230 @@
+package space
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/lease"
+	"sensorcer/internal/wal"
+)
+
+// Journal operation tags (on-disk format).
+const (
+	opWrite  = "write"
+	opTake   = "take"
+	opExpire = "expire"
+	opCommit = "commit"
+	opAbort  = "abort"
+)
+
+// journalRecord is one redo-log entry. Write/take records are tagged with
+// the staging transaction (0 = none); commit/abort records resolve it.
+type journalRecord struct {
+	Op      string               `json:"op"`
+	ID      uint64               `json:"id,omitempty"`
+	Txn     uint64               `json:"txn,omitempty"`
+	Kind    string               `json:"kind,omitempty"`
+	Fields  map[string]fieldWire `json:"fields,omitempty"`
+	LeaseMS int64                `json:"leaseMs,omitempty"`
+}
+
+// spaceSnapshot is the checkpoint format: every stored entry (including
+// transaction staging tags) plus the id high-water mark. LeaseMS holds the
+// lease time remaining at checkpoint, rebased onto the recovery clock.
+type spaceSnapshot struct {
+	NextID  uint64      `json:"nextId"`
+	Entries []entryWire `json:"entries"`
+}
+
+type entryWire struct {
+	ID         uint64               `json:"id"`
+	Kind       string               `json:"kind"`
+	Fields     map[string]fieldWire `json:"fields,omitempty"`
+	WrittenTxn uint64               `json:"writtenTxn,omitempty"`
+	TakenTxn   uint64               `json:"takenTxn,omitempty"`
+	LeaseMS    int64                `json:"leaseMs"`
+}
+
+// journalLocked appends a record to the journal (no-op for volatile
+// spaces). Callers hold s.mu, which serializes journal order with memory
+// order. An error means the record is not durable: the caller must not
+// apply (or must undo) the operation.
+func (s *Space) journalLocked(rec journalRecord) error {
+	if s.journal == nil {
+		return nil
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("space: encoding journal record: %w", err)
+	}
+	if _, err := s.journal.Append(b); err != nil {
+		return fmt.Errorf("space: journaling %s: %w", rec.Op, err)
+	}
+	return nil
+}
+
+// Recover opens a durable tuple space backed by log: it loads the latest
+// snapshot, replays the records after it, and attaches the log so every
+// subsequent mutation is journaled before it is acknowledged.
+//
+// Replay restores exactly the acknowledged state, under three invariants
+// the crash-recovery chaos suite asserts:
+//
+//   - no acked write is lost: a Write that returned nil is present after
+//     recovery (until taken or expired);
+//   - no entry is taken twice: an acked Take is durable, so the entry
+//     cannot reappear;
+//   - no aborted transaction is resurrected: staged writes of aborted —
+//     or unresolved, i.e. in flight at the crash — transactions are
+//     dropped, and their staged takes are restored.
+//
+// Entry leases are rebased onto the recovery clock: an entry written with
+// lease duration d (or holding d-remaining at the last checkpoint) gets a
+// fresh grant of d from now. Rebasing is conservative — recovery never
+// shortens a lease below what was promised, it restarts it.
+func Recover(clock clockwork.Clock, policy lease.Policy, log *wal.Log) (*Space, error) {
+	s := New(clock, policy)
+	staged := make(map[uint64]*entryWire)
+	var order []uint64 // ids in first-seen order, for deterministic FIFO
+	maxID := uint64(0)
+	note := func(id uint64) {
+		if id > maxID {
+			maxID = id
+		}
+	}
+
+	if data, _, _, ok := log.Snapshot(); ok {
+		var snap spaceSnapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return nil, fmt.Errorf("space: decoding snapshot: %w", err)
+		}
+		note(snap.NextID)
+		for i := range snap.Entries {
+			ew := snap.Entries[i]
+			staged[ew.ID] = &ew
+			order = append(order, ew.ID)
+			note(ew.ID)
+		}
+	}
+
+	err := log.Replay(func(_ uint64, payload []byte) error {
+		var rec journalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("space: decoding journal record: %w", err)
+		}
+		switch rec.Op {
+		case opWrite:
+			staged[rec.ID] = &entryWire{
+				ID: rec.ID, Kind: rec.Kind, Fields: rec.Fields,
+				WrittenTxn: rec.Txn, LeaseMS: rec.LeaseMS,
+			}
+			order = append(order, rec.ID)
+			note(rec.ID)
+		case opTake:
+			if rec.Txn == 0 {
+				delete(staged, rec.ID)
+			} else if ew, ok := staged[rec.ID]; ok {
+				ew.TakenTxn = rec.Txn
+			}
+			note(rec.ID)
+		case opExpire:
+			delete(staged, rec.ID)
+			note(rec.ID)
+		case opCommit:
+			for id, ew := range staged {
+				if ew.WrittenTxn == rec.Txn {
+					ew.WrittenTxn = 0
+				}
+				if ew.TakenTxn == rec.Txn {
+					delete(staged, id)
+				}
+			}
+		case opAbort:
+			for id, ew := range staged {
+				if ew.WrittenTxn == rec.Txn {
+					delete(staged, id)
+				}
+				if ew.TakenTxn == rec.Txn {
+					ew.TakenTxn = 0
+				}
+			}
+		default:
+			return fmt.Errorf("space: unknown journal op %q", rec.Op)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve transactions that were in flight at the crash: their commit
+	// record is missing, so they abort — staged writes vanish, staged
+	// takes are restored.
+	for id, ew := range staged {
+		if ew.WrittenTxn != 0 {
+			delete(staged, id)
+			continue
+		}
+		ew.TakenTxn = 0
+	}
+
+	for _, id := range order {
+		ew, ok := staged[id]
+		if !ok || s.entries[id] != nil {
+			continue
+		}
+		fields, err := decodeFields(ew.Fields)
+		if err != nil {
+			return nil, err
+		}
+		lse := s.leases.Grant(time.Duration(ew.LeaseMS) * time.Millisecond)
+		s.entries[id] = &storedEntry{
+			id:      id,
+			entry:   Entry{Kind: ew.Kind, Fields: fields},
+			leaseID: lse.ID,
+		}
+		s.byLease[lse.ID] = id
+	}
+	s.nextID = maxID
+	s.journal = log
+	return s, nil
+}
+
+// Checkpoint writes a snapshot of the space's durable state to the journal
+// and compacts it, bounding recovery time. Transaction staging tags are
+// included, so a checkpoint taken mid-transaction still aborts correctly
+// if the commit record never lands. Volatile spaces return nil.
+func (s *Space) Checkpoint() error {
+	if s.journal == nil {
+		return nil
+	}
+	s.leases.Sweep()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock.Now()
+	snap := spaceSnapshot{NextID: s.nextID}
+	for _, se := range s.entries {
+		exp, ok := s.leases.Expiration(se.leaseID)
+		if !ok {
+			continue // lapsed but not yet swept
+		}
+		snap.Entries = append(snap.Entries, entryWire{
+			ID:         se.id,
+			Kind:       se.entry.Kind,
+			Fields:     encodeFields(se.entry.Fields),
+			WrittenTxn: se.writtenTxn,
+			TakenTxn:   se.takenTxn,
+			LeaseMS:    int64(exp.Sub(now) / time.Millisecond),
+		})
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("space: encoding snapshot: %w", err)
+	}
+	if err := s.journal.WriteSnapshot(data); err != nil {
+		return fmt.Errorf("space: checkpoint: %w", err)
+	}
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 	"sensorcer/internal/ids"
 	"sensorcer/internal/lease"
 	"sensorcer/internal/txn"
+	"sensorcer/internal/wal"
 )
 
 // Entry is a tuple: a kind plus named fields. Template matching follows
@@ -42,7 +43,13 @@ func NewEntry(kind string, kv ...any) Entry {
 	return e
 }
 
-// Clone deep-copies the field map (values are shared).
+// Clone returns a copy with its own field map: mutating the original's map
+// (adding, removing or reassigning keys) cannot affect the clone, and vice
+// versa. The copy is shallow one level down — field values themselves are
+// shared, so payload values should be treated as immutable once written.
+// The space clones on Write and on every Read/Take, so stored entries never
+// alias caller-held maps; recovery rebuilds field maps from the journal, so
+// replayed entries cannot alias pre-crash ones either.
 func (e Entry) Clone() Entry {
 	c := Entry{Kind: e.Kind}
 	if e.Fields != nil {
@@ -128,6 +135,11 @@ type Space struct {
 	txns    map[uint64]*spaceTxnPart
 	notifs  map[uint64]*spaceNotification
 	closed  bool
+
+	// journal, when set, is the write-ahead log every mutation is recorded
+	// in before it is acknowledged (see durable.go). Nil for volatile
+	// spaces. The log's lifecycle belongs to whoever opened it.
+	journal *wal.Log
 
 	// inj, when set, injects faults at sites "<site>/write" and
 	// "<site>/take" (chaos testing only; nil in production).
@@ -271,7 +283,9 @@ func (s *Space) faultHooks() (*faults.Injector, string) {
 }
 
 // Write stores an entry under a lease. With a transaction, the entry is
-// visible only inside that transaction until it commits.
+// visible only inside that transaction until it commits. On a durable
+// space the entry is journaled before Write returns: a nil error means the
+// write survives a crash.
 func (s *Space) Write(e Entry, tx *txn.Transaction, leaseDur time.Duration) (lease.Lease, error) {
 	if e.Kind == "" {
 		return lease.Lease{}, errors.New("space: entry must have a kind")
@@ -293,16 +307,30 @@ func (s *Space) Write(e Entry, tx *txn.Transaction, leaseDur time.Duration) (lea
 		_ = lse.Cancel()
 		return lease.Lease{}, ErrClosed
 	}
-	s.nextID++
-	se := &storedEntry{id: s.nextID, entry: e.Clone(), leaseID: lse.ID}
+	var part *spaceTxnPart
+	txnID := uint64(0)
 	if tx != nil {
-		part, err := s.joinLocked(tx)
-		if err != nil {
+		var err error
+		if part, err = s.joinLocked(tx); err != nil {
 			s.mu.Unlock()
 			_ = lse.Cancel()
 			return lease.Lease{}, err
 		}
-		se.writtenTxn = tx.ID()
+		txnID = tx.ID()
+	}
+	id := s.nextID + 1
+	if err := s.journalLocked(journalRecord{
+		Op: opWrite, ID: id, Txn: txnID, Kind: e.Kind,
+		Fields:  encodeFields(e.Fields),
+		LeaseMS: int64(leaseDur / time.Millisecond),
+	}); err != nil {
+		s.mu.Unlock()
+		_ = lse.Cancel()
+		return lease.Lease{}, err
+	}
+	s.nextID = id
+	se := &storedEntry{id: id, entry: e.Clone(), leaseID: lse.ID, writtenTxn: txnID}
+	if part != nil {
 		part.written = append(part.written, se.id)
 	}
 	s.entries[se.id] = se
@@ -464,12 +492,17 @@ func (s *Space) visibleLocked(se *storedEntry, txnID uint64) bool {
 	return true
 }
 
-// claimLocked performs the read/take on a matched entry.
+// claimLocked performs the read/take on a matched entry. Takes are
+// journaled before the entry is touched: a journaling error leaves the
+// entry intact and fails the operation.
 func (s *Space) claimLocked(se *storedEntry, tx *txn.Transaction, take bool) (Entry, error) {
 	if !take {
 		return se.entry.Clone(), nil
 	}
 	if tx == nil {
+		if err := s.journalLocked(journalRecord{Op: opTake, ID: se.id}); err != nil {
+			return Entry{}, err
+		}
 		s.removeLocked(se)
 		return se.entry.Clone(), nil
 	}
@@ -479,7 +512,12 @@ func (s *Space) claimLocked(se *storedEntry, tx *txn.Transaction, take bool) (En
 	}
 	if se.writtenTxn == tx.ID() {
 		// Taking an entry this transaction itself wrote: net effect is
-		// nothing, remove it outright.
+		// nothing, remove it outright. The removal is unconditional (it
+		// stands even if the transaction later aborts), so the journal
+		// record carries no txn tag.
+		if err := s.journalLocked(journalRecord{Op: opTake, ID: se.id}); err != nil {
+			return Entry{}, err
+		}
 		s.removeLocked(se)
 		for i, id := range part.written {
 			if id == se.id {
@@ -488,6 +526,9 @@ func (s *Space) claimLocked(se *storedEntry, tx *txn.Transaction, take bool) (En
 			}
 		}
 		return se.entry.Clone(), nil
+	}
+	if err := s.journalLocked(journalRecord{Op: opTake, ID: se.id, Txn: tx.ID()}); err != nil {
+		return Entry{}, err
 	}
 	se.takenTxn = tx.ID()
 	part.taken = append(part.taken, se.id)
@@ -529,6 +570,10 @@ func (s *Space) serveWaitersLocked() {
 func (s *Space) onLeaseExpired(leaseID uint64) {
 	s.mu.Lock()
 	if id, ok := s.byLease[leaseID]; ok {
+		// Best-effort journaling: if the expire record fails to land,
+		// replay re-grants the rebased lease and the entry re-expires
+		// after recovery instead — expiry is idempotent.
+		_ = s.journalLocked(journalRecord{Op: opExpire, ID: id})
 		delete(s.byLease, leaseID)
 		delete(s.entries, id)
 	}
@@ -568,9 +613,16 @@ func (p *spaceTxnPart) Prepare(uint64) (txn.Vote, error) {
 }
 
 // Commit implements txn.Participant: staged writes become visible and
-// provisional takes become permanent.
+// provisional takes become permanent. On a durable space the commit record
+// must land before anything is applied — if it cannot, the commit fails
+// and replay will abort the transaction, matching what a crash at this
+// point would do.
 func (p *spaceTxnPart) Commit(txnID uint64) error {
 	p.space.mu.Lock()
+	if err := p.space.journalLocked(journalRecord{Op: opCommit, Txn: txnID}); err != nil {
+		p.space.mu.Unlock()
+		return err
+	}
 	for _, id := range p.written {
 		if se, ok := p.space.entries[id]; ok {
 			se.writtenTxn = 0
@@ -589,9 +641,12 @@ func (p *spaceTxnPart) Commit(txnID uint64) error {
 }
 
 // Abort implements txn.Participant: staged writes vanish and provisional
-// takes are restored.
+// takes are restored. The abort record is best-effort — replay aborts any
+// transaction without a commit record, so a lost abort record converges to
+// the same state.
 func (p *spaceTxnPart) Abort(txnID uint64) error {
 	p.space.mu.Lock()
+	_ = p.space.journalLocked(journalRecord{Op: opAbort, Txn: txnID})
 	for _, id := range p.written {
 		if se, ok := p.space.entries[id]; ok {
 			p.space.removeLocked(se)

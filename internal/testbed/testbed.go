@@ -8,6 +8,7 @@ package testbed
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"sensorcer/internal/clockwork"
@@ -22,6 +23,7 @@ import (
 	"sensorcer/internal/space"
 	"sensorcer/internal/spot"
 	"sensorcer/internal/txn"
+	"sensorcer/internal/wal"
 )
 
 // Config shapes a deployment.
@@ -40,6 +42,13 @@ type Config struct {
 	SampleInterval time.Duration
 	// Policy selects the provisioning policy (default least-loaded).
 	Policy rio.SelectionPolicy
+	// DurableDir, when non-empty, backs the exertion space and the lookup
+	// service with write-ahead logs under this directory (subdirs "space"
+	// and "registry") so the deployment recovers its state across
+	// restarts. New panics if the journals cannot be opened or replayed —
+	// a deployment that silently dropped its durability would defeat the
+	// point.
+	DurableDir string
 }
 
 // Deployment is a running SenSORCER network.
@@ -58,6 +67,11 @@ type Deployment struct {
 	Mailbox   *event.Mailbox
 	Space     *space.Space
 	Exerter   *sorcer.Exerter
+
+	// SpaceLog and RegistryLog are the write-ahead logs behind the space
+	// and the LUS when Config.DurableDir is set; nil otherwise.
+	SpaceLog    *wal.Log
+	RegistryLog *wal.Log
 
 	joins     []*discovery.Join
 	renewals  []*lease.RenewalManager
@@ -89,14 +103,37 @@ func New(cfg Config) *Deployment {
 	}
 
 	d := &Deployment{Clock: cfg.Clock, Bus: discovery.NewBus()}
-	d.LUS = registry.New("persimmon.cs.ttu.edu:4160", cfg.Clock)
+	const lusName = "persimmon.cs.ttu.edu:4160"
+	if cfg.DurableDir != "" {
+		rlog, err := wal.Open(filepath.Join(cfg.DurableDir, "registry"), wal.WithClock(cfg.Clock))
+		if err != nil {
+			panic(fmt.Sprintf("testbed: opening registry journal: %v", err))
+		}
+		d.RegistryLog = rlog
+		if d.LUS, err = registry.Recover(lusName, cfg.Clock, rlog); err != nil {
+			panic(fmt.Sprintf("testbed: recovering registry: %v", err))
+		}
+	} else {
+		d.LUS = registry.New(lusName, cfg.Clock)
+	}
 	d.busCancel = d.Bus.Announce(d.LUS)
 	d.Mgr = discovery.NewManager(d.Bus)
 
 	// Jini infrastructure peers of Fig. 2.
 	d.TxnMgr = txn.NewManager(cfg.Clock, lease.Policy{Max: lease.DefaultMax})
 	d.Mailbox = event.NewMailbox(cfg.Clock, lease.Policy{Max: lease.DefaultMax}, 0)
-	d.Space = space.New(cfg.Clock, lease.Policy{Max: lease.DefaultMax})
+	if cfg.DurableDir != "" {
+		slog, err := wal.Open(filepath.Join(cfg.DurableDir, "space"), wal.WithClock(cfg.Clock))
+		if err != nil {
+			panic(fmt.Sprintf("testbed: opening space journal: %v", err))
+		}
+		d.SpaceLog = slog
+		if d.Space, err = space.Recover(cfg.Clock, lease.Policy{Max: lease.DefaultMax}, slog); err != nil {
+			panic(fmt.Sprintf("testbed: recovering space: %v", err))
+		}
+	} else {
+		d.Space = space.New(cfg.Clock, lease.Policy{Max: lease.DefaultMax})
+	}
 	d.Exerter = sorcer.NewExerter(sorcer.NewAccessor(d.Mgr))
 
 	// Simulated SPOT fleet wrapped as ESPs.
@@ -151,7 +188,13 @@ func (d *Deployment) Close() {
 	}
 	d.Monitor.Close()
 	d.Space.Close()
+	if d.SpaceLog != nil {
+		_ = d.SpaceLog.Close()
+	}
 	d.Mgr.Terminate()
 	d.busCancel()
 	d.LUS.Close()
+	if d.RegistryLog != nil {
+		_ = d.RegistryLog.Close()
+	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"sensorcer/internal/sensor"
 	"sensorcer/internal/sorcer"
+	"sensorcer/internal/space"
 )
 
 func TestDefaultDeploymentShape(t *testing.T) {
@@ -81,5 +82,31 @@ func TestDeploymentScales(t *testing.T) {
 	defer d.Close()
 	if got := len(d.Facade.SensorEntries()); got != 32 {
 		t.Fatalf("SensorEntries = %d", got)
+	}
+}
+
+// TestDurableDeploymentSurvivesRestart stands up a WAL-backed deployment,
+// leaves state in the exertion space, tears the whole thing down, and
+// brings up a second deployment on the same journal directory: the space
+// contents must come back.
+func TestDurableDeploymentSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	d := New(Config{Sensors: 1, Cybernodes: 1, DurableDir: dir})
+	if d.SpaceLog == nil || d.RegistryLog == nil {
+		t.Fatal("durable deployment has no journals")
+	}
+	if _, err := d.Space.Write(space.NewEntry("Reading", "sensor", "Neem", "value", 21.5), nil, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	d2 := New(Config{Sensors: 1, Cybernodes: 1, DurableDir: dir})
+	defer d2.Close()
+	e, err := d2.Space.Read(space.NewEntry("Reading"), nil, 0)
+	if err != nil {
+		t.Fatalf("entry lost across deployment restart: %v", err)
+	}
+	if v := e.Field("value"); v != 21.5 {
+		t.Fatalf("recovered value = %v", v)
 	}
 }
