@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race short bench chaos chaos-recovery experiments examples cover clean
+.PHONY: all build vet lint test race short bench bench-smoke chaos chaos-recovery experiments examples cover clean
 
 # Seed for the fault-injection suite; override to replay a sequence:
 #   make chaos CHAOS_SEED=42
@@ -28,8 +28,16 @@ race:
 short:
 	$(GO) test ./... -count=1 -short
 
+# Full benchmark suite; results land in $(BENCH_OUT) (op name -> ns/op,
+# B/op, allocs/op) so later PRs have a perf trajectory to compare against.
+BENCH_OUT ?= BENCH_PR4.json
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+
+# One iteration per benchmark: proves the suite and the JSON emitter still
+# run, without CI paying for real measurements.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime 1x -benchmem ./... | $(GO) run ./cmd/benchjson -o /dev/null
 
 chaos:
 	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -tags chaos -race ./internal/chaos -count=1

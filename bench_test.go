@@ -8,6 +8,7 @@ package sensorcer
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -441,6 +442,42 @@ func BenchmarkSpaceWriteTake(b *testing.B) {
 		if _, err := sp.Take(space.NewEntry("E"), nil, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSpaceParallelMixedKinds drives concurrent write/take pairs on
+// per-goroutine hot kinds while the space holds a large resident population
+// of unrelated kinds. With the kind-keyed index, cost stays flat as the
+// unrelated population grows; under the old linear scan it grew with it.
+func BenchmarkSpaceParallelMixedKinds(b *testing.B) {
+	for _, resident := range []int{0, 1024, 8192} {
+		b.Run(fmt.Sprintf("resident-%d", resident), func(b *testing.B) {
+			sp := space.New(clockwork.NewFake(epoch), lease.Policy{Max: time.Hour})
+			defer sp.Close()
+			for i := 0; i < resident; i++ {
+				kind := fmt.Sprintf("COLD-%d", i%8)
+				if _, err := sp.Write(space.NewEntry(kind, "k", i), nil, time.Hour); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var worker atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				kind := fmt.Sprintf("HOT-%d", worker.Add(1))
+				i := 0
+				for pb.Next() {
+					if _, err := sp.Write(space.NewEntry(kind, "k", i), nil, time.Hour); err != nil {
+						b.Error(err)
+						return
+					}
+					if _, err := sp.Take(space.NewEntry(kind), nil, 0); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+		})
 	}
 }
 

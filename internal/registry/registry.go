@@ -10,6 +10,7 @@
 package registry
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -145,8 +146,11 @@ type LookupService struct {
 	byNLease map[uint64]uint64
 	// byName indexes registrations by their Name attribute so the
 	// overwhelmingly common find-by-name lookup (every FindAccessor,
-	// every browser read) avoids a full template scan.
+	// every browser read) avoids a full template scan. byType does the
+	// same for interface type names, serving find-by-type templates from
+	// the smallest matching type set.
 	byName map[string]map[ids.ServiceID]bool
+	byType map[string]map[ids.ServiceID]bool
 	closed bool
 
 	// journal, when set, is the write-ahead log every registration change
@@ -210,6 +214,7 @@ func New(name string, clock clockwork.Clock, opts ...Option) *LookupService {
 		notifs:      make(map[uint64]*notification),
 		byNLease:    make(map[uint64]uint64),
 		byName:      make(map[string]map[ids.ServiceID]bool),
+		byType:      make(map[string]map[ids.ServiceID]bool),
 	}
 	l.itemLeases.OnExpire(l.onItemLeaseExpired)
 	l.eventLeases.OnExpire(l.onEventLeaseExpired)
@@ -317,36 +322,77 @@ func (l *LookupService) ModifyAttributes(id ids.ServiceID, attrs attr.Set) error
 
 // Lookup returns up to maxMatches items matching the template (all if
 // maxMatches <= 0), sorted by service name then ID for stable output.
-// Expired registrations are swept first.
+// Expired registrations are swept first. ID-pinned templates are a direct
+// map hit, name- and type-pinned templates are served from the indexes,
+// and only the first maxMatches survivors are deep-copied — the rest are
+// never cloned.
 func (l *LookupService) Lookup(tmpl Template, maxMatches int) []ServiceItem {
 	l.SweepNow()
 	l.mu.RLock()
-	var out []ServiceItem
-	if name, ok := templateName(tmpl); ok {
-		// Name-pinned templates hit the index instead of scanning.
+	// Candidates carry a precomputed name key so ordering the refs costs no
+	// attribute scans per comparison, and no clones at all. IDs compare as
+	// raw bytes, which orders identically to ServiceID.String (fixed-width
+	// lowercase hex) without formatting anything.
+	type candidate struct {
+		name string
+		rec  *record
+	}
+	var cands []candidate
+	consider := func(rec *record) {
+		if tmpl.Matches(rec.item) {
+			cands = append(cands, candidate{
+				name: attr.NameOf(rec.item.Attributes),
+				rec:  rec,
+			})
+		}
+	}
+	name, nameOK := templateName(tmpl)
+	switch {
+	case !tmpl.ID.IsZero():
+		// ID-pinned: at most one item can match.
+		if rec, ok := l.items[tmpl.ID]; ok {
+			consider(rec)
+		}
+	case nameOK:
 		for id := range l.byName[name] {
-			if rec, ok := l.items[id]; ok && tmpl.Matches(rec.item) {
-				out = append(out, rec.item.Clone())
+			if rec, ok := l.items[id]; ok {
+				consider(rec)
 			}
 		}
-	} else {
+	case len(tmpl.Types) > 0:
+		// Walk the smallest indexed type set; Matches still verifies the
+		// remaining types and attributes.
+		set := l.byType[tmpl.Types[0]]
+		for _, typ := range tmpl.Types[1:] {
+			if s := l.byType[typ]; len(s) < len(set) {
+				set = s
+			}
+		}
+		for id := range set {
+			if rec, ok := l.items[id]; ok {
+				consider(rec)
+			}
+		}
+	default:
 		for _, rec := range l.items {
-			if tmpl.Matches(rec.item) {
-				out = append(out, rec.item.Clone())
-			}
+			consider(rec)
 		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].name != cands[j].name {
+			return cands[i].name < cands[j].name
+		}
+		a, b := cands[i].rec.item.ID, cands[j].rec.item.ID
+		return bytes.Compare(a[:], b[:]) < 0
+	})
+	if maxMatches > 0 && len(cands) > maxMatches {
+		cands = cands[:maxMatches]
+	}
+	var out []ServiceItem
+	for _, c := range cands {
+		out = append(out, c.rec.item.Clone())
 	}
 	l.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool {
-		ni, nj := attr.NameOf(out[i].Attributes), attr.NameOf(out[j].Attributes)
-		if ni != nj {
-			return ni < nj
-		}
-		return out[i].ID.String() < out[j].ID.String()
-	})
-	if maxMatches > 0 && len(out) > maxMatches {
-		out = out[:maxMatches]
-	}
 	return out
 }
 
@@ -490,30 +536,40 @@ func (l *LookupService) onItemLeaseExpired(leaseID uint64) {
 	l.mu.Unlock()
 }
 
-// indexAddLocked and indexRemoveLocked maintain the by-name index; caller
-// holds l.mu.
+// indexAddLocked and indexRemoveLocked maintain the by-name and by-type
+// indexes; caller holds l.mu.
 func (l *LookupService) indexAddLocked(item ServiceItem) {
-	name := attr.NameOf(item.Attributes)
-	if name == "" {
-		return
+	if name := attr.NameOf(item.Attributes); name != "" {
+		indexPut(l.byName, name, item.ID)
 	}
-	set, ok := l.byName[name]
-	if !ok {
-		set = make(map[ids.ServiceID]bool, 1)
-		l.byName[name] = set
+	for _, typ := range item.Types {
+		indexPut(l.byType, typ, item.ID)
 	}
-	set[item.ID] = true
 }
 
 func (l *LookupService) indexRemoveLocked(item ServiceItem) {
-	name := attr.NameOf(item.Attributes)
-	if name == "" {
-		return
+	if name := attr.NameOf(item.Attributes); name != "" {
+		indexDrop(l.byName, name, item.ID)
 	}
-	if set, ok := l.byName[name]; ok {
-		delete(set, item.ID)
+	for _, typ := range item.Types {
+		indexDrop(l.byType, typ, item.ID)
+	}
+}
+
+func indexPut(idx map[string]map[ids.ServiceID]bool, key string, id ids.ServiceID) {
+	set, ok := idx[key]
+	if !ok {
+		set = make(map[ids.ServiceID]bool, 1)
+		idx[key] = set
+	}
+	set[id] = true
+}
+
+func indexDrop(idx map[string]map[ids.ServiceID]bool, key string, id ids.ServiceID) {
+	if set, ok := idx[key]; ok {
+		delete(set, id)
 		if len(set) == 0 {
-			delete(l.byName, name)
+			delete(idx, key)
 		}
 	}
 }

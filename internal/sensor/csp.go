@@ -92,6 +92,11 @@ type CSP struct {
 	mu       sync.Mutex
 	children []childBinding
 	program  *expr.Program
+	// progVars and histWanted are hoisted from the program at SetExpression
+	// time — the read path consults them on every evaluation, and a
+	// compiled program's variable set never changes.
+	progVars   []string
+	histWanted map[string]bool
 	// lastQuality qualifies the most recent successful evaluation.
 	lastQuality Quality
 	hasQuality  bool
@@ -232,6 +237,8 @@ func (c *CSP) SetExpression(source string) error {
 	if source == "" {
 		c.mu.Lock()
 		c.program = nil
+		c.progVars = nil
+		c.histWanted = nil
 		c.mu.Unlock()
 		return nil
 	}
@@ -239,8 +246,20 @@ func (c *CSP) SetExpression(source string) error {
 	if err != nil {
 		return fmt.Errorf("sensor: expression for %q: %w", c.name, err)
 	}
+	// Which history variables ("a_hist") does the expression use? Hoisted
+	// here so every read doesn't rediscover it; only children named in it
+	// pay the GetReadings call.
+	vars := p.Vars()
+	hist := make(map[string]bool)
+	for _, v := range vars {
+		if strings.HasSuffix(v, "_hist") {
+			hist[strings.TrimSuffix(v, "_hist")] = true
+		}
+	}
 	c.mu.Lock()
 	c.program = p
+	c.progVars = vars
+	c.histWanted = hist
 	c.mu.Unlock()
 	return nil
 }
@@ -273,6 +292,8 @@ func (c *CSP) GetValue() (probe.Reading, error) {
 	c.mu.Lock()
 	children := append([]childBinding{}, c.children...)
 	program := c.program
+	progVars := c.progVars
+	histWanted := c.histWanted
 	c.mu.Unlock()
 	if len(children) == 0 {
 		return probe.Reading{}, fmt.Errorf("%w: %q", ErrNoChildren, c.name)
@@ -313,17 +334,6 @@ func (c *CSP) GetValue() (probe.Reading, error) {
 					}
 				}
 				break collect
-			}
-		}
-	}
-
-	// Which history variables ("a_hist") does the expression use? Only
-	// those children pay the GetReadings call.
-	histWanted := map[string]bool{}
-	if program != nil {
-		for _, v := range program.Vars() {
-			if strings.HasSuffix(v, "_hist") {
-				histWanted[strings.TrimSuffix(v, "_hist")] = true
 			}
 		}
 	}
@@ -372,7 +382,7 @@ func (c *CSP) GetValue() (probe.Reading, error) {
 	// uses.
 	useProgram := program
 	if useProgram != nil && len(missing) > 0 {
-		for _, v := range useProgram.Vars() {
+		for _, v := range progVars {
 			base := strings.TrimSuffix(v, "_hist")
 			if base == "values" {
 				continue

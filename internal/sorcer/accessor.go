@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"sensorcer/internal/attr"
+	"sensorcer/internal/ids"
 	"sensorcer/internal/registry"
 )
 
@@ -55,15 +56,18 @@ func (a *Accessor) Find(sig Signature) (Servicer, error) {
 // the signature, deduplicated across registrars by service ID.
 func (a *Accessor) FindAll(sig Signature, max int) ([]Servicer, error) {
 	tmpl := template(sig)
-	seen := map[string]bool{}
+	var seen map[ids.ServiceID]bool
 	var out []Servicer
-	for _, reg := range a.source.Registrars() {
-		for _, item := range reg.Lookup(tmpl, 0) {
-			key := item.ID.String()
-			if seen[key] {
+	regs := a.source.Registrars()
+	for _, reg := range regs {
+		for _, item := range reg.Lookup(tmpl, lookupCap(max, regs)) {
+			if seen[item.ID] {
 				continue
 			}
-			seen[key] = true
+			if seen == nil {
+				seen = make(map[ids.ServiceID]bool, 1)
+			}
+			seen[item.ID] = true
 			svc, ok := item.Service.(Servicer)
 			if !ok {
 				continue // registered under Servicer type but wrong proxy
@@ -80,19 +84,32 @@ func (a *Accessor) FindAll(sig Signature, max int) ([]Servicer, error) {
 	return out, nil
 }
 
+// lookupCap bounds a per-registrar lookup: with a single registrar the
+// caller's max is exact, while several registrars need full match sets so
+// cross-registrar duplicates cannot crowd out distinct providers.
+func lookupCap(max int, regs []registry.Registrar) int {
+	if len(regs) == 1 {
+		return max
+	}
+	return 0
+}
+
 // FindItems returns the raw service items matching the signature (used by
 // the sensor network manager, which needs attributes as well as proxies).
 func (a *Accessor) FindItems(sig Signature, max int) []registry.ServiceItem {
 	tmpl := template(sig)
-	seen := map[string]bool{}
+	var seen map[ids.ServiceID]bool
 	var out []registry.ServiceItem
-	for _, reg := range a.source.Registrars() {
-		for _, item := range reg.Lookup(tmpl, 0) {
-			key := item.ID.String()
-			if seen[key] {
+	regs := a.source.Registrars()
+	for _, reg := range regs {
+		for _, item := range reg.Lookup(tmpl, lookupCap(max, regs)) {
+			if seen[item.ID] {
 				continue
 			}
-			seen[key] = true
+			if seen == nil {
+				seen = make(map[ids.ServiceID]bool, 1)
+			}
+			seen[item.ID] = true
 			out = append(out, item)
 			if max > 0 && len(out) >= max {
 				return out

@@ -180,12 +180,14 @@ func Recover(clock clockwork.Clock, policy lease.Policy, log *wal.Log) (*Space, 
 			return nil, err
 		}
 		lse := s.leases.Grant(time.Duration(ew.LeaseMS) * time.Millisecond)
-		s.entries[id] = &storedEntry{
+		se := &storedEntry{
 			id:      id,
 			entry:   Entry{Kind: ew.Kind, Fields: fields},
 			leaseID: lse.ID,
 		}
+		s.entries[id] = se
 		s.byLease[lse.ID] = id
+		s.indexAddLocked(se)
 	}
 	s.nextID = maxID
 	s.journal = log

@@ -1,0 +1,149 @@
+package space
+
+import (
+	"reflect"
+	"sort"
+)
+
+// The match index replaces the original linear scan over s.entries with two
+// coordinated structures per entry kind:
+//
+//   - ids: every stored entry id of that kind, ascending — so the FIFO
+//     "lowest-id visible match" rule falls out of iteration order;
+//   - byField: an inverted index field -> value -> ascending ids, covering
+//     every comparable field value, so templates that pin a field (the
+//     Spacer's taskID lookups, a worker's service-type template) jump
+//     straight to their candidate set.
+//
+// The index covers storage, not visibility: transaction staging tags and
+// lease validity are still checked per candidate, which keeps claim/abort
+// and expiry coherent without index churn on every visibility flip. Entries
+// enter the index on Write (and Recover replay) and leave it exactly when
+// they leave s.entries.
+type kindIndex struct {
+	ids     []uint64
+	byField map[string]map[any][]uint64
+}
+
+// indexableValue reports whether v can serve as an inverted-index key.
+// Non-comparable values (slices, maps, payload structs holding them) are
+// never indexed — they also never equal a comparable template value, so
+// skipping them is lossless for matching.
+func indexableValue(v any) bool {
+	if v == nil {
+		return false
+	}
+	return reflect.TypeOf(v).Comparable()
+}
+
+// insertID adds id to an ascending id slice. Writes arrive in id order, so
+// the common case is a plain append; recovery replay may interleave.
+func insertID(ids []uint64, id uint64) []uint64 {
+	if n := len(ids); n == 0 || ids[n-1] < id {
+		return append(ids, id)
+	}
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	if i < len(ids) && ids[i] == id {
+		return ids
+	}
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
+}
+
+// removeID deletes id from an ascending id slice (no-op when absent).
+func removeID(ids []uint64, id uint64) []uint64 {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	if i >= len(ids) || ids[i] != id {
+		return ids
+	}
+	return append(ids[:i], ids[i+1:]...)
+}
+
+// indexAddLocked enters a stored entry into the kind and field indexes.
+// Caller holds s.mu.
+func (s *Space) indexAddLocked(se *storedEntry) {
+	ki, ok := s.byKind[se.entry.Kind]
+	if !ok {
+		ki = &kindIndex{byField: make(map[string]map[any][]uint64)}
+		s.byKind[se.entry.Kind] = ki
+	}
+	ki.ids = insertID(ki.ids, se.id)
+	for f, v := range se.entry.Fields {
+		if !indexableValue(v) {
+			continue
+		}
+		vm, ok := ki.byField[f]
+		if !ok {
+			vm = make(map[any][]uint64, 1)
+			ki.byField[f] = vm
+		}
+		vm[v] = insertID(vm[v], se.id)
+	}
+}
+
+// indexRemoveLocked retires a stored entry from the indexes. Caller holds
+// s.mu.
+func (s *Space) indexRemoveLocked(se *storedEntry) {
+	ki, ok := s.byKind[se.entry.Kind]
+	if !ok {
+		return
+	}
+	ki.ids = removeID(ki.ids, se.id)
+	for f, v := range se.entry.Fields {
+		if !indexableValue(v) {
+			continue
+		}
+		vm, ok := ki.byField[f]
+		if !ok {
+			continue
+		}
+		if ids := removeID(vm[v], se.id); len(ids) == 0 {
+			delete(vm, v)
+			if len(vm) == 0 {
+				delete(ki.byField, f)
+			}
+		} else {
+			vm[v] = ids
+		}
+	}
+	// A drained kind keeps its (empty) index: kinds are few and long-lived,
+	// and the write/take churn on a hot kind would otherwise reallocate the
+	// maps and id slices on every cycle. Value entries above are still
+	// deleted eagerly because field values are unbounded.
+}
+
+// candidatesLocked returns the smallest ascending candidate id set for a
+// template, or (nil, false) when the index proves no entry can match: an
+// unknown kind, a pinned field value no entry holds, or a non-comparable
+// template value (which == would never equal anyway). Caller holds s.mu.
+func (s *Space) candidatesLocked(tmpl Entry) ([]uint64, bool) {
+	ki, ok := s.byKind[tmpl.Kind]
+	if !ok {
+		return nil, false
+	}
+	candidates := ki.ids
+	for f, v := range tmpl.Fields {
+		if v == nil {
+			continue // wildcard
+		}
+		if !indexableValue(v) {
+			return nil, false
+		}
+		vm, ok := ki.byField[f]
+		if !ok {
+			// No entry of this kind holds a comparable value for f, so the
+			// pinned field cannot be satisfied.
+			return nil, false
+		}
+		ids, ok := vm[v]
+		if !ok {
+			return nil, false
+		}
+		if len(ids) < len(candidates) {
+			candidates = ids
+		}
+	}
+	return candidates, true
+}

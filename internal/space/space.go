@@ -131,10 +131,16 @@ type Space struct {
 	nextID  uint64
 	entries map[uint64]*storedEntry
 	byLease map[uint64]uint64 // leaseID -> entryID
-	waiters []*waiter
-	txns    map[uint64]*spaceTxnPart
-	notifs  map[uint64]*spaceNotification
-	closed  bool
+	// byKind is the match index (see index.go): per-kind ascending id
+	// lists plus a field-value inverted index, kept coherent with entries.
+	byKind map[string]*kindIndex
+	// waitq holds blocked Read/Take waiters FIFO per template kind, so an
+	// arriving entry wakes only the waiters whose template kind it can
+	// possibly satisfy.
+	waitq  map[string][]*waiter
+	txns   map[uint64]*spaceTxnPart
+	notifs map[uint64]*spaceNotification
+	closed bool
 
 	// journal, when set, is the write-ahead log every mutation is recorded
 	// in before it is acknowledged (see durable.go). Nil for volatile
@@ -165,6 +171,8 @@ func New(clock clockwork.Clock, policy lease.Policy) *Space {
 		notifLeases: lease.NewTable(clock, policy),
 		entries:     make(map[uint64]*storedEntry),
 		byLease:     make(map[uint64]uint64),
+		byKind:      make(map[string]*kindIndex),
+		waitq:       make(map[string][]*waiter),
 		txns:        make(map[uint64]*spaceTxnPart),
 		notifs:      make(map[uint64]*spaceNotification),
 	}
@@ -319,14 +327,18 @@ func (s *Space) Write(e Entry, tx *txn.Transaction, leaseDur time.Duration) (lea
 		txnID = tx.ID()
 	}
 	id := s.nextID + 1
-	if err := s.journalLocked(journalRecord{
-		Op: opWrite, ID: id, Txn: txnID, Kind: e.Kind,
-		Fields:  encodeFields(e.Fields),
-		LeaseMS: int64(leaseDur / time.Millisecond),
-	}); err != nil {
-		s.mu.Unlock()
-		_ = lse.Cancel()
-		return lease.Lease{}, err
+	if s.journal != nil {
+		// Only a durable space pays for field encoding; volatile spaces
+		// skip the record build entirely on this hot path.
+		if err := s.journalLocked(journalRecord{
+			Op: opWrite, ID: id, Txn: txnID, Kind: e.Kind,
+			Fields:  encodeFields(e.Fields),
+			LeaseMS: int64(leaseDur / time.Millisecond),
+		}); err != nil {
+			s.mu.Unlock()
+			_ = lse.Cancel()
+			return lease.Lease{}, err
+		}
 	}
 	s.nextID = id
 	se := &storedEntry{id: id, entry: e.Clone(), leaseID: lse.ID, writtenTxn: txnID}
@@ -335,10 +347,11 @@ func (s *Space) Write(e Entry, tx *txn.Transaction, leaseDur time.Duration) (lea
 	}
 	s.entries[se.id] = se
 	s.byLease[lse.ID] = se.id
+	s.indexAddLocked(se)
 	if se.writtenTxn == 0 {
 		s.notifyVisibleLocked(se.entry)
 	}
-	s.serveWaitersLocked()
+	s.wakeWaitersLocked(se)
 	s.mu.Unlock()
 	return lse, nil
 }
@@ -360,8 +373,13 @@ func (s *Space) Count(tmpl Entry) int {
 	s.leases.Sweep()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	candidates, ok := s.candidatesLocked(tmpl)
+	if !ok {
+		return 0
+	}
 	n := 0
-	for _, se := range s.entries {
+	for _, id := range candidates {
+		se := s.entries[id]
 		if s.visibleLocked(se, 0) && tmpl.Matches(se.entry) {
 			n++
 		}
@@ -384,8 +402,11 @@ func (s *Space) Close() {
 		return
 	}
 	s.closed = true
-	ws := s.waiters
-	s.waiters = nil
+	var ws []*waiter
+	for _, q := range s.waitq {
+		ws = append(ws, q...)
+	}
+	s.waitq = map[string][]*waiter{}
 	notifs := make([]*spaceNotification, 0, len(s.notifs))
 	for _, n := range s.notifs {
 		notifs = append(notifs, n)
@@ -426,7 +447,7 @@ func (s *Space) acquire(tmpl Entry, tx *txn.Transaction, timeout time.Duration, 
 		return Entry{}, ErrTimeout
 	}
 	w := &waiter{template: tmpl, take: take, txnID: txnID, result: make(chan Entry, 1)}
-	s.waiters = append(s.waiters, w)
+	s.waitq[tmpl.Kind] = append(s.waitq[tmpl.Kind], w)
 	s.mu.Unlock()
 
 	var timer clockwork.Timer
@@ -445,9 +466,10 @@ func (s *Space) acquire(tmpl Entry, tx *txn.Transaction, timeout time.Duration, 
 	case <-timeoutCh:
 		s.mu.Lock()
 		// Remove the waiter unless it was already served concurrently.
-		for i, cand := range s.waiters {
+		q := s.waitq[tmpl.Kind]
+		for i, cand := range q {
 			if cand == w {
-				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				s.waitq[tmpl.Kind] = append(q[:i], q[i+1:]...)
 				break
 			}
 		}
@@ -465,17 +487,20 @@ func (s *Space) acquire(tmpl Entry, tx *txn.Transaction, timeout time.Duration, 
 }
 
 // matchLocked finds the lowest-id visible entry matching tmpl for txnID.
+// Candidates come from the kind/field index in ascending id order, so the
+// first visible match is the FIFO winner.
 func (s *Space) matchLocked(tmpl Entry, txnID uint64) *storedEntry {
-	var best *storedEntry
-	for _, se := range s.entries {
-		if !s.visibleLocked(se, txnID) || !tmpl.Matches(se.entry) {
-			continue
-		}
-		if best == nil || se.id < best.id {
-			best = se
+	candidates, ok := s.candidatesLocked(tmpl)
+	if !ok {
+		return nil
+	}
+	for _, id := range candidates {
+		se := s.entries[id]
+		if s.visibleLocked(se, txnID) && tmpl.Matches(se.entry) {
+			return se
 		}
 	}
-	return best
+	return nil
 }
 
 // visibleLocked reports whether txnID can see the entry.
@@ -538,16 +563,30 @@ func (s *Space) claimLocked(se *storedEntry, tx *txn.Transaction, take bool) (En
 func (s *Space) removeLocked(se *storedEntry) {
 	delete(s.entries, se.id)
 	delete(s.byLease, se.leaseID)
+	s.indexRemoveLocked(se)
 	_ = s.leases.Cancel(se.leaseID)
 }
 
-// serveWaitersLocked hands newly visible entries to blocked operations,
-// FIFO per arrival order of the waiters.
-func (s *Space) serveWaitersLocked() {
-	remaining := s.waiters[:0]
-	for _, w := range s.waiters {
-		se := s.matchLocked(w.template, w.txnID)
-		if se == nil {
+// wakeWaitersLocked offers one newly visible entry to the blocked
+// operations whose template kind it carries, FIFO per arrival order. Only
+// that kind's queue is consulted — waiters on other kinds cannot match and
+// are not re-scanned, which keeps the wake cost independent of the
+// unrelated waiter population.
+func (s *Space) wakeWaitersLocked(se *storedEntry) {
+	kind := se.entry.Kind
+	q := s.waitq[kind]
+	if len(q) == 0 {
+		return
+	}
+	remaining := q[:0]
+	for i, w := range q {
+		if _, live := s.entries[se.id]; !live {
+			// A previous waiter consumed the entry outright; everyone else
+			// keeps waiting.
+			remaining = append(remaining, q[i:]...)
+			break
+		}
+		if !s.visibleLocked(se, w.txnID) || !w.template.Matches(se.entry) {
 			remaining = append(remaining, w)
 			continue
 		}
@@ -564,7 +603,11 @@ func (s *Space) serveWaitersLocked() {
 		}
 		w.result <- out
 	}
-	s.waiters = remaining
+	if len(remaining) == 0 {
+		delete(s.waitq, kind)
+	} else {
+		s.waitq[kind] = remaining
+	}
 }
 
 func (s *Space) onLeaseExpired(leaseID uint64) {
@@ -575,7 +618,10 @@ func (s *Space) onLeaseExpired(leaseID uint64) {
 		// after recovery instead — expiry is idempotent.
 		_ = s.journalLocked(journalRecord{Op: opExpire, ID: id})
 		delete(s.byLease, leaseID)
-		delete(s.entries, id)
+		if se, ok := s.entries[id]; ok {
+			delete(s.entries, id)
+			s.indexRemoveLocked(se)
+		}
 	}
 	s.mu.Unlock()
 }
@@ -623,10 +669,12 @@ func (p *spaceTxnPart) Commit(txnID uint64) error {
 		p.space.mu.Unlock()
 		return err
 	}
+	var revealed []*storedEntry
 	for _, id := range p.written {
 		if se, ok := p.space.entries[id]; ok {
 			se.writtenTxn = 0
 			p.space.notifyVisibleLocked(se.entry)
+			revealed = append(revealed, se)
 		}
 	}
 	for _, id := range p.taken {
@@ -635,7 +683,9 @@ func (p *spaceTxnPart) Commit(txnID uint64) error {
 		}
 	}
 	delete(p.space.txns, txnID)
-	p.space.serveWaitersLocked()
+	for _, se := range revealed {
+		p.space.wakeWaitersLocked(se)
+	}
 	p.space.mu.Unlock()
 	return nil
 }
@@ -652,13 +702,17 @@ func (p *spaceTxnPart) Abort(txnID uint64) error {
 			p.space.removeLocked(se)
 		}
 	}
+	var restored []*storedEntry
 	for _, id := range p.taken {
 		if se, ok := p.space.entries[id]; ok {
 			se.takenTxn = 0
+			restored = append(restored, se)
 		}
 	}
 	delete(p.space.txns, txnID)
-	p.space.serveWaitersLocked()
+	for _, se := range restored {
+		p.space.wakeWaitersLocked(se)
+	}
 	p.space.mu.Unlock()
 	return nil
 }

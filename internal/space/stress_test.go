@@ -1,0 +1,165 @@
+package space
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/lease"
+	"sensorcer/internal/txn"
+)
+
+// TestSpaceStressIndexedConcurrency hammers the kind/field indexes from
+// every direction at once: concurrent writers across four kinds, blocking
+// takers per kind (pinning the waiter-wake index against starvation — a
+// waiter whose kind never gets woken hangs this test), a transaction abort
+// storm whose provisional takes and uncommitted writes must leave no trace,
+// and a batch of short-lease entries expiring mid-flight. Run under -race
+// this exercises index coherence through claim, abort, restore, and expiry.
+func TestSpaceStressIndexedConcurrency(t *testing.T) {
+	const (
+		writers       = 4
+		perWriter     = 200
+		takersPerKind = 2
+		stormers      = 2
+		expEntries    = 50
+	)
+	kinds := []string{"KindA", "KindB", "KindC", "KindD"}
+	total := writers * perWriter
+
+	fc := clockwork.NewFake(epoch)
+	s := New(fc, lease.Policy{Max: time.Hour})
+	defer s.Close()
+	tm := txn.NewManager(fc, lease.Policy{Max: time.Hour})
+
+	taken := make(chan string, total+len(kinds)*takersPerKind)
+	var takerWG sync.WaitGroup
+	for _, kind := range kinds {
+		for i := 0; i < takersPerKind; i++ {
+			takerWG.Add(1)
+			go func(kind string) {
+				defer takerWG.Done()
+				for {
+					e, err := s.Take(NewEntry(kind), nil, Forever)
+					if err != nil {
+						t.Errorf("take %s: %v", kind, err)
+						return
+					}
+					uid, _ := e.Field("uid").(string)
+					taken <- uid
+					if strings.HasPrefix(uid, "poison") {
+						return
+					}
+				}
+			}(kind)
+		}
+	}
+
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				kind := kinds[(w+i)%len(kinds)]
+				uid := fmt.Sprintf("w%d-%d", w, i)
+				if _, err := s.Write(NewEntry(kind, "uid", uid), nil, time.Hour); err != nil {
+					t.Errorf("write %s: %v", uid, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Abort storm: provisional takes hide entries from the blocked takers
+	// until the abort restores (and re-wakes) them; ghost writes under the
+	// same txns must never become visible.
+	stopStorm := make(chan struct{})
+	var stormWG sync.WaitGroup
+	for g := 0; g < stormers; g++ {
+		stormWG.Add(1)
+		go func(g int) {
+			defer stormWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopStorm:
+					return
+				default:
+				}
+				tx, _ := tm.Create(time.Hour)
+				kind := kinds[i%len(kinds)]
+				if _, err := s.Take(NewEntry(kind), tx, 0); err != nil && !errors.Is(err, ErrTimeout) {
+					t.Errorf("storm take: %v", err)
+					_ = tx.Abort()
+					return
+				}
+				ghost := fmt.Sprintf("ghost-%d-%d", g, i)
+				if _, err := s.Write(NewEntry(kind, "uid", ghost), tx, time.Hour); err != nil {
+					t.Errorf("storm write: %v", err)
+					_ = tx.Abort()
+					return
+				}
+				if err := tx.Abort(); err != nil {
+					t.Errorf("storm abort: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Short-lease victims expire while the rest of the traffic runs.
+	for i := 0; i < expEntries; i++ {
+		if _, err := s.Write(NewEntry("EXP", "uid", fmt.Sprintf("exp-%d", i)), nil, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fc.Advance(2 * time.Minute)
+	s.Sweep()
+
+	writerWG.Wait()
+	close(stopStorm)
+	stormWG.Wait()
+
+	// Every written entry must be taken exactly once — no losses, no
+	// duplicates, no leaked ghosts.
+	seen := make(map[string]bool, total)
+	deadline := time.After(30 * time.Second)
+	for len(seen) < total {
+		select {
+		case uid := <-taken:
+			if seen[uid] {
+				t.Fatalf("entry %s taken twice", uid)
+			}
+			if !strings.HasPrefix(uid, "w") {
+				t.Fatalf("took unexpected entry %q", uid)
+			}
+			seen[uid] = true
+		case <-deadline:
+			t.Fatalf("took %d of %d entries before deadline (lost entries or starved waiter)", len(seen), total)
+		}
+	}
+
+	// Release the blocked takers and confirm each is still being served.
+	for _, kind := range kinds {
+		for i := 0; i < takersPerKind; i++ {
+			uid := fmt.Sprintf("poison-%s-%d", kind, i)
+			if _, err := s.Write(NewEntry(kind, "uid", uid), nil, time.Hour); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	takerWG.Wait()
+
+	for _, kind := range kinds {
+		if n := s.Count(NewEntry(kind)); n != 0 {
+			t.Fatalf("kind %s left %d entries behind", kind, n)
+		}
+	}
+	if n := s.Count(NewEntry("EXP")); n != 0 {
+		t.Fatalf("%d expired entries survived the sweep", n)
+	}
+}

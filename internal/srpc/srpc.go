@@ -10,6 +10,7 @@ package srpc
 
 import (
 	"bufio"
+	"bytes"
 	"crypto/subtle"
 	"encoding/json"
 	"errors"
@@ -155,8 +156,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	reader := bufio.NewReader(conn)
+	// Responses go through one buffered writer, flushed per response under
+	// the mutex: each response reaches the wire as a single write, and
+	// concurrent handlers never interleave frames.
 	var writeMu sync.Mutex
-	enc := json.NewEncoder(conn)
+	w := bufio.NewWriter(conn)
+	enc := json.NewEncoder(w)
 	for {
 		line, err := reader.ReadBytes('\n')
 		if err != nil {
@@ -173,7 +178,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			defer s.wg.Done()
 			resp := s.dispatch(req)
 			writeMu.Lock()
-			_ = enc.Encode(resp)
+			if err := enc.Encode(resp); err == nil {
+				_ = w.Flush()
+			}
 			writeMu.Unlock()
 		}(req)
 	}
@@ -246,9 +253,14 @@ type callResult struct {
 
 // Client is a connection to an srpc server, safe for concurrent calls.
 type Client struct {
-	conn    net.Conn
-	enc     *json.Encoder
+	conn net.Conn
+	// encMu guards the reusable encode buffer: each request is framed into
+	// encBuf and reaches the wire as a single conn.Write, so concurrent
+	// callers never interleave frames and steady-state calls don't
+	// re-allocate encoder state.
 	encMu   sync.Mutex
+	encBuf  bytes.Buffer
+	enc     *json.Encoder // writes into encBuf
 	timeout time.Duration
 	clock   clockwork.Clock
 	token   string
@@ -278,12 +290,12 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	}
 	c := &Client{
 		conn:    conn,
-		enc:     json.NewEncoder(conn),
 		timeout: timeout,
 		clock:   clockwork.Real(),
 		pending: make(map[uint64]chan callResult),
 		done:    make(chan struct{}),
 	}
+	c.enc = json.NewEncoder(&c.encBuf)
 	go c.readLoop()
 	return c, nil
 }
@@ -358,6 +370,18 @@ func (c *Client) CallWithTimeout(method string, params any, out any, timeout tim
 	if timeout <= 0 {
 		timeout = c.timeout
 	}
+	// Marshal params before the call is registered: a marshalling failure
+	// must not leave an orphaned pending-map entry behind (the read loop
+	// would never resolve it, and failAll would signal a channel nobody is
+	// listening on).
+	var raw json.RawMessage
+	if params != nil {
+		b, err := json.Marshal(params)
+		if err != nil {
+			return fmt.Errorf("srpc: marshalling params: %w", err)
+		}
+		raw = b
+	}
 	c.mu.Lock()
 	if c.closed {
 		lost := c.lost
@@ -386,17 +410,12 @@ func (c *Client) CallWithTimeout(method string, params any, out any, timeout tim
 		dropped = inj.Drop(injSite + FaultSiteSend)
 	}
 	if !dropped {
-		var raw json.RawMessage
-		if params != nil {
-			b, err := json.Marshal(params)
-			if err != nil {
-				c.abandon(id)
-				return fmt.Errorf("srpc: marshalling params: %w", err)
-			}
-			raw = b
-		}
 		c.encMu.Lock()
+		c.encBuf.Reset()
 		err := c.enc.Encode(request{ID: id, Method: method, Params: raw, Auth: token})
+		if err == nil {
+			_, err = c.conn.Write(c.encBuf.Bytes())
+		}
 		c.encMu.Unlock()
 		if err != nil {
 			c.abandon(id)

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -27,6 +28,48 @@ func benchmarkAppend(b *testing.B, syncEach bool) {
 func BenchmarkAppendNoSync(b *testing.B) { benchmarkAppend(b, false) }
 
 func BenchmarkAppendSyncEach(b *testing.B) { benchmarkAppend(b, true) }
+
+// benchmarkAppendConcurrent drives 8 appender goroutines against a synced
+// log. opts chooses the commit protocol: group commit (the default) shares
+// one fsync across the batch, while WithGroupCommit(1, 0) is the historical
+// one-fsync-per-append baseline. The acceptance bar for group commit is
+// >= 3x the baseline's throughput at 8 goroutines.
+func benchmarkAppendConcurrent(b *testing.B, opts ...Option) {
+	const workers = 8
+	l, err := Open(b.TempDir(), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	b.SetBytes(int64(len(benchPayload)))
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := b.N / workers
+			if w < b.N%workers {
+				n++
+			}
+			for i := 0; i < n; i++ {
+				if _, err := l.Append(benchPayload); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func BenchmarkAppendGroupCommit8(b *testing.B) {
+	benchmarkAppendConcurrent(b)
+}
+
+func BenchmarkAppendPerAppendSync8(b *testing.B) {
+	benchmarkAppendConcurrent(b, WithGroupCommit(1, 0))
+}
 
 // BenchmarkRecovery measures Open+Replay time against log size.
 func BenchmarkRecovery(b *testing.B) {

@@ -33,9 +33,11 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sensorcer/internal/clockwork"
@@ -112,6 +114,40 @@ func WithSyncEveryAppend(sync bool) Option {
 	return func(l *Log) { l.syncEach = sync }
 }
 
+// Group-commit defaults: how many records one leader's fsync may
+// acknowledge, and the longest a leader lingers for followers before its
+// fsync. The linger only happens when the workload looks concurrent
+// (appenders en route to the lock, or a previous batch that actually
+// coalesced), so a strictly sequential appender never pays it.
+const (
+	DefaultGroupBatch = 1024
+	DefaultGroupWait  = 50 * time.Microsecond
+)
+
+// WithGroupCommit tunes the durable-append batching. Synced appends
+// coalesce leader/follower style: the first appender needing durability
+// becomes the leader and fsyncs once for every record written so far
+// (bounded by maxBatch); appends arriving during that fsync form the next
+// batch. maxWait bounds how long the leader additionally lingers — on the
+// injected clock, and only when other appenders look imminent — so the
+// followers a batch just woke can land their next records in this one,
+// trading bounded ack latency for an fsync shared by the whole group.
+// Durability semantics are unchanged — no append is acknowledged before
+// the fsync covering it returns.
+//
+// WithGroupCommit(1, 0) degenerates to the historical one-fsync-per-append
+// behavior (the baseline the group-commit benchmarks compare against).
+func WithGroupCommit(maxBatch int, maxWait time.Duration) Option {
+	return func(l *Log) {
+		if maxBatch > 0 {
+			l.groupBatch = uint64(maxBatch)
+		}
+		if maxWait > 0 {
+			l.groupWait = maxWait
+		}
+	}
+}
+
 // segment is one on-disk log file.
 type segment struct {
 	name  string // file name within dir
@@ -122,21 +158,38 @@ type segment struct {
 // Log is a segmented write-ahead log. All methods are safe for concurrent
 // use.
 type Log struct {
-	dir      string
-	clock    clockwork.Clock
-	segLimit int64
-	syncEach bool
+	dir        string
+	clock      clockwork.Clock
+	segLimit   int64
+	syncEach   bool
+	groupBatch uint64
+	groupWait  time.Duration
 
 	mu       sync.Mutex
 	segs     []segment
 	file     *os.File // active (last) segment, append-only
-	fileSize int64
+	buf      []byte   // framed records not yet written to file
+	fileSize int64    // bytes in file plus bytes buffered
 	nextSeq  uint64
 	snapSeq  uint64
 	snapData []byte
 	snapTime time.Time
 	closed   bool
 	failed   bool
+
+	// Group-commit state: syncedSeq is the highest sequence covered by a
+	// completed fsync; syncInFlight marks a leader mid-fsync (it drops mu
+	// for the syscall); syncDone is broadcast whenever either changes, and
+	// also gates rotation, snapshots and Close against an in-flight fsync.
+	// arriving counts appenders that have entered Append but not yet
+	// written their record — the leader's join window watches it without
+	// the mutex, so those appenders can actually take the lock and land in
+	// the current batch.
+	syncedSeq    uint64
+	syncInFlight bool
+	syncDone     *sync.Cond
+	arriving     atomic.Int64
+	lastBatch    uint64 // records acked by the most recent group fsync
 
 	inj     *faults.Injector
 	injSite string
@@ -148,14 +201,17 @@ type Log struct {
 // record.
 func Open(dir string, opts ...Option) (*Log, error) {
 	l := &Log{
-		dir:      dir,
-		clock:    clockwork.Real(),
-		segLimit: DefaultSegmentLimit,
-		syncEach: true,
+		dir:        dir,
+		clock:      clockwork.Real(),
+		segLimit:   DefaultSegmentLimit,
+		syncEach:   true,
+		groupBatch: DefaultGroupBatch,
+		groupWait:  DefaultGroupWait,
 	}
 	for _, o := range opts {
 		o(l)
 	}
+	l.syncDone = sync.NewCond(&l.mu)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
 	}
@@ -165,6 +221,8 @@ func Open(dir string, opts ...Option) (*Log, error) {
 	if err := l.loadSegments(); err != nil {
 		return nil, err
 	}
+	// Everything recovered from disk is as durable as it will ever be.
+	l.syncedSeq = l.nextSeq - 1
 	return l, nil
 }
 
@@ -346,47 +404,214 @@ func (l *Log) ArmTornWrites(seed int64) {
 }
 
 // Append durably adds a record and returns its sequence number. The record
-// is acknowledged only after it (and, with per-append sync, its fsync)
-// succeeded; any failure fails the whole log, which must then be reopened.
+// is acknowledged only after it (and, with per-append sync, the fsync of
+// the group-commit batch covering it) succeeded; any failure fails the
+// whole log, which must then be reopened.
+//
+// Durable appends coalesce: the record is written under the lock, then the
+// caller joins the group-commit protocol (awaitDurableLocked) — one leader
+// fsyncs for every record written so far, so concurrent appenders share a
+// single fsync instead of paying one each.
 func (l *Log) Append(payload []byte) (uint64, error) {
+	// The arriving count covers the span from "wants to append" to "record
+	// framed in the file": a group-commit leader watches it (lock-free) to
+	// hold its batch open while appenders are still en route to the lock.
+	l.arriving.Add(1)
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	seq, err := l.appendLocked(payload)
+	l.arriving.Add(-1)
+	if err != nil {
+		return 0, err
+	}
+	if l.syncEach {
+		if err := l.awaitDurableLocked(seq); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// appendLocked frames and writes one record, returning its sequence.
+// Caller holds s.mu and is accounted in l.arriving.
+func (l *Log) appendLocked(payload []byte) (uint64, error) {
 	if err := l.usableLocked(); err != nil {
 		return 0, err
 	}
 	frame := frameRecord(payload)
 	if err := l.inj.Inject(l.injSite + FaultSiteAppend); err != nil {
-		// Simulated crash mid-write: optionally tear the frame — leave a
-		// partial prefix on disk, no record completed — then die.
+		// Simulated crash mid-write: push the buffered records out (they
+		// reached the kernel before the crash point) and optionally tear
+		// the frame — leave a partial prefix on disk, no record completed —
+		// then die.
+		if len(l.buf) > 0 {
+			_, _ = l.file.Write(l.buf)
+			l.buf = l.buf[:0]
+		}
 		if l.tornRng != nil {
 			if torn := frame[:l.tornRng.Intn(len(frame))]; len(torn) > 0 {
 				_, _ = l.file.Write(torn)
 			}
 		}
-		l.failed = true
+		l.failLocked()
 		return 0, err
 	}
-	if l.fileSize >= l.segLimit {
+	// Rotation closes the active file, so it must not race an in-flight
+	// group-commit fsync. A synced log therefore rotates in the leader,
+	// right after its fsync (when no sync can be in flight); only the
+	// no-sync configuration — where no fsync is ever in flight — rotates
+	// inline. An appender must never block on the sync condition here: it
+	// would park inside Append while new leaders keep re-claiming the sync
+	// slot, starving it (and holding l.arriving up) indefinitely.
+	if l.fileSize >= l.segLimit && !l.syncEach {
 		if err := l.rotateLocked(); err != nil {
-			l.failed = true
+			l.failLocked()
 			return 0, err
 		}
 	}
-	if _, err := l.file.Write(frame); err != nil {
-		l.failed = true
-		return 0, fmt.Errorf("wal: append: %w", err)
-	}
+	// Buffer the frame instead of writing it: the appender's critical
+	// section is then pure memory, so concurrent appenders can frame
+	// records while a group-commit leader is mid-fsync without stalling in
+	// a write syscall behind the filesystem journal. The buffer reaches
+	// the kernel in flushLocked — always before the fsync that would
+	// acknowledge its records, so durability semantics are unchanged.
+	l.buf = append(l.buf, frame...)
 	l.fileSize += int64(len(frame))
 	seq := l.nextSeq
 	l.nextSeq++
 	seg, _ := l.segLast()
 	seg.count++
-	if l.syncEach {
-		if err := l.syncLocked(); err != nil {
-			return 0, err
+	return seq, nil
+}
+
+// flushLocked hands the buffered frames to the kernel. Buffered records
+// carry no durability promise yet (every ack path flushes before its
+// fsync), so a crash that loses the buffer only drops unacknowledged
+// appends. A write failure fails the log like any torn append.
+func (l *Log) flushLocked() error {
+	if len(l.buf) == 0 {
+		return nil
+	}
+	if _, err := l.file.Write(l.buf); err != nil {
+		l.failLocked()
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.buf = l.buf[:0]
+	return nil
+}
+
+// failLocked marks the log failed and wakes every group-commit waiter so
+// they observe the failure instead of sleeping forever.
+func (l *Log) failLocked() {
+	l.failed = true
+	l.syncDone.Broadcast()
+}
+
+// waitSyncIdleLocked blocks until no group-commit fsync is in flight.
+func (l *Log) waitSyncIdleLocked() {
+	for l.syncInFlight {
+		l.syncDone.Wait()
+	}
+}
+
+// awaitDurableLocked blocks until a completed fsync covers seq — the
+// group-commit protocol. The first waiter that finds no fsync in flight
+// becomes the leader: it (optionally, groupWait > 0) lingers for followers
+// on the injected clock, picks a batch target of at most groupBatch
+// records, releases the lock for the fsync syscall, and on return
+// acknowledges the whole batch by advancing syncedSeq and broadcasting.
+// Followers — and appenders that arrived while the fsync was in flight —
+// wait on the condition and either find their record covered or take the
+// leader role for the next batch. A sync failure fails the log; every
+// waiter whose record is not covered returns the error, so nothing is
+// acknowledged beyond what an fsync actually covered.
+func (l *Log) awaitDurableLocked(seq uint64) error {
+	for l.syncedSeq < seq {
+		if err := l.usableLocked(); err != nil {
+			return err
+		}
+		if l.syncInFlight {
+			l.syncDone.Wait()
+			continue
+		}
+		// Leader. Linger for followers when the workload looks concurrent —
+		// appenders already en route to the lock (l.arriving), or a
+		// previous batch that coalesced more than one record. The linger
+		// releases the lock and spins on the injected clock (yielding the
+		// scheduler each turn) so followers can frame their records into
+		// this batch; a runtime timer would be too coarse for a
+		// tens-of-microseconds window. The spin cap bounds the linger even
+		// on a fake clock that never advances, and a strictly sequential
+		// appender (lastBatch <= 1, nobody arriving) skips it entirely.
+		l.syncInFlight = true
+		if l.groupBatch > 1 && l.groupWait > 0 &&
+			(l.arriving.Load() > 0 || l.lastBatch > 1) &&
+			l.nextSeq-1-l.syncedSeq < l.groupBatch {
+			const lingerSpinCap = 1024
+			deadline := l.clock.Now().Add(l.groupWait)
+			l.mu.Unlock()
+			for spins := 0; spins < lingerSpinCap; spins++ {
+				runtime.Gosched()
+				if !l.clock.Now().Before(deadline) {
+					break
+				}
+			}
+			l.mu.Lock()
+			if err := l.usableLocked(); err != nil {
+				l.syncInFlight = false
+				l.syncDone.Broadcast()
+				return err
+			}
+		}
+		target := l.nextSeq - 1
+		if max := l.syncedSeq + l.groupBatch; target > max {
+			target = max
+		}
+		if err := l.flushLocked(); err != nil {
+			l.syncInFlight = false
+			l.syncDone.Broadcast()
+			return err
+		}
+		if err := l.inj.Inject(l.injSite + FaultSiteSync); err != nil {
+			l.syncInFlight = false
+			l.failLocked()
+			return err
+		}
+		// The fsync syscall runs with the mutex dropped so followers can
+		// frame their records meanwhile — except at maxBatch 1, where the
+		// lock is held to faithfully reproduce the historical serialized
+		// one-fsync-per-append behavior the benchmarks baseline against.
+		var err error
+		if l.groupBatch > 1 {
+			file := l.file
+			l.mu.Unlock()
+			err = file.Sync()
+			l.mu.Lock()
+		} else {
+			err = l.file.Sync()
+		}
+		l.syncInFlight = false
+		if err != nil {
+			l.failLocked()
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+		if target > l.syncedSeq {
+			l.lastBatch = target - l.syncedSeq
+			l.syncedSeq = target
+		}
+		l.syncDone.Broadcast()
+		// The synced log's rotation point: the leader just finished the
+		// only possible in-flight fsync, so the active file can be sealed
+		// without racing one. Segments overshoot segLimit by at most the
+		// final batch.
+		if l.fileSize >= l.segLimit {
+			if err := l.rotateLocked(); err != nil {
+				l.failLocked()
+				return err
+			}
 		}
 	}
-	return seq, nil
+	return nil
 }
 
 // Sync flushes the active segment to stable storage. A sync failure fails
@@ -403,12 +628,19 @@ func (l *Log) Sync() error {
 
 func (l *Log) syncLocked() error {
 	if err := l.inj.Inject(l.injSite + FaultSiteSync); err != nil {
-		l.failed = true
+		l.failLocked()
+		return err
+	}
+	target := l.nextSeq - 1
+	if err := l.flushLocked(); err != nil {
 		return err
 	}
 	if err := l.file.Sync(); err != nil {
-		l.failed = true
+		l.failLocked()
 		return fmt.Errorf("wal: sync: %w", err)
+	}
+	if target > l.syncedSeq {
+		l.syncedSeq = target
 	}
 	return nil
 }
@@ -434,6 +666,9 @@ func (l *Log) segLast() (*segment, bool) {
 // rotateLocked seals the active segment and starts a fresh one at nextSeq.
 func (l *Log) rotateLocked() error {
 	if l.file != nil {
+		if err := l.flushLocked(); err != nil {
+			return err
+		}
 		if err := l.file.Sync(); err != nil {
 			return fmt.Errorf("wal: sealing segment: %w", err)
 		}
@@ -464,6 +699,12 @@ func (l *Log) startSegmentLocked() error {
 func (l *Log) WriteSnapshot(data []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return err
+	}
+	// Compaction rotates the active segment; wait out any in-flight
+	// group-commit fsync first.
+	l.waitSyncIdleLocked()
 	if err := l.usableLocked(); err != nil {
 		return err
 	}
@@ -564,6 +805,15 @@ func (l *Log) Snapshot() (data []byte, seq uint64, taken time.Time, ok bool) {
 // A non-nil error from fn stops the replay and is returned.
 func (l *Log) Replay(fn func(seq uint64, payload []byte) error) error {
 	l.mu.Lock()
+	// Replay reads the segment files, so a live log's buffered frames must
+	// reach the kernel first. A failed log skips the flush: its buffer is
+	// exactly the unacknowledged suffix a crash would have dropped.
+	if l.file != nil && !l.closed && !l.failed {
+		if err := l.flushLocked(); err != nil {
+			l.mu.Unlock()
+			return err
+		}
+	}
 	segs := append([]segment(nil), l.segs...)
 	snapSeq := l.snapSeq
 	dir := l.dir
@@ -627,11 +877,19 @@ func (l *Log) Close() error {
 	if l.closed {
 		return nil
 	}
+	// Let any in-flight group-commit fsync finish before the file goes
+	// away; its waiters then observe closed and fail cleanly.
+	l.waitSyncIdleLocked()
 	l.closed = true
+	l.syncDone.Broadcast()
 	if l.file == nil {
 		return nil
 	}
 	if !l.failed {
+		if err := l.flushLocked(); err != nil {
+			_ = l.file.Close()
+			return fmt.Errorf("wal: close: %w", err)
+		}
 		if err := l.file.Sync(); err != nil {
 			_ = l.file.Close()
 			return fmt.Errorf("wal: close: %w", err)
