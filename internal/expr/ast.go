@@ -119,10 +119,17 @@ func collectVars(n node, out map[string]bool) {
 	}
 }
 
-// Program is a compiled expression, safe for concurrent evaluation.
+// Program is a compiled expression, safe for concurrent evaluation. The
+// parse tree is lowered once (compile.go) into slot-resolved closures;
+// the tree itself is retained for String() and as the differential
+// oracle.
 type Program struct {
 	source string
 	root   node
+	slots  []string       // every distinct identifier, sorted (incl. constants)
+	slotOf map[string]int // identifier -> slot index
+	vars   []string       // slots minus named constants (the public Vars)
+	code   genFn          // compiled root
 }
 
 // Source returns the original expression text.
@@ -133,19 +140,16 @@ func (p *Program) String() string { return p.root.String() }
 
 // Vars returns the sorted free variable names the expression references —
 // the CSP uses this to validate its child bindings ("a", "b", "c", ...).
+// The set is resolved at compile time; Vars copies it so callers may keep
+// or mutate the slice.
 func (p *Program) Vars() []string {
-	set := map[string]bool{}
-	collectVars(p.root, set)
-	out := make([]string, 0, len(set))
-	for v := range set {
-		if _, isConst := constants[v]; isConst {
-			continue
-		}
-		out = append(out, v)
-	}
-	sort.Strings(out)
+	out := make([]string, len(p.vars))
+	copy(out, p.vars)
 	return out
 }
 
-// fmt import keepalive for error formatting in this file's siblings.
-var _ = fmt.Sprintf
+// sort and fmt import keepalive for siblings of this file.
+var (
+	_ = fmt.Sprintf
+	_ = sort.Strings
+)

@@ -6,7 +6,10 @@ import (
 )
 
 // builtin is a library function: validated arity, then applied to values.
+// Builtins live in a dense table so compiled programs dispatch by integer
+// index instead of a map lookup per call.
 type builtin struct {
+	name    string
 	minArgs int
 	maxArgs int // -1 = variadic
 	apply   func(args []Value) (Value, error)
@@ -49,8 +52,8 @@ func oneNumber(name string, args []Value) (float64, error) {
 	return f, nil
 }
 
-func numericFn(f func(float64) float64) builtin {
-	return builtin{minArgs: 1, maxArgs: 1, apply: func(args []Value) (Value, error) {
+func numericFn(name string, f func(float64) float64) builtin {
+	return builtin{name: name, minArgs: 1, maxArgs: 1, apply: func(args []Value) (Value, error) {
 		x, err := oneNumber("fn", args)
 		if err != nil {
 			return nil, err
@@ -60,7 +63,7 @@ func numericFn(f func(float64) float64) builtin {
 }
 
 func aggregateFn(name string, f func([]float64) (float64, error)) builtin {
-	return builtin{minArgs: 1, maxArgs: -1, apply: func(args []Value) (Value, error) {
+	return builtin{name: name, minArgs: 1, maxArgs: -1, apply: func(args []Value) (Value, error) {
 		xs, err := numbersOf(name, args)
 		if err != nil {
 			return nil, err
@@ -72,17 +75,35 @@ func aggregateFn(name string, f func([]float64) (float64, error)) builtin {
 	}}
 }
 
-var builtins = map[string]builtin{
-	"abs":   numericFn(math.Abs),
-	"sqrt":  numericFn(math.Sqrt),
-	"floor": numericFn(math.Floor),
-	"ceil":  numericFn(math.Ceil),
-	"round": numericFn(math.Round),
-	"sin":   numericFn(math.Sin),
-	"cos":   numericFn(math.Cos),
-	"tan":   numericFn(math.Tan),
-	"exp":   numericFn(math.Exp),
-	"log": {minArgs: 1, maxArgs: 1, apply: func(args []Value) (Value, error) {
+// num1Fns are the single-argument numeric builtins, shared between the
+// generic table and the typed float64 fast path (numfast.go).
+var num1Fns = map[string]func(float64) float64{
+	"abs":   math.Abs,
+	"sqrt":  math.Sqrt,
+	"floor": math.Floor,
+	"ceil":  math.Ceil,
+	"round": math.Round,
+	"sin":   math.Sin,
+	"cos":   math.Cos,
+	"tan":   math.Tan,
+	"exp":   math.Exp,
+	// c2f / f2c — unit conversions common in the paper's temperature
+	// aggregation scenario.
+	"c2f": func(c float64) float64 { return c*9/5 + 32 },
+	"f2c": func(f float64) float64 { return (f - 32) * 5 / 9 },
+}
+
+var builtinTable = []builtin{
+	numericFn("abs", num1Fns["abs"]),
+	numericFn("sqrt", num1Fns["sqrt"]),
+	numericFn("floor", num1Fns["floor"]),
+	numericFn("ceil", num1Fns["ceil"]),
+	numericFn("round", num1Fns["round"]),
+	numericFn("sin", num1Fns["sin"]),
+	numericFn("cos", num1Fns["cos"]),
+	numericFn("tan", num1Fns["tan"]),
+	numericFn("exp", num1Fns["exp"]),
+	{name: "log", minArgs: 1, maxArgs: 1, apply: func(args []Value) (Value, error) {
 		x, err := oneNumber("log", args)
 		if err != nil {
 			return nil, err
@@ -92,7 +113,7 @@ var builtins = map[string]builtin{
 		}
 		return math.Log(x), nil
 	}},
-	"pow": {minArgs: 2, maxArgs: 2, apply: func(args []Value) (Value, error) {
+	{name: "pow", minArgs: 2, maxArgs: 2, apply: func(args []Value) (Value, error) {
 		x, xok := args[0].(float64)
 		y, yok := args[1].(float64)
 		if !xok || !yok {
@@ -100,35 +121,35 @@ var builtins = map[string]builtin{
 		}
 		return math.Pow(x, y), nil
 	}},
-	"min": aggregateFn("min", func(xs []float64) (float64, error) {
+	aggregateFn("min", func(xs []float64) (float64, error) {
 		m := xs[0]
 		for _, x := range xs[1:] {
 			m = math.Min(m, x)
 		}
 		return m, nil
 	}),
-	"max": aggregateFn("max", func(xs []float64) (float64, error) {
+	aggregateFn("max", func(xs []float64) (float64, error) {
 		m := xs[0]
 		for _, x := range xs[1:] {
 			m = math.Max(m, x)
 		}
 		return m, nil
 	}),
-	"sum": aggregateFn("sum", func(xs []float64) (float64, error) {
+	aggregateFn("sum", func(xs []float64) (float64, error) {
 		s := 0.0
 		for _, x := range xs {
 			s += x
 		}
 		return s, nil
 	}),
-	"avg": aggregateFn("avg", func(xs []float64) (float64, error) {
+	aggregateFn("avg", func(xs []float64) (float64, error) {
 		s := 0.0
 		for _, x := range xs {
 			s += x
 		}
 		return s / float64(len(xs)), nil
 	}),
-	"median": aggregateFn("median", func(xs []float64) (float64, error) {
+	aggregateFn("median", func(xs []float64) (float64, error) {
 		s := append([]float64{}, xs...)
 		sort.Float64s(s)
 		n := len(s)
@@ -137,7 +158,7 @@ var builtins = map[string]builtin{
 		}
 		return (s[n/2-1] + s[n/2]) / 2, nil
 	}),
-	"stddev": aggregateFn("stddev", func(xs []float64) (float64, error) {
+	aggregateFn("stddev", func(xs []float64) (float64, error) {
 		mean := 0.0
 		for _, x := range xs {
 			mean += x
@@ -150,7 +171,7 @@ var builtins = map[string]builtin{
 		}
 		return math.Sqrt(varsum / float64(len(xs))), nil
 	}),
-	"clamp": {minArgs: 3, maxArgs: 3, apply: func(args []Value) (Value, error) {
+	{name: "clamp", minArgs: 3, maxArgs: 3, apply: func(args []Value) (Value, error) {
 		xs, err := numbersOf("clamp", args)
 		if err != nil {
 			return nil, err
@@ -164,7 +185,7 @@ var builtins = map[string]builtin{
 		}
 		return math.Max(lo, math.Min(hi, x)), nil
 	}},
-	"len": {minArgs: 1, maxArgs: 1, apply: func(args []Value) (Value, error) {
+	{name: "len", minArgs: 1, maxArgs: 1, apply: func(args []Value) (Value, error) {
 		switch x := args[0].(type) {
 		case []Value:
 			return float64(len(x)), nil
@@ -175,7 +196,7 @@ var builtins = map[string]builtin{
 		}
 	}},
 	// if(cond, a, b) — eager functional form of ?: for readability.
-	"if": {minArgs: 3, maxArgs: 3, apply: func(args []Value) (Value, error) {
+	{name: "if", minArgs: 3, maxArgs: 3, apply: func(args []Value) (Value, error) {
 		c, ok := args[0].(bool)
 		if !ok {
 			return nil, evalErrf("if: condition is %T, want bool", args[0])
@@ -185,33 +206,52 @@ var builtins = map[string]builtin{
 		}
 		return args[2], nil
 	}},
-	// c2f / f2c — unit conversions common in the paper's temperature
-	// aggregation scenario.
-	"c2f": numericFn(func(c float64) float64 { return c*9/5 + 32 }),
-	"f2c": numericFn(func(f float64) float64 { return (f - 32) * 5 / 9 }),
+	numericFn("c2f", num1Fns["c2f"]),
+	numericFn("f2c", num1Fns["f2c"]),
 }
+
+// builtinIndex maps names to builtinTable slots; compilation resolves a
+// call site to its index once so evaluation never consults the map.
+var builtinIndex = func() map[string]int {
+	m := make(map[string]int, len(builtinTable))
+	for i, b := range builtinTable {
+		m[b.name] = i
+	}
+	return m
+}()
 
 // Builtins lists the available function names, sorted (documentation and
 // browser help).
 func Builtins() []string {
-	out := make([]string, 0, len(builtins))
-	for name := range builtins {
-		out = append(out, name)
+	out := make([]string, 0, len(builtinTable))
+	for _, b := range builtinTable {
+		out = append(out, b.name)
 	}
 	sort.Strings(out)
 	return out
 }
 
-func evalCall(t callNode, env Env) (Value, error) {
-	fn, ok := builtins[t.name]
+// checkArity mirrors the eval-time arity validation; compilation performs
+// it once per call site, deferring the identical error to evaluation time.
+func checkArity(name string, nargs int) (int, error) {
+	idx, ok := builtinIndex[name]
 	if !ok {
-		return nil, evalErrf("unknown function %q", t.name)
+		return 0, evalErrf("unknown function %q", name)
 	}
-	if len(t.args) < fn.minArgs {
-		return nil, evalErrf("%s: want at least %d argument(s), got %d", t.name, fn.minArgs, len(t.args))
+	fn := builtinTable[idx]
+	if nargs < fn.minArgs {
+		return 0, evalErrf("%s: want at least %d argument(s), got %d", name, fn.minArgs, nargs)
 	}
-	if fn.maxArgs >= 0 && len(t.args) > fn.maxArgs {
-		return nil, evalErrf("%s: want at most %d argument(s), got %d", t.name, fn.maxArgs, len(t.args))
+	if fn.maxArgs >= 0 && nargs > fn.maxArgs {
+		return 0, evalErrf("%s: want at most %d argument(s), got %d", name, fn.maxArgs, nargs)
+	}
+	return idx, nil
+}
+
+func evalCall(t callNode, env Env) (Value, error) {
+	idx, err := checkArity(t.name, len(t.args))
+	if err != nil {
+		return nil, err
 	}
 	args := make([]Value, len(t.args))
 	for i, a := range t.args {
@@ -221,5 +261,5 @@ func evalCall(t callNode, env Env) (Value, error) {
 		}
 		args[i] = v
 	}
-	return fn.apply(args)
+	return builtinTable[idx].apply(args)
 }

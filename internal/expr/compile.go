@@ -1,0 +1,386 @@
+package expr
+
+import (
+	"sort"
+	"sync"
+)
+
+// This file is the compilation backend: it lowers the parsed AST into
+// slot-resolved closures. Compilation resolves every identifier to an
+// integer slot and every call to a builtin-table index, folds constant
+// subtrees (deferring any runtime error they would raise so laziness is
+// preserved), and emits a tree of small closures that evaluate with no
+// map lookups. Program.Eval prefetches the environment into a pooled
+// slot array once and runs the closure tree; the original tree walker
+// survives as the differential-testing oracle (evalReference).
+
+// machine is the per-evaluation state of a compiled program: one Value
+// slot per distinct identifier, with a bound flag distinguishing "absent
+// from env" from "bound to nil". Machines are pooled across evaluations.
+type machine struct {
+	slots []Value
+	bound []bool
+}
+
+var machinePool = sync.Pool{New: func() any { return new(machine) }}
+
+func (m *machine) reset(n int) {
+	if cap(m.slots) < n {
+		m.slots = make([]Value, n)
+		m.bound = make([]bool, n)
+		return
+	}
+	m.slots = m.slots[:n]
+	m.bound = m.bound[:n]
+	for i := range m.bound {
+		m.bound[i] = false
+	}
+}
+
+// release drops slot references (they may alias caller data) and returns
+// the machine to the pool.
+func (m *machine) release() {
+	for i := range m.slots {
+		m.slots[i] = nil
+	}
+	machinePool.Put(m)
+}
+
+// genFn is one compiled node: evaluate against the machine's slots.
+type genFn func(m *machine) (Value, error)
+
+// lowered is the result of lowering one node. konst marks subtrees whose
+// outcome is fully determined at compile time — either a value or the
+// error evaluation would deterministically raise (kept lazy inside the
+// closure so dead branches still never error).
+type lowered struct {
+	fn    genFn
+	val   Value
+	err   error
+	konst bool
+}
+
+func constOf(v Value) lowered {
+	return lowered{konst: true, val: v, fn: func(*machine) (Value, error) { return v, nil }}
+}
+
+func constErr(err error) lowered {
+	return lowered{konst: true, err: err, fn: func(*machine) (Value, error) { return nil, err }}
+}
+
+func fromApply(v Value, err error) lowered {
+	if err != nil {
+		return constErr(err)
+	}
+	return constOf(v)
+}
+
+// leadingErr scans children in evaluation order: if evaluation would
+// deterministically hit a constant error before any non-constant work, it
+// reports that error. ok=false otherwise (including "all constant, no
+// error" — allKonst distinguishes that case).
+func leadingErr(children []lowered) (error, bool) {
+	for _, c := range children {
+		if !c.konst {
+			return nil, false
+		}
+		if c.err != nil {
+			return c.err, true
+		}
+	}
+	return nil, false
+}
+
+func allKonst(children []lowered) bool {
+	for _, c := range children {
+		if !c.konst || c.err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// newProgram lowers a parsed tree into a compiled Program.
+func newProgram(source string, root node) *Program {
+	set := map[string]bool{}
+	collectVars(root, set)
+	slots := make([]string, 0, len(set))
+	for name := range set {
+		slots = append(slots, name)
+	}
+	sort.Strings(slots)
+	slotOf := make(map[string]int, len(slots))
+	for i, name := range slots {
+		slotOf[name] = i
+	}
+	vars := make([]string, 0, len(slots))
+	for _, name := range slots {
+		if _, isConst := constants[name]; !isConst {
+			vars = append(vars, name)
+		}
+	}
+	p := &Program{source: source, root: root, slots: slots, slotOf: slotOf, vars: vars}
+	p.code = lower(root, p).fn
+	return p
+}
+
+func lower(n node, p *Program) lowered {
+	switch t := n.(type) {
+	case numberNode:
+		return constOf(t.val)
+	case stringNode:
+		return constOf(t.val)
+	case boolNode:
+		return constOf(t.val)
+	case identNode:
+		// Never constant: the env may rebind even named constants.
+		slot := p.slotOf[t.name]
+		name := t.name
+		return lowered{fn: func(m *machine) (Value, error) {
+			if !m.bound[slot] {
+				return nil, evalErrf("unbound variable %q", name)
+			}
+			return normalizeValue(m.slots[slot])
+		}}
+	case listNode:
+		kids := make([]lowered, len(t.elems))
+		for i, e := range t.elems {
+			kids[i] = lower(e, p)
+		}
+		if err, ok := leadingErr(kids); ok {
+			return constErr(err)
+		}
+		if allKonst(kids) {
+			out := make([]Value, len(kids))
+			for i, k := range kids {
+				out[i] = k.val
+			}
+			return constOf(out)
+		}
+		fns := childFns(kids)
+		return lowered{fn: func(m *machine) (Value, error) {
+			out := make([]Value, len(fns))
+			for i, f := range fns {
+				v, err := f(m)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			return out, nil
+		}}
+	case unaryNode:
+		x := lower(t.x, p)
+		if x.konst {
+			if x.err != nil {
+				return constErr(x.err)
+			}
+			return fromApply(applyUnary(t.op, x.val))
+		}
+		op, xfn := t.op, x.fn
+		return lowered{fn: func(m *machine) (Value, error) {
+			v, err := xfn(m)
+			if err != nil {
+				return nil, err
+			}
+			return applyUnary(op, v)
+		}}
+	case binaryNode:
+		if t.op == tokAnd || t.op == tokOr {
+			return lowerLogical(t, p)
+		}
+		l, r := lower(t.l, p), lower(t.r, p)
+		if err, ok := leadingErr([]lowered{l, r}); ok {
+			return constErr(err)
+		}
+		if allKonst([]lowered{l, r}) {
+			return fromApply(applyBinary(t.op, l.val, r.val))
+		}
+		op, lfn, rfn := t.op, l.fn, r.fn
+		return lowered{fn: func(m *machine) (Value, error) {
+			lv, err := lfn(m)
+			if err != nil {
+				return nil, err
+			}
+			rv, err := rfn(m)
+			if err != nil {
+				return nil, err
+			}
+			return applyBinary(op, lv, rv)
+		}}
+	case condNode:
+		c := lower(t.cond, p)
+		if c.konst {
+			if c.err != nil {
+				return constErr(c.err)
+			}
+			b, ok := c.val.(bool)
+			if !ok {
+				return constErr(evalErrf("condition yielded %T, want bool", c.val))
+			}
+			// Fold the branch away entirely; the dead arm is never
+			// lowered into the closure tree.
+			if b {
+				return lower(t.then, p)
+			}
+			return lower(t.els, p)
+		}
+		cfn := c.fn
+		tfn, efn := lower(t.then, p).fn, lower(t.els, p).fn
+		return lowered{fn: func(m *machine) (Value, error) {
+			cv, err := cfn(m)
+			if err != nil {
+				return nil, err
+			}
+			b, ok := cv.(bool)
+			if !ok {
+				return nil, evalErrf("condition yielded %T, want bool", cv)
+			}
+			if b {
+				return tfn(m)
+			}
+			return efn(m)
+		}}
+	case callNode:
+		// Unknown-function and arity errors precede argument
+		// evaluation, exactly as in the tree walker.
+		idx, err := checkArity(t.name, len(t.args))
+		if err != nil {
+			return constErr(err)
+		}
+		kids := make([]lowered, len(t.args))
+		for i, a := range t.args {
+			kids[i] = lower(a, p)
+		}
+		if err, ok := leadingErr(kids); ok {
+			return constErr(err)
+		}
+		bi := builtinTable[idx]
+		if allKonst(kids) {
+			args := make([]Value, len(kids))
+			for i, k := range kids {
+				args[i] = k.val
+			}
+			return fromApply(bi.apply(args))
+		}
+		fns := childFns(kids)
+		return lowered{fn: func(m *machine) (Value, error) {
+			args := make([]Value, len(fns))
+			for i, f := range fns {
+				v, err := f(m)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = v
+			}
+			return bi.apply(args)
+		}}
+	case indexNode:
+		x, idx := lower(t.x, p), lower(t.idx, p)
+		if err, ok := leadingErr([]lowered{x, idx}); ok {
+			return constErr(err)
+		}
+		if allKonst([]lowered{x, idx}) {
+			return fromApply(applyIndex(x.val, idx.val))
+		}
+		xfn, ifn := x.fn, idx.fn
+		return lowered{fn: func(m *machine) (Value, error) {
+			xv, err := xfn(m)
+			if err != nil {
+				return nil, err
+			}
+			iv, err := ifn(m)
+			if err != nil {
+				return nil, err
+			}
+			return applyIndex(xv, iv)
+		}}
+	default:
+		return constErr(evalErrf("internal: unknown node %T", n))
+	}
+}
+
+// lowerLogical compiles && and || preserving lazy right-operand
+// evaluation and short-circuit semantics through constant folding.
+func lowerLogical(t binaryNode, p *Program) lowered {
+	isAnd := t.op == tokAnd
+	opText := binaryOpText[t.op]
+	l := lower(t.l, p)
+	coerceR := func(r lowered) lowered {
+		if r.konst {
+			if r.err != nil {
+				return constErr(r.err)
+			}
+			rb, ok := r.val.(bool)
+			if !ok {
+				return constErr(evalErrf("%s on %T", opText, r.val))
+			}
+			return constOf(rb)
+		}
+		rfn := r.fn
+		return lowered{fn: func(m *machine) (Value, error) {
+			rv, err := rfn(m)
+			if err != nil {
+				return nil, err
+			}
+			rb, ok := rv.(bool)
+			if !ok {
+				return nil, evalErrf("%s on %T", opText, rv)
+			}
+			return rb, nil
+		}}
+	}
+	if l.konst {
+		if l.err != nil {
+			return constErr(l.err)
+		}
+		lb, ok := l.val.(bool)
+		if !ok {
+			return constErr(evalErrf("%s on %T", opText, l.val))
+		}
+		if isAnd && !lb {
+			return constOf(false)
+		}
+		if !isAnd && lb {
+			return constOf(true)
+		}
+		// Left operand is the logical identity: the result is the
+		// right operand coerced to bool.
+		return coerceR(lower(t.r, p))
+	}
+	lfn := l.fn
+	rfn := lower(t.r, p).fn
+	return lowered{fn: func(m *machine) (Value, error) {
+		lv, err := lfn(m)
+		if err != nil {
+			return nil, err
+		}
+		lb, ok := lv.(bool)
+		if !ok {
+			return nil, evalErrf("%s on %T", opText, lv)
+		}
+		if isAnd && !lb {
+			return false, nil
+		}
+		if !isAnd && lb {
+			return true, nil
+		}
+		rv, err := rfn(m)
+		if err != nil {
+			return nil, err
+		}
+		rb, ok := rv.(bool)
+		if !ok {
+			return nil, evalErrf("%s on %T", opText, rv)
+		}
+		return rb, nil
+	}}
+}
+
+func childFns(kids []lowered) []genFn {
+	fns := make([]genFn, len(kids))
+	for i, k := range kids {
+		fns[i] = k.fn
+	}
+	return fns
+}

@@ -28,9 +28,23 @@ func Eval(source string, env Env) (Value, error) {
 	return p.Eval(env)
 }
 
-// Eval evaluates the compiled program against the environment.
+// Eval evaluates the compiled program against the environment. Programs
+// run as slot-resolved closures: identifiers were resolved to integer
+// slots at compile time, so evaluation performs one env lookup per
+// distinct variable (the prefetch below) instead of one per occurrence.
 func (p *Program) Eval(env Env) (Value, error) {
-	return eval(p.root, env)
+	m := machinePool.Get().(*machine)
+	m.reset(len(p.slots))
+	for i, name := range p.slots {
+		if v, ok := env[name]; ok {
+			m.slots[i], m.bound[i] = v, true
+		} else if c, ok := constants[name]; ok {
+			m.slots[i], m.bound[i] = c, true
+		}
+	}
+	v, err := p.code(m)
+	m.release()
+	return v, err
 }
 
 // EvalNumber evaluates and coerces the result to float64, the common case
@@ -45,6 +59,13 @@ func (p *Program) EvalNumber(env Env) (float64, error) {
 		return 0, evalErrf("expression yielded %T, want number", v)
 	}
 	return f, nil
+}
+
+// evalReference runs the original tree-walking evaluator. It is the
+// semantic oracle for the compiled backend: the differential tests assert
+// Eval and evalReference agree on value and error for every input.
+func (p *Program) evalReference(env Env) (Value, error) {
+	return eval(p.root, env)
 }
 
 func eval(n node, env Env) (Value, error) {
@@ -74,7 +95,11 @@ func eval(n node, env Env) (Value, error) {
 		}
 		return out, nil
 	case unaryNode:
-		return evalUnary(t, env)
+		v, err := eval(t.x, env)
+		if err != nil {
+			return nil, err
+		}
+		return applyUnary(t.op, v)
 	case binaryNode:
 		return evalBinary(t, env)
 	case condNode:
@@ -93,7 +118,15 @@ func eval(n node, env Env) (Value, error) {
 	case callNode:
 		return evalCall(t, env)
 	case indexNode:
-		return evalIndex(t, env)
+		x, err := eval(t.x, env)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := eval(t.idx, env)
+		if err != nil {
+			return nil, err
+		}
+		return applyIndex(x, idx)
 	default:
 		return nil, evalErrf("internal: unknown node %T", n)
 	}
@@ -109,11 +142,17 @@ func normalizeValue(v Value) (Value, error) {
 		return float64(x), nil
 	case int:
 		return float64(x), nil
+	case int16:
+		return float64(x), nil
 	case int32:
 		return float64(x), nil
 	case int64:
 		return float64(x), nil
 	case uint:
+		return float64(x), nil
+	case uint16:
+		return float64(x), nil
+	case uint32:
 		return float64(x), nil
 	case uint64:
 		return float64(x), nil
@@ -123,17 +162,27 @@ func normalizeValue(v Value) (Value, error) {
 			out[i] = f
 		}
 		return out, nil
+	case []float32:
+		out := make([]Value, len(x))
+		for i, f := range x {
+			out[i] = float64(f)
+		}
+		return out, nil
+	case []int:
+		out := make([]Value, len(x))
+		for i, n := range x {
+			out[i] = float64(n)
+		}
+		return out, nil
 	default:
 		return nil, evalErrf("unsupported value type %T", v)
 	}
 }
 
-func evalUnary(t unaryNode, env Env) (Value, error) {
-	v, err := eval(t.x, env)
-	if err != nil {
-		return nil, err
-	}
-	switch t.op {
+// applyUnary applies a unary operator to an evaluated operand; shared by
+// the tree walker and the compiled backend so error text stays identical.
+func applyUnary(op tokenKind, v Value) (Value, error) {
+	switch op {
 	case tokMinus:
 		f, ok := v.(float64)
 		if !ok {
@@ -186,11 +235,16 @@ func evalBinary(t binaryNode, env Env) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
+	return applyBinary(t.op, l, r)
+}
 
+// applyBinary applies a strict (non-short-circuit) binary operator to two
+// evaluated operands; shared by the tree walker and the compiled backend.
+func applyBinary(op tokenKind, l, r Value) (Value, error) {
 	// String concatenation and comparison.
 	if ls, ok := l.(string); ok {
 		if rs, ok := r.(string); ok {
-			switch t.op {
+			switch op {
 			case tokPlus:
 				return ls + rs, nil
 			case tokEQ:
@@ -206,28 +260,28 @@ func evalBinary(t binaryNode, env Env) (Value, error) {
 			case tokGE:
 				return ls >= rs, nil
 			}
-			return nil, evalErrf("operator %s not defined on strings", binaryOpText[t.op])
+			return nil, evalErrf("operator %s not defined on strings", binaryOpText[op])
 		}
 	}
 	// Boolean equality.
 	if lb, ok := l.(bool); ok {
 		if rb, ok := r.(bool); ok {
-			switch t.op {
+			switch op {
 			case tokEQ:
 				return lb == rb, nil
 			case tokNE:
 				return lb != rb, nil
 			}
-			return nil, evalErrf("operator %s not defined on booleans", binaryOpText[t.op])
+			return nil, evalErrf("operator %s not defined on booleans", binaryOpText[op])
 		}
 	}
 
 	lf, lok := l.(float64)
 	rf, rok := r.(float64)
 	if !lok || !rok {
-		return nil, evalErrf("operator %s on %T and %T", binaryOpText[t.op], l, r)
+		return nil, evalErrf("operator %s on %T and %T", binaryOpText[op], l, r)
 	}
-	switch t.op {
+	switch op {
 	case tokPlus:
 		return lf + rf, nil
 	case tokMinus:
@@ -262,15 +316,9 @@ func evalBinary(t binaryNode, env Env) (Value, error) {
 	return nil, evalErrf("internal: bad binary op")
 }
 
-func evalIndex(t indexNode, env Env) (Value, error) {
-	x, err := eval(t.x, env)
-	if err != nil {
-		return nil, err
-	}
-	idx, err := eval(t.idx, env)
-	if err != nil {
-		return nil, err
-	}
+// applyIndex indexes an evaluated list with an evaluated subscript; shared
+// by the tree walker and the compiled backend.
+func applyIndex(x, idx Value) (Value, error) {
 	i, ok := idx.(float64)
 	if !ok {
 		return nil, evalErrf("index is %T, want number", idx)

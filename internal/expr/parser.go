@@ -21,7 +21,7 @@ func Compile(source string) (*Program, error) {
 	if p.tok.kind != tokEOF {
 		return nil, &SyntaxError{Pos: p.tok.pos, Message: fmt.Sprintf("unexpected %s after expression", p.tok.kind)}
 	}
-	return &Program{source: source, root: root}, nil
+	return newProgram(source, root), nil
 }
 
 // MustCompile is Compile that panics on error, for static expressions.

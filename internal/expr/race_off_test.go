@@ -1,0 +1,5 @@
+//go:build !race
+
+package expr
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package expr
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// allocation-count assertions are skipped (instrumentation allocates).
+const raceEnabled = true

@@ -97,6 +97,18 @@ type CSP struct {
 	// compiled program's variable set never changes.
 	progVars   []string
 	histWanted map[string]bool
+	// bound is the program slot-bound against the current child ordering
+	// (recomputed whenever children or expression change); nil when there
+	// is no program or the expression needs the generic Env path. Full
+	// (non-degraded) reads evaluate it over raw float64 slots with no
+	// env construction or boxing.
+	bound *expr.BoundProgram
+	// histChild[i] reports whether the expression uses child i's history
+	// variable; varRefs maps each progVar to the child index of its base
+	// variable (-1 unknown, -2 the synthetic "values"), which is what the
+	// degraded-read fallback checks instead of building an Env.
+	histChild []bool
+	varRefs   []int
 	// lastQuality qualifies the most recent successful evaluation.
 	lastQuality Quality
 	hasQuality  bool
@@ -200,6 +212,7 @@ func (c *CSP) AddChild(acc DataAccessor) (string, error) {
 	}
 	v := varName(len(c.children))
 	c.children = append(c.children, childBinding{varName: v, accessor: acc})
+	c.rebindLocked()
 	return v, nil
 }
 
@@ -214,6 +227,7 @@ func (c *CSP) RemoveChild(name string) error {
 			for j := range c.children {
 				c.children[j].varName = varName(j)
 			}
+			c.rebindLocked()
 			return nil
 		}
 	}
@@ -239,6 +253,7 @@ func (c *CSP) SetExpression(source string) error {
 		c.program = nil
 		c.progVars = nil
 		c.histWanted = nil
+		c.rebindLocked()
 		c.mu.Unlock()
 		return nil
 	}
@@ -248,7 +263,7 @@ func (c *CSP) SetExpression(source string) error {
 	}
 	// Which history variables ("a_hist") does the expression use? Hoisted
 	// here so every read doesn't rediscover it; only children named in it
-	// pay the GetReadings call.
+	// pay the history-binding cost.
 	vars := p.Vars()
 	hist := make(map[string]bool)
 	for _, v := range vars {
@@ -260,8 +275,52 @@ func (c *CSP) SetExpression(source string) error {
 	c.program = p
 	c.progVars = vars
 	c.histWanted = hist
+	c.rebindLocked()
 	c.mu.Unlock()
 	return nil
+}
+
+// rebindLocked recomputes the slot binding after any change to the child
+// set or the expression. Binding happens here — not on the read path — so
+// GetValue evaluates against integer slots with no name resolution. A
+// failed Bind (expression references a variable no child provides yet,
+// or uses constructs beyond the numeric fast path) simply leaves bound
+// nil; reads then take the Env path, whose semantics are the reference
+// (including the eval-time "unbound variable" error).
+func (c *CSP) rebindLocked() {
+	c.bound = nil
+	c.histChild = nil
+	c.varRefs = nil
+	if c.program == nil {
+		return
+	}
+	names := make([]string, len(c.children))
+	for i := range c.children {
+		names[i] = c.children[i].varName
+	}
+	if bp, err := c.program.Bind(names); err == nil {
+		c.bound = bp
+	}
+	c.histChild = make([]bool, len(names))
+	for i, n := range names {
+		c.histChild[i] = c.histWanted[n]
+	}
+	c.varRefs = make([]int, 0, len(c.progVars))
+	for _, v := range c.progVars {
+		base := strings.TrimSuffix(v, "_hist")
+		if base == "values" {
+			c.varRefs = append(c.varRefs, -2)
+			continue
+		}
+		ref := -1
+		for i, n := range names {
+			if n == base {
+				ref = i
+				break
+			}
+		}
+		c.varRefs = append(c.varRefs, ref)
+	}
 }
 
 // Expression returns the current expression source ("" = default average).
@@ -281,31 +340,77 @@ type childValue struct {
 	err     error
 }
 
+// readScratch holds the per-read working buffers, pooled so steady-state
+// composite reads allocate nothing beyond the inherent per-read fan-out
+// (goroutines + result channel on the parallel path).
+type readScratch struct {
+	children []childBinding
+	results  []childValue
+	arrived  []bool
+	slots    []float64
+	hist     [][]float64
+	histBuf  [][]float64
+}
+
+var readScratchPool = sync.Pool{New: func() any { return new(readScratch) }}
+
+// put clears references (accessors, readings) so pooled scratch does not
+// retain child services, then recycles the buffers.
+func (sc *readScratch) put() {
+	for i := range sc.children {
+		sc.children[i] = childBinding{}
+	}
+	sc.children = sc.children[:0]
+	for i := range sc.results {
+		sc.results[i] = childValue{}
+	}
+	sc.results = sc.results[:0]
+	readScratchPool.Put(sc)
+}
+
 // GetValue implements DataAccessor: read every component (in parallel
 // unless configured otherwise), bind variables, evaluate the expression.
+//
+// Three paths, cheapest first: no expression → running-sum average with
+// no expression machinery at all; slot-bound expression on a full read →
+// BoundProgram.EvalFloats over pooled float64 slots (allocation-free);
+// otherwise (degraded read, or an expression beyond the fast path) → the
+// generic Env evaluator, which is the semantic reference.
 func (c *CSP) GetValue() (probe.Reading, error) {
 	if c.cacheTTL > 0 {
 		if cached, ok := c.store.Latest(); ok && c.clock.Now().Sub(cached.Timestamp) < c.cacheTTL {
 			return cached, nil
 		}
 	}
+	sc := readScratchPool.Get().(*readScratch)
 	c.mu.Lock()
-	children := append([]childBinding{}, c.children...)
+	sc.children = append(sc.children[:0], c.children...)
 	program := c.program
 	progVars := c.progVars
 	histWanted := c.histWanted
+	bound := c.bound
+	histChild := c.histChild
+	varRefs := c.varRefs
 	c.mu.Unlock()
+	children := sc.children
 	if len(children) == 0 {
+		sc.put()
 		return probe.Reading{}, fmt.Errorf("%w: %q", ErrNoChildren, c.name)
 	}
 
-	results := make([]childValue, len(children))
+	if cap(sc.results) < len(children) {
+		sc.results = make([]childValue, len(children))
+	}
+	sc.results = sc.results[:len(children)]
+	results := sc.results
 	if c.sequential {
 		for i, ch := range children {
 			r, err := ch.accessor.GetValue()
 			results[i] = childValue{idx: i, reading: r, err: err}
 		}
 	} else {
+		// The result channel is per-read: a straggler outliving the
+		// timeout writes into an abandoned buffer, never a pooled one.
 		resCh := make(chan childValue, len(children))
 		for i, ch := range children {
 			go func(i int, acc DataAccessor) {
@@ -315,7 +420,14 @@ func (c *CSP) GetValue() (probe.Reading, error) {
 		}
 		timer := c.clock.NewTimer(c.timeout)
 		defer timer.Stop()
-		arrived := make([]bool, len(children))
+		if cap(sc.arrived) < len(children) {
+			sc.arrived = make([]bool, len(children))
+		}
+		sc.arrived = sc.arrived[:len(children)]
+		arrived := sc.arrived
+		for i := range arrived {
+			arrived[i] = false
+		}
 	collect:
 		for received := 0; received < len(children); received++ {
 			select {
@@ -324,6 +436,7 @@ func (c *CSP) GetValue() (probe.Reading, error) {
 				arrived[cv.idx] = true
 			case <-timer.C():
 				if c.quorum <= 0 {
+					sc.put()
 					return probe.Reading{}, fmt.Errorf("%w after %v in %q", ErrChildTimeout, c.timeout, c.name)
 				}
 				// Degradable composite: the stragglers are treated as
@@ -338,73 +451,54 @@ func (c *CSP) GetValue() (probe.Reading, error) {
 		}
 	}
 
-	env := expr.Env{}
-	values := make([]float64, 0, len(children))
+	// First pass: survivor count and running sum, unit uniformity, and
+	// failed-component names (allocated only when something failed).
+	responded, sum := 0, 0.0
 	var missing []string
 	unit, uniformUnit, first := "", true, true
-	for i, ch := range children {
+	for i := range children {
 		if results[i].err != nil {
 			if c.quorum <= 0 {
-				return probe.Reading{}, fmt.Errorf("sensor: component %q (%s) of %q: %w",
-					ch.accessor.SensorName(), ch.varName, c.name, results[i].err)
+				err := fmt.Errorf("sensor: component %q (%s) of %q: %w",
+					children[i].accessor.SensorName(), children[i].varName, c.name, results[i].err)
+				sc.put()
+				return probe.Reading{}, err
 			}
-			missing = append(missing, ch.accessor.SensorName())
+			missing = append(missing, children[i].accessor.SensorName())
 			continue
 		}
-		env[ch.varName] = results[i].reading.Value
-		values = append(values, results[i].reading.Value)
-		if histWanted[ch.varName] {
-			// Bind the child's recent history (oldest first, including
-			// the value just read) as "<var>_hist" — enabling trend and
-			// smoothing expressions like "a - avg(a_hist)".
-			recent := ch.accessor.GetReadings(HistoryWindow)
-			hist := make([]float64, len(recent))
-			for j, r := range recent {
-				hist[j] = r.Value
-			}
-			env[ch.varName+"_hist"] = hist
-		}
+		responded++
+		sum += results[i].reading.Value
 		if first {
 			unit, first = results[i].reading.Unit, false
 		} else if unit != results[i].reading.Unit {
 			uniformUnit = false
 		}
 	}
-	if len(missing) > 0 && len(values) < c.quorum {
-		return probe.Reading{}, fmt.Errorf("%w: %d of %d components of %q responded, quorum %d (missing: %s)",
-			ErrQuorum, len(values), len(children), c.name, c.quorum, strings.Join(missing, ", "))
-	}
-	env["values"] = values
-
-	// A degraded read may have lost variables the expression refers to;
-	// evaluating would fail on the unbound name, so fall back to the
-	// survivors' average — the same default an expressionless composite
-	// uses.
-	useProgram := program
-	if useProgram != nil && len(missing) > 0 {
-		for _, v := range progVars {
-			base := strings.TrimSuffix(v, "_hist")
-			if base == "values" {
-				continue
-			}
-			if _, bound := env[base]; !bound {
-				useProgram = nil
-				break
-			}
-		}
+	if len(missing) > 0 && responded < c.quorum {
+		err := fmt.Errorf("%w: %d of %d components of %q responded, quorum %d (missing: %s)",
+			ErrQuorum, responded, len(children), c.name, c.quorum, strings.Join(missing, ", "))
+		sc.put()
+		return probe.Reading{}, err
 	}
 
 	var value float64
-	if useProgram == nil {
-		sum := 0.0
-		for _, v := range values {
-			sum += v
-		}
-		value = sum / float64(len(values))
-	} else {
-		v, err := useProgram.EvalNumber(env)
+	switch {
+	case program == nil:
+		// Expressionless default: the running sum already is the answer.
+		value = sum / float64(responded)
+	case bound != nil && len(missing) == 0:
+		v, err := c.evalBound(sc, bound, histChild)
 		if err != nil {
-			return probe.Reading{}, fmt.Errorf("sensor: evaluating %q for %q: %w", useProgram.Source(), c.name, err)
+			sc.put()
+			return probe.Reading{}, fmt.Errorf("sensor: evaluating %q for %q: %w", program.Source(), c.name, err)
+		}
+		value = v
+	default:
+		v, err := c.evalEnv(sc, program, progVars, histWanted, varRefs, missing, responded, sum)
+		if err != nil {
+			sc.put()
+			return probe.Reading{}, err
 		}
 		value = v
 	}
@@ -420,7 +514,7 @@ func (c *CSP) GetValue() (probe.Reading, error) {
 	}
 	c.mu.Lock()
 	c.lastQuality = Quality{
-		Responded: len(values),
+		Responded: responded,
 		Composed:  len(children),
 		Degraded:  len(missing) > 0,
 		Missing:   missing,
@@ -428,7 +522,107 @@ func (c *CSP) GetValue() (probe.Reading, error) {
 	c.hasQuality = true
 	c.mu.Unlock()
 	c.store.Add(r)
+	sc.put()
 	return r, nil
+}
+
+// evalBound is the full-read fast path: child values into pooled float64
+// slots, history windows into pooled buffers, one EvalFloats call.
+func (c *CSP) evalBound(sc *readScratch, bound *expr.BoundProgram, histChild []bool) (float64, error) {
+	slots := sc.slots[:0]
+	for i := range sc.results {
+		slots = append(slots, sc.results[i].reading.Value)
+	}
+	sc.slots = slots
+	hist := sc.hist[:0]
+	needHist := false
+	for i := range sc.children {
+		if i < len(histChild) && histChild[i] {
+			needHist = true
+			break
+		}
+	}
+	if needHist {
+		if cap(sc.histBuf) < len(sc.children) {
+			grown := make([][]float64, len(sc.children))
+			copy(grown, sc.histBuf)
+			sc.histBuf = grown
+		}
+		sc.histBuf = sc.histBuf[:len(sc.children)]
+		for i := range sc.children {
+			if !histChild[i] {
+				hist = append(hist, nil)
+				continue
+			}
+			// Oldest first, including the value just read — enabling
+			// trend and smoothing expressions like "a - avg(a_hist)".
+			buf := sc.histBuf[i][:0]
+			if vh, ok := sc.children[i].accessor.(ValueHistory); ok {
+				buf = vh.AppendValues(buf, HistoryWindow)
+			} else {
+				for _, r := range sc.children[i].accessor.GetReadings(HistoryWindow) {
+					buf = append(buf, r.Value)
+				}
+			}
+			sc.histBuf[i] = buf
+			hist = append(hist, buf)
+		}
+	}
+	sc.hist = hist
+	return bound.EvalFloats(slots, hist)
+}
+
+// evalEnv is the generic path: degraded reads and expressions the fast
+// path cannot express. It preserves the historical Env semantics exactly,
+// including the survivors'-average fallback when a degraded read lost a
+// variable the expression references.
+func (c *CSP) evalEnv(sc *readScratch, program *expr.Program, progVars []string,
+	histWanted map[string]bool, varRefs []int, missing []string, responded int, sum float64) (float64, error) {
+	// A degraded read may have lost variables the expression refers to;
+	// evaluating would fail on the unbound name, so fall back to the
+	// survivors' average — the same default an expressionless composite
+	// uses. varRefs was resolved at bind time, so this check reads the
+	// result table instead of building an Env first.
+	useProgram := program
+	if len(missing) > 0 {
+		for _, ref := range varRefs {
+			if ref == -2 {
+				continue
+			}
+			if ref < 0 || sc.results[ref].err != nil {
+				useProgram = nil
+				break
+			}
+		}
+	}
+	if useProgram == nil {
+		return sum / float64(responded), nil
+	}
+
+	env := expr.Env{}
+	values := make([]float64, 0, responded)
+	for i := range sc.children {
+		if sc.results[i].err != nil {
+			continue
+		}
+		v := sc.results[i].reading.Value
+		env[sc.children[i].varName] = v
+		values = append(values, v)
+		if histWanted[sc.children[i].varName] {
+			recent := sc.children[i].accessor.GetReadings(HistoryWindow)
+			hist := make([]float64, len(recent))
+			for j, r := range recent {
+				hist[j] = r.Value
+			}
+			env[sc.children[i].varName+"_hist"] = hist
+		}
+	}
+	env["values"] = values
+	v, err := useProgram.EvalNumber(env)
+	if err != nil {
+		return 0, fmt.Errorf("sensor: evaluating %q for %q: %w", useProgram.Source(), c.name, err)
+	}
+	return v, nil
 }
 
 // ReadQuality implements QualityReporter: it qualifies the most recent
@@ -443,6 +637,13 @@ func (c *CSP) ReadQuality() (Quality, bool) {
 // composite values.
 func (c *CSP) GetReadings(n int) []probe.Reading {
 	return c.store.LastN(n)
+}
+
+// AppendValues implements ValueHistory over the composite's own store, so
+// a parent CSP's fast path can bind this composite's history window
+// without materializing Readings.
+func (c *CSP) AppendValues(dst []float64, n int) []float64 {
+	return c.store.AppendValues(dst, n)
 }
 
 // Describe implements DataAccessor.
@@ -470,5 +671,6 @@ func (c *CSP) Publish(clock clockwork.Clock, mgr *discovery.Manager, extra ...at
 
 var (
 	_ DataAccessor    = (*CSP)(nil)
+	_ ValueHistory    = (*CSP)(nil)
 	_ sorcer.Servicer = (*CSP)(nil)
 )

@@ -200,6 +200,11 @@ func (e *ESP) GetReadings(n int) []probe.Reading {
 	return e.store.LastN(n)
 }
 
+// AppendValues implements ValueHistory over the local store.
+func (e *ESP) AppendValues(dst []float64, n int) []float64 {
+	return e.store.AppendValues(dst, n)
+}
+
 // Service implements sorcer.Servicer, serving the getValue, getReadings
 // and getInfo selectors on the AccessorType signature.
 func (e *ESP) Service(ex sorcer.Exertion, tx *txn.Transaction) (sorcer.Exertion, error) {

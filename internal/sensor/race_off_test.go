@@ -1,0 +1,5 @@
+//go:build !race
+
+package sensor
+
+const raceEnabled = false

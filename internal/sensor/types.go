@@ -67,6 +67,16 @@ type DataAccessor interface {
 	Describe() probe.Info
 }
 
+// ValueHistory is implemented by accessors whose recent values can be
+// appended into a caller-owned buffer without allocating per call — the
+// CSP's float64 fast path uses it to bind "<var>_hist" windows. Accessors
+// without it fall back to GetReadings.
+type ValueHistory interface {
+	// AppendValues appends up to n recent values (oldest first) to dst
+	// and returns the extended slice.
+	AppendValues(dst []float64, n int) []float64
+}
+
 // RingStore is the ESP's local reading buffer: "the service provided by
 // the single sensor should be capable of storing data to the local store"
 // (§III-B). Fixed capacity, oldest evicted first.
@@ -122,6 +132,22 @@ func (s *RingStore) LastN(n int) []probe.Reading {
 		out[i] = s.buf[(start+i)%len(s.buf)]
 	}
 	return out
+}
+
+// AppendValues appends up to n recent values (oldest first) to dst and
+// returns the extended slice — the allocation-free complement of LastN
+// for callers that only need the numeric series.
+func (s *RingStore) AppendValues(dst []float64, n int) []float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if n <= 0 || n > s.n {
+		n = s.n
+	}
+	start := (s.pos - n + len(s.buf)) % len(s.buf)
+	for i := 0; i < n; i++ {
+		dst = append(dst, s.buf[(start+i)%len(s.buf)].Value)
+	}
+	return dst
 }
 
 // Len reports the number of stored readings.

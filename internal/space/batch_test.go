@@ -1,0 +1,322 @@
+package space
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/lease"
+	"sensorcer/internal/txn"
+)
+
+func TestWriteBatchVisibilityAndFIFO(t *testing.T) {
+	_, s := newSpace(t)
+	batch := []Entry{task("avg", 0), task("avg", 1), task("avg", 2)}
+	leases, err := s.WriteBatch(batch, nil, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leases) != 3 {
+		t.Fatalf("got %d leases, want 3", len(leases))
+	}
+	if n := s.Count(NewEntry("ExertionEnvelope")); n != 3 {
+		t.Fatalf("Count = %d, want 3", n)
+	}
+	// Batch order is FIFO order for takers.
+	for i := 0; i < 3; i++ {
+		e, err := s.Take(NewEntry("ExertionEnvelope"), nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Field("n") != i {
+			t.Fatalf("take %d = n=%v, want %d", i, e.Field("n"), i)
+		}
+	}
+	if got, err := s.WriteBatch(nil, nil, time.Minute); err != nil || got != nil {
+		t.Fatalf("empty batch = (%v, %v), want (nil, nil)", got, err)
+	}
+	if _, err := s.WriteBatch([]Entry{{}}, nil, time.Minute); err == nil {
+		t.Fatal("kindless entry accepted")
+	}
+}
+
+func TestWriteBatchLeaseCancelRemovesEntry(t *testing.T) {
+	_, s := newSpace(t)
+	leases, err := s.WriteBatch([]Entry{task("avg", 0), task("avg", 1)}, nil, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leases[0].Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.Take(NewEntry("ExertionEnvelope"), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Field("n") != 1 {
+		t.Fatalf("surviving entry n=%v, want 1", e.Field("n"))
+	}
+}
+
+func TestWriteBatchWakesBlockedTakers(t *testing.T) {
+	_, s := newSpace(t)
+	const n = 3
+	got := make(chan Entry, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, err := s.Take(NewEntry("ExertionEnvelope"), nil, Forever)
+			if err != nil {
+				t.Errorf("blocked take: %v", err)
+				return
+			}
+			got <- e
+		}()
+	}
+	// Let the takers block, then satisfy all of them with one batch.
+	time.Sleep(10 * time.Millisecond)
+	if _, err := s.WriteBatch([]Entry{task("avg", 0), task("avg", 1), task("avg", 2)}, nil, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(got)
+	seen := map[any]bool{}
+	for e := range got {
+		seen[e.Field("n")] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("takers saw %d distinct entries, want %d", len(seen), n)
+	}
+}
+
+func TestTakeAnyDrainsUpToMax(t *testing.T) {
+	_, s := newSpace(t)
+	for i := 0; i < 5; i++ {
+		if _, err := s.Write(task("avg", i), nil, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := s.TakeAny(NewEntry("ExertionEnvelope"), 3, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("TakeAny = %d entries, want 3", len(out))
+	}
+	for i, e := range out {
+		if e.Field("n") != i {
+			t.Fatalf("entry %d = n=%v, want %d (FIFO)", i, e.Field("n"), i)
+		}
+	}
+	out, err = s.TakeAny(NewEntry("ExertionEnvelope"), 10, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("second TakeAny = %d entries, want the remaining 2", len(out))
+	}
+	if _, err := s.TakeAny(NewEntry("ExertionEnvelope"), 1, nil, 0); err != ErrTimeout {
+		t.Fatalf("empty TakeAny err = %v, want ErrTimeout", err)
+	}
+	if _, err := s.TakeAny(NewEntry("ExertionEnvelope"), 0, nil, 0); err == nil {
+		t.Fatal("non-positive max accepted")
+	}
+}
+
+func TestTakeAnyBlocksForFirstEntry(t *testing.T) {
+	_, s := newSpace(t)
+	done := make(chan []Entry, 1)
+	go func() {
+		out, err := s.TakeAny(NewEntry("ExertionEnvelope"), 4, nil, Forever)
+		if err != nil {
+			t.Errorf("TakeAny: %v", err)
+		}
+		done <- out
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if _, err := s.WriteBatch([]Entry{task("avg", 0), task("avg", 1)}, nil, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	out := <-done
+	if len(out) == 0 {
+		t.Fatal("TakeAny returned nothing after a write")
+	}
+	// Whatever TakeAny left behind is still takeable; nothing is lost or
+	// duplicated.
+	rest := 0
+	for {
+		if _, err := s.Take(NewEntry("ExertionEnvelope"), nil, 0); err != nil {
+			break
+		}
+		rest++
+	}
+	if len(out)+rest != 2 {
+		t.Fatalf("batch of 2 split into %d + %d", len(out), rest)
+	}
+}
+
+func TestTakeAnyTimeout(t *testing.T) {
+	fc, s := newSpace(t)
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.TakeAny(NewEntry("ExertionEnvelope"), 2, nil, time.Second)
+		done <- err
+	}()
+	for fc.PendingTimers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	fc.Advance(2 * time.Second)
+	if err := <-done; err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestWriteBatchTxnStagedUntilCommit(t *testing.T) {
+	fc, s := newSpace(t)
+	mgr := txn.NewManager(fc, lease.Policy{Max: time.Hour})
+	tx, _ := mgr.Create(time.Minute)
+	if _, err := s.WriteBatch([]Entry{task("avg", 0), task("avg", 1)}, tx, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Count(NewEntry("ExertionEnvelope")); n != 0 {
+		t.Fatalf("staged batch visible outside txn: Count = %d", n)
+	}
+	// Visible inside: the writer's transaction can TakeAny its own batch.
+	out, err := s.TakeAny(NewEntry("ExertionEnvelope"), 1, tx, 0)
+	if err != nil || len(out) != 1 {
+		t.Fatalf("in-txn TakeAny = (%d, %v)", len(out), err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Count(NewEntry("ExertionEnvelope")); n != 1 {
+		t.Fatalf("after commit Count = %d, want 1 (one taken in-txn)", n)
+	}
+}
+
+func TestTakeAnyTxnAbortRestores(t *testing.T) {
+	fc, s := newSpace(t)
+	mgr := txn.NewManager(fc, lease.Policy{Max: time.Hour})
+	for i := 0; i < 3; i++ {
+		if _, err := s.Write(task("avg", i), nil, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx, _ := mgr.Create(time.Minute)
+	out, err := s.TakeAny(NewEntry("ExertionEnvelope"), 3, tx, 0)
+	if err != nil || len(out) != 3 {
+		t.Fatalf("TakeAny = (%d, %v)", len(out), err)
+	}
+	if n := s.Count(NewEntry("ExertionEnvelope")); n != 0 {
+		t.Fatalf("provisionally taken entries visible: Count = %d", n)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Count(NewEntry("ExertionEnvelope")); n != 3 {
+		t.Fatalf("after abort Count = %d, want 3", n)
+	}
+}
+
+func TestBatchDurableReplay(t *testing.T) {
+	dir := t.TempDir()
+	_, s, l := durableSpace(t, dir)
+	if _, err := s.WriteBatch([]Entry{envelope("avg", 0), envelope("avg", 1), envelope("avg", 2), envelope("avg", 3)}, nil, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.TakeAny(NewEntry("ExertionEnvelope"), 2, nil, 0)
+	if err != nil || len(out) != 2 {
+		t.Fatalf("TakeAny = (%d, %v)", len(out), err)
+	}
+	s.Close()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, re, _ := durableSpace(t, dir)
+	if n := re.Count(NewEntry("ExertionEnvelope")); n != 2 {
+		t.Fatalf("recovered Count = %d, want 2", n)
+	}
+	// The two batch-taken entries must not reappear.
+	for _, e := range out {
+		tmpl := NewEntry("ExertionEnvelope", "n", e.Field("n"))
+		if re.Count(tmpl) != 0 {
+			t.Fatalf("batch-taken entry n=%v resurrected", e.Field("n"))
+		}
+	}
+}
+
+// TestBatchConcurrentExactAccounting hammers WriteBatch/TakeAny from many
+// goroutines and checks nothing is lost or duplicated (run under -race).
+func TestBatchConcurrentExactAccounting(t *testing.T) {
+	fc := clockwork.NewFake(epoch)
+	s := New(fc, lease.Policy{Max: time.Hour})
+	const (
+		producers = 4
+		rounds    = 20
+		batchN    = 5
+		total     = producers * rounds * batchN
+	)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				batch := make([]Entry, batchN)
+				for i := range batch {
+					batch[i] = NewEntry("ExertionEnvelope", "tag", fmt.Sprintf("p%d-r%d-%d", p, r, i))
+				}
+				if _, err := s.WriteBatch(batch, nil, time.Hour); err != nil {
+					t.Errorf("WriteBatch: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	var (
+		mu   sync.Mutex
+		seen = map[string]int{}
+		got  int
+	)
+	consumerWG := sync.WaitGroup{}
+	for c := 0; c < producers; c++ {
+		consumerWG.Add(1)
+		go func() {
+			defer consumerWG.Done()
+			for {
+				out, err := s.TakeAny(NewEntry("ExertionEnvelope"), 8, nil, 0)
+				if err != nil {
+					mu.Lock()
+					fin := got >= total
+					mu.Unlock()
+					if fin {
+						return
+					}
+					continue
+				}
+				mu.Lock()
+				for _, e := range out {
+					seen[e.Field("tag").(string)]++
+					got++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	consumerWG.Wait()
+	s.Close()
+	if len(seen) != total {
+		t.Fatalf("saw %d distinct entries, want %d", len(seen), total)
+	}
+	for tag, n := range seen {
+		if n != 1 {
+			t.Fatalf("entry %s taken %d times", tag, n)
+		}
+	}
+}

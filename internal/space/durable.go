@@ -65,6 +65,29 @@ func (s *Space) journalLocked(rec journalRecord) error {
 	return nil
 }
 
+// journalBatchLocked appends every record as one WAL group commit —
+// the durable spine of WriteBatch/TakeAny. Same contract as
+// journalLocked, amortized: an error means none of the records may be
+// applied (the underlying log fails stop, so no partial batch is ever
+// acknowledged).
+func (s *Space) journalBatchLocked(recs []journalRecord) error {
+	if s.journal == nil || len(recs) == 0 {
+		return nil
+	}
+	payloads := make([][]byte, len(recs))
+	for i := range recs {
+		b, err := json.Marshal(recs[i])
+		if err != nil {
+			return fmt.Errorf("space: encoding journal record: %w", err)
+		}
+		payloads[i] = b
+	}
+	if _, err := s.journal.AppendBatch(payloads); err != nil {
+		return fmt.Errorf("space: journaling batch of %d: %w", len(recs), err)
+	}
+	return nil
+}
+
 // Recover opens a durable tuple space backed by log: it loads the latest
 // snapshot, replays the records after it, and attaches the log so every
 // subsequent mutation is journaled before it is acknowledged.

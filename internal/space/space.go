@@ -449,7 +449,12 @@ func (s *Space) acquire(tmpl Entry, tx *txn.Transaction, timeout time.Duration, 
 	w := &waiter{template: tmpl, take: take, txnID: txnID, result: make(chan Entry, 1)}
 	s.waitq[tmpl.Kind] = append(s.waitq[tmpl.Kind], w)
 	s.mu.Unlock()
+	return s.awaitWaiter(w, tmpl.Kind, timeout)
+}
 
+// awaitWaiter blocks on a registered waiter until it is served, the space
+// closes, or the timeout lapses (the waiter is then deregistered).
+func (s *Space) awaitWaiter(w *waiter, kind string, timeout time.Duration) (Entry, error) {
 	var timer clockwork.Timer
 	var timeoutCh <-chan time.Time
 	if timeout != Forever {
@@ -466,10 +471,10 @@ func (s *Space) acquire(tmpl Entry, tx *txn.Transaction, timeout time.Duration, 
 	case <-timeoutCh:
 		s.mu.Lock()
 		// Remove the waiter unless it was already served concurrently.
-		q := s.waitq[tmpl.Kind]
+		q := s.waitq[kind]
 		for i, cand := range q {
 			if cand == w {
-				s.waitq[tmpl.Kind] = append(q[:i], q[i+1:]...)
+				s.waitq[kind] = append(q[:i], q[i+1:]...)
 				break
 			}
 		}

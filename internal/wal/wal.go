@@ -432,6 +432,47 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	return seq, nil
 }
 
+// AppendBatch durably adds every payload as its own record under one
+// lock acquisition and — with per-append sync — one group-commit
+// acknowledgement covering the whole batch, so a caller with n records
+// in hand pays one fsync instead of n. Records receive consecutive
+// sequences; the first is returned. An empty batch is a no-op (0, nil).
+//
+// The batch is atomic in the fail-stop sense of the log, not
+// transactionally: a failure mid-batch fails the whole log (it must be
+// reopened), so no later append can interleave with a half-applied
+// batch, and records already framed replay only if the crash-recovered
+// prefix covers them — exactly the semantics of n sequential Appends
+// that all happened to share a crash.
+func (l *Log) AppendBatch(payloads [][]byte) (uint64, error) {
+	if len(payloads) == 0 {
+		return 0, nil
+	}
+	l.arriving.Add(1)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	first := uint64(0)
+	var last uint64
+	for i, p := range payloads {
+		seq, err := l.appendLocked(p)
+		if err != nil {
+			l.arriving.Add(-1)
+			return 0, err
+		}
+		if i == 0 {
+			first = seq
+		}
+		last = seq
+	}
+	l.arriving.Add(-1)
+	if l.syncEach {
+		if err := l.awaitDurableLocked(last); err != nil {
+			return 0, err
+		}
+	}
+	return first, nil
+}
+
 // appendLocked frames and writes one record, returning its sequence.
 // Caller holds s.mu and is accounted in l.arriving.
 func (l *Log) appendLocked(payload []byte) (uint64, error) {
