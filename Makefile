@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race short bench bench-smoke chaos chaos-recovery experiments examples cover clean
+.PHONY: all build vet lint test race short bench bench-smoke chaos chaos-recovery chaos-failover experiments examples cover clean
 
 # Seed for the fault-injection suite; override to replay a sequence:
 #   make chaos CHAOS_SEED=42
@@ -30,7 +30,7 @@ short:
 
 # Full benchmark suite; results land in $(BENCH_OUT) (op name -> ns/op,
 # B/op, allocs/op) so later PRs have a perf trajectory to compare against.
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR6.json
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
@@ -46,6 +46,13 @@ chaos:
 chaos-recovery:
 	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -tags chaos -race ./internal/chaos -count=1 \
 		-run 'CrashRecovery|SpacerJobAcrossCrashRecovery'
+
+# Just the replication/failover invariant sweeps (a subset of `make chaos`):
+# 200 seeded primary-kill / partition / promotion iterations plus the
+# federated job that rides out a mid-job promotion.
+chaos-failover:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -tags chaos -race ./internal/chaos -count=1 \
+		-run 'FailoverReplicationInvariants|FederationJobSurvivesPrimaryFailover'
 
 experiments:
 	$(GO) run ./cmd/experiments

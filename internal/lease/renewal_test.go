@@ -1,0 +1,140 @@
+package lease
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/resilience"
+)
+
+// TestRenewalManagerFailsOverToPromotedGrantor is the failover
+// regression: when a grantor dies and a promoted backup re-grants the
+// lease, the manager must switch to the replacement — within the same
+// retry attempt, without burning the budget reserved for transient
+// faults — and keep the replacement alive from then on.
+func TestRenewalManagerFailsOverToPromotedGrantor(t *testing.T) {
+	clock := clockwork.Real()
+	oldTbl := NewTable(clock, Policy{Max: 60 * time.Millisecond, Min: time.Millisecond})
+	newTbl := NewTable(clock, Policy{Max: 60 * time.Millisecond, Min: time.Millisecond})
+	l := oldTbl.Grant(60 * time.Millisecond)
+
+	var resolved atomic.Int32
+	var promoted atomic.Pointer[Lease]
+	failed := make(chan error, 1)
+	m := NewRenewalManager(clock,
+		// MaxAttempts 1: any failed renewal that is not cured by the
+		// resolver drops the lease immediately, so the test proves the
+		// failover path consumes no retry budget at all.
+		WithRetryPolicy(resilience.Policy{MaxAttempts: 1, Clock: clock}),
+		WithFailoverResolver(func(_ *Lease) (*Lease, bool) {
+			resolved.Add(1)
+			repl := newTbl.Grant(60 * time.Millisecond)
+			promoted.Store(&repl)
+			return &repl, true
+		}),
+		WithFailureHandler(func(_ *Lease, err error) {
+			select {
+			case failed <- err:
+			default:
+			}
+		}),
+	)
+	defer m.Stop()
+
+	// The grantor "crashes": its table forgets the grant, as a failed
+	// primary would. The next renewal fails organically and the resolver
+	// must hand over the promoted backup's re-grant.
+	if err := oldTbl.Cancel(l.ID); err != nil {
+		t.Fatal(err)
+	}
+	m.Manage(&l)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for resolved.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("resolver never consulted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	select {
+	case err := <-failed:
+		t.Fatalf("failover reported as failure: %v", err)
+	default:
+	}
+
+	// The replacement must now be the managed lease, kept alive well past
+	// several of its terms.
+	time.Sleep(300 * time.Millisecond)
+	repl := promoted.Load()
+	if repl == nil {
+		t.Fatal("no replacement lease recorded")
+	}
+	if !newTbl.Valid(repl.ID) {
+		t.Fatal("replacement lease expired under management")
+	}
+	if m.Count() != 1 {
+		t.Fatalf("Count = %d, want 1 (replacement only)", m.Count())
+	}
+}
+
+// TestRenewalManagerResolverDecline keeps the original failure semantics
+// when the resolver has no replacement to offer.
+func TestRenewalManagerResolverDecline(t *testing.T) {
+	clock := clockwork.Real()
+	tbl := NewTable(clock, Policy{Max: 50 * time.Millisecond, Min: time.Millisecond})
+	l := tbl.Grant(50 * time.Millisecond)
+	failed := make(chan error, 1)
+	m := NewRenewalManager(clock,
+		WithFailoverResolver(func(_ *Lease) (*Lease, bool) { return nil, false }),
+		WithFailureHandler(func(_ *Lease, err error) {
+			select {
+			case failed <- err:
+			default:
+			}
+		}),
+	)
+	defer m.Stop()
+	if err := tbl.Cancel(l.ID); err != nil {
+		t.Fatal(err)
+	}
+	m.Manage(&l)
+	select {
+	case err := <-failed:
+		if !errors.Is(err, ErrUnknownLease) {
+			t.Fatalf("failure err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("declined failover never reported as failure")
+	}
+	if m.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", m.Count())
+	}
+}
+
+// TestRenewalManagerResolverSkipsCanceled proves a deliberate local
+// cancellation is never "failed over" — the holder chose to leave.
+func TestRenewalManagerResolverSkipsCanceled(t *testing.T) {
+	clock := clockwork.Real()
+	tbl := NewTable(clock, Policy{Max: 50 * time.Millisecond, Min: time.Millisecond})
+	l := tbl.Grant(50 * time.Millisecond)
+	var resolved atomic.Int32
+	m := NewRenewalManager(clock,
+		WithFailoverResolver(func(_ *Lease) (*Lease, bool) {
+			resolved.Add(1)
+			return nil, false
+		}),
+	)
+	defer m.Stop()
+	// Cancel through the handle: Renew now fails locally with ErrCanceled.
+	if err := l.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	m.Manage(&l)
+	time.Sleep(200 * time.Millisecond)
+	if n := resolved.Load(); n != 0 {
+		t.Fatalf("resolver consulted %d time(s) for a canceled lease", n)
+	}
+}

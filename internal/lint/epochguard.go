@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// EpochGuard machine-checks the replication layer's fencing invariant:
+// code that can make a mutation durable must first consult the epoch
+// fence, so a superseded primary can never acknowledge a write.
+//
+// Two package-scoped rules, both straight-line intraprocedural (a guard
+// call anywhere earlier in the same function body satisfies the rule;
+// nested function literals are their own scopes):
+//
+//   - in internal/space, a function that calls journalLocked or
+//     journalBatchLocked must call checkGuardLocked first — the guard is
+//     how repl fences a stale primary out of the space's durable paths;
+//   - in internal/repl, a function that calls a journal/WAL mutation
+//     entry point (Append, AppendBatch, AppendAt, InstallSnapshot,
+//     WriteSnapshot, ShipBatch, ShipSnapshot) must first call one of the
+//     requireEpoch* checks that read the node's replication state under
+//     its lock.
+//
+// The guard/check implementations themselves are exempt, as are test
+// files (tests exercise unfenced paths deliberately).
+var EpochGuard = &Analyzer{
+	Name: "epochguard",
+	Doc:  "flag durable-mutation entry points that skip the epoch fence check",
+	Run: func(pass *Pass) {
+		path := pass.Pkg.Path
+		var mutations map[string]bool
+		var guardOK func(name string) bool
+		var guardDesc string
+		switch {
+		case strings.HasSuffix(path, "/space"):
+			mutations = map[string]bool{"journalLocked": true, "journalBatchLocked": true}
+			guardOK = func(name string) bool { return name == "checkGuardLocked" }
+			guardDesc = "checkGuardLocked"
+		case strings.HasSuffix(path, "/repl"):
+			mutations = map[string]bool{
+				"Append": true, "AppendBatch": true, "AppendAt": true,
+				"InstallSnapshot": true, "WriteSnapshot": true,
+				"ShipBatch": true, "ShipSnapshot": true,
+			}
+			guardOK = func(name string) bool { return strings.HasPrefix(name, "requireEpoch") }
+			guardDesc = "a requireEpoch* check"
+		default:
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			if pass.Pkg.IsTestFile(f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				fd, ok := n.(*ast.FuncDecl)
+				if !ok {
+					return true
+				}
+				name := fd.Name.Name
+				if guardOK(name) || mutations[name] {
+					// The fence itself, or a mutation primitive whose callers
+					// carry the obligation.
+					return true
+				}
+				epochguardScan(pass, fd.Body, mutations, guardOK, guardDesc)
+				return true
+			})
+		}
+	},
+}
+
+// calleeName extracts the bare called name from a call expression
+// (method selector or plain identifier), or "".
+func calleeName(call *ast.CallExpr) string {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return ""
+}
+
+// epochguardScan walks one function body in source order: a mutation
+// call is flagged unless a guard call precedes it.
+func epochguardScan(pass *Pass, body *ast.BlockStmt, mutations map[string]bool, guardOK func(string) bool, guardDesc string) {
+	if body == nil {
+		return
+	}
+	guarded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			epochguardScan(pass, v.Body, mutations, guardOK, guardDesc)
+			return false // its own scope
+		case *ast.CallExpr:
+			name := calleeName(v)
+			if guardOK(name) {
+				guarded = true
+			} else if mutations[name] && !guarded {
+				pass.Reportf(v.Pos(),
+					"durable mutation %s without a preceding epoch fence check; call %s first so a superseded primary cannot acknowledge this",
+					name, guardDesc)
+			}
+		}
+		return true
+	})
+}

@@ -91,7 +91,7 @@ func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns every sensorlint analyzer in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{RawClock, GoroLeak, LockRPC, FaultSite, CtxFlow, MustClose}
+	return []*Analyzer{RawClock, GoroLeak, LockRPC, FaultSite, CtxFlow, MustClose, EpochGuard}
 }
 
 // ByName resolves a comma-separated analyzer selection ("rawclock,ctxflow").

@@ -1,0 +1,48 @@
+// Package repl is the testdata stand-in for the replication layer;
+// epochguard requires a requireEpoch* check before any WAL mutation or
+// ship call.
+package repl
+
+// log is a miniature WAL surface.
+type log struct{}
+
+func (log) AppendAt(first uint64, payloads [][]byte) (uint64, error) { return first, nil }
+func (log) InstallSnapshot(seq uint64, data []byte) error            { return nil }
+
+// node is a miniature replica.
+type node struct {
+	l     log
+	epoch uint64
+}
+
+// requireEpochBackup is the fence (exempt itself, and callable).
+func (n *node) requireEpochBackup(epoch uint64) error {
+	if epoch < n.epoch {
+		return errStale
+	}
+	return nil
+}
+
+var errStale = errorString("stale epoch")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// GoodShip fences before applying.
+func (n *node) GoodShip(epoch, first uint64, payloads [][]byte) (uint64, error) {
+	if err := n.requireEpochBackup(epoch); err != nil {
+		return 0, err
+	}
+	return n.l.AppendAt(first, payloads)
+}
+
+// BadShip applies a shipped batch with no fence at all.
+func (n *node) BadShip(first uint64, payloads [][]byte) (uint64, error) {
+	return n.l.AppendAt(first, payloads) // want `durable mutation AppendAt without a preceding epoch fence check`
+}
+
+// BadInstall installs a snapshot without the fence.
+func (n *node) BadInstall(seq uint64, data []byte) error {
+	return n.l.InstallSnapshot(seq, data) // want `durable mutation InstallSnapshot without a preceding epoch fence check`
+}

@@ -1,0 +1,65 @@
+// Package space is the testdata stand-in for the tuple space's durable
+// layer; epochguard requires checkGuardLocked before any journal call.
+package space
+
+// Space is a miniature durable space.
+type Space struct {
+	guard func() error
+}
+
+// checkGuardLocked consults the mutation guard (exempt itself).
+func (s *Space) checkGuardLocked() error {
+	if s.guard == nil {
+		return nil
+	}
+	return s.guard()
+}
+
+// journalLocked is the mutation primitive (exempt itself).
+func (s *Space) journalLocked(payload string) error {
+	_ = payload
+	return nil
+}
+
+// journalBatchLocked is the batched primitive (exempt itself).
+func (s *Space) journalBatchLocked(payloads []string) error {
+	_ = payloads
+	return nil
+}
+
+// GoodWrite fences before journaling.
+func (s *Space) GoodWrite(p string) error {
+	if err := s.checkGuardLocked(); err != nil {
+		return err
+	}
+	return s.journalLocked(p)
+}
+
+// BadWrite journals without consulting the fence.
+func (s *Space) BadWrite(p string) error {
+	return s.journalLocked(p) // want `durable mutation journalLocked without a preceding epoch fence check`
+}
+
+// BadBatch skips the fence on the batched path.
+func (s *Space) BadBatch(ps []string) error {
+	return s.journalBatchLocked(ps) // want `durable mutation journalBatchLocked without a preceding epoch fence check`
+}
+
+// GuardAfterIsTooLate checks the fence only after the record landed.
+func (s *Space) GuardAfterIsTooLate(p string) error {
+	if err := s.journalLocked(p); err != nil { // want `durable mutation journalLocked without a preceding epoch fence check`
+		return err
+	}
+	return s.checkGuardLocked()
+}
+
+// LiteralScopes shows function literals are independent scopes: the
+// outer guard does not cover the closure's journal call.
+func (s *Space) LiteralScopes(p string) func() error {
+	if err := s.checkGuardLocked(); err != nil {
+		return func() error { return err }
+	}
+	return func() error {
+		return s.journalLocked(p) // want `durable mutation journalLocked without a preceding epoch fence check`
+	}
+}

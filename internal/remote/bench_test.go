@@ -1,0 +1,68 @@
+package remote
+
+import (
+	"testing"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/lease"
+	"sensorcer/internal/repl"
+	"sensorcer/internal/space"
+	"sensorcer/internal/srpc"
+	"sensorcer/internal/wal"
+)
+
+// BenchmarkWriteAckReplicatedSRPC is the wire variant of the repl
+// package's write-ack benchmarks: every ack waits for a synchronous
+// ShipBatch across a loopback srpc connection, so the delta against
+// BenchmarkWriteAckReplicated is the wire cost per acknowledged write.
+func BenchmarkWriteAckReplicatedSRPC(b *testing.B) {
+	policy := lease.Policy{Max: 24 * time.Hour}
+	primary, err := repl.NewNode("p", clockwork.Real(), policy, b.TempDir(),
+		repl.WithWALOptions(wal.WithSyncEveryAppend(false)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = primary.Close() })
+	backup, err := repl.NewNode("b", clockwork.Real(), policy, b.TempDir(),
+		repl.WithWALOptions(wal.WithSyncEveryAppend(false)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = backup.Close() })
+
+	server := srpc.NewServer()
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { server.Close() })
+	follower, err := NewReplicationClient(ServeReplication(server, "s0", backup), 5*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { follower.Close() })
+
+	sp, err := primary.Promote(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := primary.AttachBackup(2, follower, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sp.Write(space.NewEntry("job", "n", int64(i)), nil, time.Hour); err != nil {
+			b.Fatal(err)
+		}
+		if i%8192 == 8191 {
+			b.StopTimer()
+			for {
+				got, terr := sp.TakeAny(space.NewEntry("job"), 4096, nil, 0)
+				if terr != nil || len(got) == 0 {
+					break
+				}
+			}
+			b.StartTimer()
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package remote
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/lease"
+	"sensorcer/internal/repl"
+	"sensorcer/internal/space"
+	"sensorcer/internal/srpc"
+	"sensorcer/internal/wal"
+)
+
+// TestReplicationOverSRPC runs a shard pair across a process-style
+// boundary: the backup serves its replication endpoints on srpc and the
+// primary ships through a ReplicationClient. Every acknowledged write
+// must be durable on the remote log, and the wire must preserve the
+// sentinel errors the fencing logic branches on.
+func TestReplicationOverSRPC(t *testing.T) {
+	policy := lease.Policy{Max: time.Hour, Min: time.Millisecond}
+	primary, err := repl.NewNode("p", clockwork.Real(), policy, t.TempDir(),
+		repl.WithWALOptions(wal.WithSyncEveryAppend(false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = primary.Close() }()
+	backup, err := repl.NewNode("b", clockwork.Real(), policy, t.TempDir(),
+		repl.WithWALOptions(wal.WithSyncEveryAppend(false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = backup.Close() }()
+
+	server := srpc.NewServer()
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	desc := ServeReplication(server, "s0", backup)
+	if desc.Kind != ReplicationKind || desc.Locator == "" {
+		t.Fatalf("desc = %+v", desc)
+	}
+	follower, err := NewReplicationClient(desc, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+
+	sp, err := primary.Promote(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary.AttachBackup(2, follower, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := sp.Write(space.NewEntry("job", "n", int64(i)), nil, time.Hour); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if pp, bp := primary.Log().NextSeq(), backup.Log().NextSeq(); pp != bp || pp != 6 {
+		t.Fatalf("log positions: primary %d, remote backup %d, want both 6", pp, bp)
+	}
+
+	// Heartbeats cross the wire too.
+	if err := follower.Heartbeat(2); err != nil {
+		t.Fatalf("remote heartbeat: %v", err)
+	}
+
+	// A checkpoint ships its snapshot: both logs compact in lockstep.
+	if err := sp.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if ps, bs := primary.Log().SnapshotSeq(), backup.Log().SnapshotSeq(); ps != bs || ps == 0 {
+		t.Fatalf("snapshot seqs: primary %d, remote backup %d", ps, bs)
+	}
+
+	// Sentinels survive the string-flattening wire: a stale-epoch ship
+	// must come back as ErrStaleEpoch so the sender fences itself.
+	if _, err := follower.ShipBatch(1, 1, [][]byte{[]byte("x")}); !errors.Is(err, repl.ErrStaleEpoch) {
+		t.Fatalf("stale remote ship = %v, want ErrStaleEpoch", err)
+	}
+	// And a gapped ship maps back to wal.ErrSeqGap.
+	if _, err := follower.ShipBatch(2, 99, [][]byte{[]byte("x")}); !errors.Is(err, wal.ErrSeqGap) {
+		t.Fatalf("gapped remote ship = %v, want ErrSeqGap", err)
+	}
+}
+
+// TestRemoteFailoverPromotesRemoteLog proves the remote backup's log is
+// complete enough to take over: kill the primary, promote the backup
+// in its own "process", and read back every acknowledged entry.
+func TestRemoteFailoverPromotesRemoteLog(t *testing.T) {
+	policy := lease.Policy{Max: time.Hour, Min: time.Millisecond}
+	primary, err := repl.NewNode("p", clockwork.Real(), policy, t.TempDir(),
+		repl.WithWALOptions(wal.WithSyncEveryAppend(false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = primary.Close() }()
+	backup, err := repl.NewNode("b", clockwork.Real(), policy, t.TempDir(),
+		repl.WithWALOptions(wal.WithSyncEveryAppend(false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = backup.Close() }()
+
+	server := srpc.NewServer()
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	follower, err := NewReplicationClient(ServeReplication(server, "s0", backup), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+
+	sp, err := primary.Promote(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary.AttachBackup(2, follower, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if _, err := sp.Write(space.NewEntry("job", "n", int64(i)), nil, time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	primary.Kill()
+	promoted, err := backup.Promote(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := promoted.TakeAny(space.NewEntry("job"), 16, nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 {
+		t.Fatalf("promoted remote backup served %d entries, want 7", len(got))
+	}
+}

@@ -1,0 +1,574 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/lease"
+	"sensorcer/internal/space"
+	"sensorcer/internal/txn"
+)
+
+// Router is the shard-aware front door to a replicated exertion space:
+// entry kinds are consistent-hashed onto shards, each shard a
+// primary/backup Node pair, and every space operation is routed to the
+// owning shard's current primary. The Router is also the coordinator —
+// the single authority that orders membership changes and mints the
+// fencing epochs the data path checks.
+//
+// When an operation fails for a reason a failover can cure
+// (IsFailoverErr), the Router parks it until the shard's configuration
+// changes and retries against the new primary, so Spacers and workers
+// see a shard failover as a transient retry instead of an outage. The
+// retry preserves the federation's at-least-once envelope contract: an
+// operation that was acknowledged is durable on both replicas; one that
+// failed over mid-flight is simply re-run.
+type Router struct {
+	clock clockwork.Clock
+	// writeWindow bounds how long a non-blocking operation (Write,
+	// WriteBatch, Count) rides out a failover before giving up.
+	writeWindow time.Duration
+
+	shards []*Shard
+	ring   []ringPoint
+
+	mu       sync.Mutex
+	closed   chan struct{}
+	isClosed bool
+	onChange func()
+
+	monitors sync.WaitGroup
+}
+
+// ringPoint is one virtual node on the consistent-hash ring.
+type ringPoint struct {
+	hash  uint64
+	shard *Shard
+}
+
+// ringVnodes is how many ring points each shard claims; enough to
+// spread kinds evenly across a handful of shards.
+const ringVnodes = 64
+
+// Shard is one replicated slice of the keyspace: a primary serving a
+// tuple space, an optional backup receiving its journal, and the
+// shard's current fencing epoch.
+type Shard struct {
+	name string
+
+	// coordMu serializes membership changes (failover, reattach,
+	// detach), which block on promotion or catch-up; mu only guards the
+	// published state and is never held across node calls.
+	coordMu sync.Mutex
+
+	mu       sync.Mutex
+	epoch    uint64
+	primary  *Node
+	backup   *Node // the other replica; attached as follower unless solo
+	attached bool  // backup is live and receiving ships
+	sp       *space.Space
+	down     bool
+	reconfig chan struct{} // closed (and replaced) on every config change
+}
+
+// Name returns the shard's name.
+func (sh *Shard) Name() string { return sh.name }
+
+// current returns the space to operate on, the channel that closes on
+// the next reconfiguration, and whether the shard is down.
+func (sh *Shard) current() (*space.Space, <-chan struct{}, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.sp, sh.reconfig, sh.down
+}
+
+// publishLocked installs a new configuration and wakes parked
+// operations. Caller holds sh.mu.
+func (sh *Shard) publishLocked() {
+	close(sh.reconfig)
+	sh.reconfig = make(chan struct{})
+}
+
+// Epoch returns the shard's current fencing epoch.
+func (sh *Shard) Epoch() uint64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.epoch
+}
+
+// Primary returns the node currently serving the shard.
+func (sh *Shard) Primary() *Node {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.primary
+}
+
+// Backup returns the shard's other replica (attached or not).
+func (sh *Shard) Backup() *Node {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.backup
+}
+
+// BackupAttached reports whether the backup is receiving ships (false
+// means the primary runs solo).
+func (sh *Shard) BackupAttached() bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.attached
+}
+
+// ShardSpec names the replica pair for one shard at construction.
+type ShardSpec struct {
+	Name    string
+	Primary *Node
+	Backup  *Node // optional; nil runs the shard unreplicated
+}
+
+// RouterOption customizes a Router.
+type RouterOption func(*Router)
+
+// WithWriteWindow bounds how long non-blocking operations ride out a
+// failover (default 10s).
+func WithWriteWindow(d time.Duration) RouterOption {
+	return func(r *Router) { r.writeWindow = d }
+}
+
+// NewRouter brings up every shard — promoting each primary at epoch 1
+// and attaching its backup at epoch 2 — and returns the routing front
+// door. The caller owns the nodes' lifecycles beyond Close.
+func NewRouter(clock clockwork.Clock, specs []ShardSpec, opts ...RouterOption) (*Router, error) {
+	if len(specs) == 0 {
+		return nil, ErrNoShards
+	}
+	r := &Router{
+		clock:       clock,
+		writeWindow: 10 * time.Second,
+		closed:      make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	for _, spec := range specs {
+		sh := &Shard{name: spec.Name, primary: spec.Primary, backup: spec.Backup, reconfig: make(chan struct{})}
+		sp, err := spec.Primary.Promote(1)
+		if err != nil {
+			return nil, fmt.Errorf("repl: bringing up shard %q: %w", spec.Name, err)
+		}
+		sh.sp = sp
+		sh.epoch = 1
+		if spec.Backup != nil {
+			sp, err = spec.Primary.AttachBackup(2, spec.Backup, false)
+			if err != nil {
+				return nil, fmt.Errorf("repl: attaching backup of shard %q: %w", spec.Name, err)
+			}
+			sh.sp = sp
+			sh.epoch = 2
+			sh.attached = true
+		}
+		r.shards = append(r.shards, sh)
+		for v := 0; v < ringVnodes; v++ {
+			r.ring = append(r.ring, ringPoint{hash: hashRing(fmt.Sprintf("%s#%d", spec.Name, v)), shard: sh})
+		}
+	}
+	sort.Slice(r.ring, func(i, j int) bool { return r.ring[i].hash < r.ring[j].hash })
+	return r, nil
+}
+
+// hashRing is the ring's hash function (FNV-1a, stable across runs).
+func hashRing(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// ShardFor returns the shard owning an entry kind.
+func (r *Router) ShardFor(kind string) *Shard {
+	h := hashRing(kind)
+	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= h })
+	if i == len(r.ring) {
+		i = 0
+	}
+	return r.ring[i].shard
+}
+
+// Shards returns the router's shards (coordination and inspection).
+func (r *Router) Shards() []*Shard { return r.shards }
+
+// Shard returns the shard with the given name, or nil.
+func (r *Router) Shard(name string) *Shard {
+	for _, sh := range r.shards {
+		if sh.name == name {
+			return sh
+		}
+	}
+	return nil
+}
+
+// OnChange registers a callback invoked after every membership change —
+// the registry's shard-map publication hooks in here.
+func (r *Router) OnChange(fn func()) {
+	r.mu.Lock()
+	r.onChange = fn
+	r.mu.Unlock()
+}
+
+// notify fires the membership-change callback.
+func (r *Router) notify() {
+	r.mu.Lock()
+	fn := r.onChange
+	r.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// --- coordination: the epoch authority ---
+
+// Failover promotes the named shard's backup and demotes (fences) the
+// old primary from the configuration: the new epoch is minted here and
+// carried by the promotion, so the old primary's next ship — if it is
+// alive at all — is rejected as stale and fences it. Returns the
+// promoted space.
+func (r *Router) Failover(name string) (*space.Space, error) {
+	sh := r.Shard(name)
+	if sh == nil {
+		return nil, fmt.Errorf("repl: unknown shard %q", name)
+	}
+	sh.coordMu.Lock()
+	defer sh.coordMu.Unlock()
+	sh.mu.Lock()
+	epoch, oldPrimary, backup := sh.epoch, sh.primary, sh.backup
+	sh.mu.Unlock()
+	if backup == nil {
+		sh.mu.Lock()
+		sh.down = true
+		sh.publishLocked()
+		sh.mu.Unlock()
+		return nil, ErrShardDown
+	}
+	sp, err := backup.Promote(epoch + 1)
+	if err != nil {
+		if errors.Is(err, ErrNodeDown) {
+			// Double failure: both replicas gone. Park the shard; a Restart
+			// plus Reattach/Failover brings it back.
+			sh.mu.Lock()
+			sh.down = true
+			sh.publishLocked()
+			sh.mu.Unlock()
+			return nil, fmt.Errorf("%w: %v", ErrShardDown, err)
+		}
+		return nil, fmt.Errorf("repl: failing over shard %q: %w", name, err)
+	}
+	sh.mu.Lock()
+	sh.primary, sh.backup = backup, oldPrimary
+	sh.attached = false
+	sh.sp = sp
+	sh.epoch = epoch + 1
+	sh.down = false
+	sh.publishLocked()
+	sh.mu.Unlock()
+	r.notify()
+	return sp, nil
+}
+
+// Reattach brings the named shard's spare replica (typically a
+// restarted ex-primary) back as the live backup under a fresh epoch.
+// The attach always full-resyncs — an ex-primary's log can hold
+// unacknowledged records past the divergence point, which no length
+// check can detect — and mutations retried by the router ride out the
+// catch-up window.
+func (r *Router) Reattach(name string) error {
+	sh := r.Shard(name)
+	if sh == nil {
+		return fmt.Errorf("repl: unknown shard %q", name)
+	}
+	sh.coordMu.Lock()
+	defer sh.coordMu.Unlock()
+	sh.mu.Lock()
+	epoch, primary, backup := sh.epoch, sh.primary, sh.backup
+	sh.mu.Unlock()
+	if backup == nil {
+		return fmt.Errorf("repl: shard %q has no spare replica", name)
+	}
+	if backup.Role() == RolePrimary {
+		// A fenced or superseded ex-primary: reclaim it first.
+		if err := backup.Demote(epoch); err != nil {
+			return fmt.Errorf("repl: demoting ex-primary of shard %q: %w", name, err)
+		}
+	}
+	sp, err := primary.AttachBackup(epoch+1, backup, true)
+	if sp != nil {
+		// A suspended primary re-recovered: publish the fresh space (and
+		// epoch) even if the catch-up itself failed, so clients rebind.
+		sh.mu.Lock()
+		sh.sp = sp
+		sh.epoch = epoch + 1
+		sh.attached = err == nil
+		sh.publishLocked()
+		sh.mu.Unlock()
+		r.notify()
+	}
+	if err != nil {
+		return fmt.Errorf("repl: reattaching backup of shard %q: %w", name, err)
+	}
+	return nil
+}
+
+// Revive re-promotes the named shard's current primary replica after a
+// Restart — the double-failure recovery path. Only the last primary's
+// log is guaranteed to hold every acknowledged mutation (the spare was
+// detached from the ack path at the failover that made this node
+// primary), so only it may serve again; promoting the spare instead
+// could resurrect a pre-failover state and lose acks.
+func (r *Router) Revive(name string) (*space.Space, error) {
+	sh := r.Shard(name)
+	if sh == nil {
+		return nil, fmt.Errorf("repl: unknown shard %q", name)
+	}
+	sh.coordMu.Lock()
+	defer sh.coordMu.Unlock()
+	sh.mu.Lock()
+	epoch, primary := sh.epoch, sh.primary
+	sh.mu.Unlock()
+	sp, err := primary.Promote(epoch + 1)
+	if err != nil {
+		return nil, fmt.Errorf("repl: reviving shard %q: %w", name, err)
+	}
+	sh.mu.Lock()
+	sh.sp = sp
+	sh.epoch = epoch + 1
+	sh.attached = false
+	sh.down = false
+	sh.publishLocked()
+	sh.mu.Unlock()
+	r.notify()
+	return sp, nil
+}
+
+// Detach drops the named shard's backup from the configuration: the
+// primary continues solo under a fresh epoch (acks locally durable
+// only). Used when the backup is unreachable but the primary healthy.
+func (r *Router) Detach(name string) error {
+	sh := r.Shard(name)
+	if sh == nil {
+		return fmt.Errorf("repl: unknown shard %q", name)
+	}
+	sh.coordMu.Lock()
+	defer sh.coordMu.Unlock()
+	sh.mu.Lock()
+	epoch, primary := sh.epoch, sh.primary
+	sh.mu.Unlock()
+	sp, err := primary.DetachBackup(epoch + 1)
+	if err != nil {
+		return fmt.Errorf("repl: detaching backup of shard %q: %w", name, err)
+	}
+	sh.mu.Lock()
+	sh.sp = sp
+	sh.epoch = epoch + 1
+	sh.attached = false
+	sh.publishLocked()
+	sh.mu.Unlock()
+	r.notify()
+	return nil
+}
+
+// StartMonitor runs heartbeat failure detection: every interval each
+// shard's primary is probed, and after misses consecutive failures the
+// shard fails over automatically. Runs until the router closes.
+func (r *Router) StartMonitor(interval time.Duration, misses int) {
+	for _, sh := range r.shards {
+		r.monitors.Add(1)
+		go r.monitorShard(sh, interval, misses)
+	}
+}
+
+// monitorShard is one shard's failure detector.
+func (r *Router) monitorShard(sh *Shard, interval time.Duration, misses int) {
+	defer r.monitors.Done()
+	t := r.clock.NewTimer(interval)
+	defer t.Stop()
+	consecutive := 0
+	for {
+		select {
+		case <-r.closed:
+			return
+		case <-t.C():
+		}
+		sh.mu.Lock()
+		primary, epoch, down := sh.primary, sh.epoch, sh.down
+		sh.mu.Unlock()
+		if !down {
+			if err := primary.Heartbeat(epoch); err != nil {
+				consecutive++
+			} else {
+				consecutive = 0
+			}
+			if consecutive >= misses {
+				consecutive = 0
+				_, _ = r.Failover(sh.name)
+			}
+		}
+		t.Reset(interval)
+	}
+}
+
+// Close shuts down the router: parked operations fail, monitors exit,
+// and every node closes in an orderly way.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	if r.isClosed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.isClosed = true
+	close(r.closed)
+	r.mu.Unlock()
+	r.monitors.Wait()
+	var first error
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		nodes := []*Node{sh.primary, sh.backup}
+		sh.mu.Unlock()
+		for _, n := range nodes {
+			if n == nil {
+				continue
+			}
+			if err := n.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// --- the routed space operations ---
+
+// do runs op against the owning shard's current primary, retrying
+// across reconfigurations within the budget. Blocking operations whose
+// budget runs out mid-failover report ErrTimeout — to their callers
+// (pollers, await loops with their own retry policies) an outage
+// shorter than their patience is indistinguishable from no match.
+func (r *Router) do(kind string, budget time.Duration, blocking bool, op func(sp *space.Space, remaining time.Duration) error) error {
+	deadline := r.clock.Now().Add(budget)
+	for {
+		sp, reconfig, down := r.ShardFor(kind).current()
+		remaining := deadline.Sub(r.clock.Now())
+		var err error
+		if down {
+			err = ErrShardDown
+		} else {
+			err = op(sp, remaining)
+		}
+		if err == nil || !IsFailoverErr(err) {
+			return err
+		}
+		remaining = deadline.Sub(r.clock.Now())
+		if remaining <= 0 {
+			if blocking {
+				return space.ErrTimeout
+			}
+			return err
+		}
+		wait := r.clock.NewTimer(remaining)
+		select {
+		case <-reconfig:
+			wait.Stop()
+		case <-r.closed:
+			wait.Stop()
+			return space.ErrClosed
+		case <-wait.C():
+			if blocking {
+				return space.ErrTimeout
+			}
+			return err
+		}
+	}
+}
+
+// Write stores one entry on its kind's shard; a nil error means the
+// write is durable on both replicas (or the solo primary's log).
+func (r *Router) Write(e space.Entry, tx *txn.Transaction, leaseDur time.Duration) (lease.Lease, error) {
+	var out lease.Lease
+	err := r.do(e.Kind, r.writeWindow, false, func(sp *space.Space, _ time.Duration) error {
+		l, werr := sp.Write(e, tx, leaseDur)
+		if werr == nil {
+			out = l
+		}
+		return werr
+	})
+	return out, err
+}
+
+// WriteBatch group-commits entries on the first entry's shard (a batch
+// spans one shard: kinds hash identically when equal, and federation
+// batches are single-kind envelopes).
+func (r *Router) WriteBatch(entries []space.Entry, tx *txn.Transaction, leaseDur time.Duration) ([]lease.Lease, error) {
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	var out []lease.Lease
+	err := r.do(entries[0].Kind, r.writeWindow, false, func(sp *space.Space, _ time.Duration) error {
+		ls, werr := sp.WriteBatch(entries, tx, leaseDur)
+		if werr == nil {
+			out = ls
+		}
+		return werr
+	})
+	return out, err
+}
+
+// Read blocks up to timeout for a matching entry without removing it.
+func (r *Router) Read(tmpl space.Entry, tx *txn.Transaction, timeout time.Duration) (space.Entry, error) {
+	var out space.Entry
+	err := r.do(tmpl.Kind, timeout, true, func(sp *space.Space, remaining time.Duration) error {
+		e, rerr := sp.Read(tmpl, tx, remaining)
+		if rerr == nil {
+			out = e
+		}
+		return rerr
+	})
+	return out, err
+}
+
+// Take blocks up to timeout to remove and return a matching entry.
+func (r *Router) Take(tmpl space.Entry, tx *txn.Transaction, timeout time.Duration) (space.Entry, error) {
+	var out space.Entry
+	err := r.do(tmpl.Kind, timeout, true, func(sp *space.Space, remaining time.Duration) error {
+		e, terr := sp.Take(tmpl, tx, remaining)
+		if terr == nil {
+			out = e
+		}
+		return terr
+	})
+	return out, err
+}
+
+// TakeAny removes up to max matches, blocking up to timeout for the
+// first — the worker poll loop's entry point.
+func (r *Router) TakeAny(tmpl space.Entry, max int, tx *txn.Transaction, timeout time.Duration) ([]space.Entry, error) {
+	var out []space.Entry
+	err := r.do(tmpl.Kind, timeout, true, func(sp *space.Space, remaining time.Duration) error {
+		es, terr := sp.TakeAny(tmpl, max, tx, remaining)
+		if terr == nil {
+			out = es
+		}
+		return terr
+	})
+	return out, err
+}
+
+// Count reports how many visible entries match the template.
+func (r *Router) Count(tmpl space.Entry) int {
+	n := 0
+	_ = r.do(tmpl.Kind, r.writeWindow, false, func(sp *space.Space, _ time.Duration) error {
+		n = sp.Count(tmpl)
+		return nil
+	})
+	return n
+}

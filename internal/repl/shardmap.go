@@ -1,0 +1,142 @@
+package repl
+
+import (
+	"fmt"
+	"time"
+
+	"sensorcer/internal/attr"
+	"sensorcer/internal/ids"
+	"sensorcer/internal/registry"
+)
+
+// ShardMapType is the registry service type under which a Router
+// publishes its shard map, so federation peers can discover which node
+// serves which slice of the keyspace — and at which epoch.
+const ShardMapType = "sensorcer.ShardMap"
+
+// ShardAttrType is the attribute entry type carrying one shard's
+// configuration (one entry per shard on the published item).
+const ShardAttrType = "SpaceShard"
+
+// ShardInfo is one shard's published configuration.
+type ShardInfo struct {
+	Shard    string
+	Epoch    uint64
+	Primary  string
+	Backup   string
+	Attached bool
+	Down     bool
+}
+
+// ShardMapPublication keeps a Router's shard map registered: the
+// attribute set is refreshed on every membership change, so a lookup
+// always sees the current primaries and epochs.
+type ShardMapPublication struct {
+	reg  registry.Registrar
+	id   ids.ServiceID
+	name string
+	r    *Router
+}
+
+// shardAttrs snapshots the router's configuration as registry
+// attributes.
+func shardAttrs(name string, r *Router) attr.Set {
+	set := attr.Set{attr.Name(name)}
+	for _, sh := range r.Shards() {
+		sh.mu.Lock()
+		info := ShardInfo{
+			Shard:    sh.name,
+			Epoch:    sh.epoch,
+			Attached: sh.attached,
+			Down:     sh.down,
+		}
+		if sh.primary != nil {
+			info.Primary = sh.primary.Name()
+		}
+		if sh.backup != nil {
+			info.Backup = sh.backup.Name()
+		}
+		sh.mu.Unlock()
+		set = append(set, attr.New(ShardAttrType,
+			"shard", info.Shard,
+			"epoch", int64(info.Epoch),
+			"primary", info.Primary,
+			"backup", info.Backup,
+			"attached", info.Attached,
+			"down", info.Down,
+		))
+	}
+	return set
+}
+
+// PublishShardMap registers the router's shard map with the registry
+// under name and keeps it current: every failover, reattach or detach
+// republishes the attributes. The caller keeps the registration lease
+// alive (e.g. with a lease.RenewalManager) via the returned
+// registration's lease.
+func PublishShardMap(reg registry.Registrar, name string, r *Router, leaseDur time.Duration) (*ShardMapPublication, registry.Registration, error) {
+	item := registry.ServiceItem{
+		ID:         ids.NewServiceID(),
+		Service:    r,
+		Types:      []string{ShardMapType},
+		Attributes: shardAttrs(name, r),
+	}
+	regn, err := reg.Register(item, leaseDur)
+	if err != nil {
+		return nil, registry.Registration{}, fmt.Errorf("repl: publishing shard map %q: %w", name, err)
+	}
+	p := &ShardMapPublication{reg: reg, id: item.ID, name: name, r: r}
+	r.OnChange(func() {
+		// Best effort: a lapsed registration is the renewal manager's
+		// problem, not the failover path's.
+		_ = reg.ModifyAttributes(p.id, shardAttrs(name, r))
+	})
+	return p, regn, nil
+}
+
+// Close stops republishing and removes the registration.
+func (p *ShardMapPublication) Close() error {
+	p.r.OnChange(nil)
+	return p.reg.Deregister(p.id)
+}
+
+// LookupShardMap finds the named shard map in the registry and decodes
+// its per-shard attributes.
+func LookupShardMap(reg registry.Registrar, name string) ([]ShardInfo, error) {
+	item, err := reg.LookupOne(registry.ByName(name, ShardMapType))
+	if err != nil {
+		return nil, err
+	}
+	var out []ShardInfo
+	for _, e := range item.Attributes {
+		if e.Type != ShardAttrType {
+			continue
+		}
+		info := ShardInfo{}
+		if v, ok := e.Get("shard"); ok {
+			info.Shard, _ = v.(string)
+		}
+		if v, ok := e.Get("epoch"); ok {
+			switch n := v.(type) {
+			case int64:
+				info.Epoch = uint64(n)
+			case float64:
+				info.Epoch = uint64(n)
+			}
+		}
+		if v, ok := e.Get("primary"); ok {
+			info.Primary, _ = v.(string)
+		}
+		if v, ok := e.Get("backup"); ok {
+			info.Backup, _ = v.(string)
+		}
+		if v, ok := e.Get("attached"); ok {
+			info.Attached, _ = v.(bool)
+		}
+		if v, ok := e.Get("down"); ok {
+			info.Down, _ = v.(bool)
+		}
+		out = append(out, info)
+	}
+	return out, nil
+}

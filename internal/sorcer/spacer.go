@@ -7,10 +7,31 @@ import (
 	"time"
 
 	"sensorcer/internal/ids"
+	"sensorcer/internal/lease"
 	"sensorcer/internal/resilience"
 	"sensorcer/internal/space"
 	"sensorcer/internal/txn"
 )
+
+// SpaceOps is the tuple-space surface pull-mode federation runs on: the
+// operations Spacer and SpaceWorker use, lifted to an interface so a
+// federation binds equally to one *space.Space or to a replicated,
+// shard-routed *repl.Router — failover then looks like a transient
+// retry instead of a rebind.
+type SpaceOps interface {
+	// Write stores one entry under a lease.
+	Write(e space.Entry, tx *txn.Transaction, leaseDur time.Duration) (lease.Lease, error)
+	// WriteBatch stores entries under one group commit.
+	WriteBatch(entries []space.Entry, tx *txn.Transaction, leaseDur time.Duration) ([]lease.Lease, error)
+	// Read blocks up to timeout for a match without removing it.
+	Read(tmpl space.Entry, tx *txn.Transaction, timeout time.Duration) (space.Entry, error)
+	// Take blocks up to timeout to remove and return a match.
+	Take(tmpl space.Entry, tx *txn.Transaction, timeout time.Duration) (space.Entry, error)
+	// TakeAny removes up to max matches, blocking for the first.
+	TakeAny(tmpl space.Entry, max int, tx *txn.Transaction, timeout time.Duration) ([]space.Entry, error)
+	// Count reports how many visible entries match.
+	Count(tmpl space.Entry) int
+}
 
 // Space entry kinds used by pull-mode federation.
 const (
@@ -32,7 +53,7 @@ type Spacer struct {
 	// mu guards space, which Rebind swaps after a crash-recovery cycle:
 	// jobs in flight pick up the recovered space on their next retry.
 	mu    sync.Mutex
-	space *space.Space
+	space SpaceOps
 	// taskTimeout bounds the wait for each result envelope.
 	taskTimeout time.Duration
 	// envelopeLease bounds how long an unclaimed envelope survives.
@@ -86,8 +107,9 @@ func WithPerEnvelopeDispatch() SpacerOption {
 	return func(s *Spacer) { s.perEnvelope = true }
 }
 
-// NewSpacer creates a pull-mode coordinator over the tuple space.
-func NewSpacer(name string, sp *space.Space, opts ...SpacerOption) *Spacer {
+// NewSpacer creates a pull-mode coordinator over the tuple space (a
+// single *space.Space or a replicated *repl.Router).
+func NewSpacer(name string, sp SpaceOps, opts ...SpacerOption) *Spacer {
 	s := &Spacer{
 		id:            ids.NewServiceID(),
 		name:          name,
@@ -105,7 +127,7 @@ func NewSpacer(name string, sp *space.Space, opts ...SpacerOption) *Spacer {
 func (s *Spacer) ID() ids.ServiceID { return s.id }
 
 // sp returns the current tuple space.
-func (s *Spacer) sp() *space.Space {
+func (s *Spacer) sp() SpaceOps {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.space
@@ -116,7 +138,9 @@ func (s *Spacer) sp() *space.Space {
 // retrying on ErrClosed under the await policy — continue against the new
 // space; recovered-but-untaken envelopes are simply taken by workers
 // again, and lost ones are redispatched by the envelope-count check.
-func (s *Spacer) Rebind(sp *space.Space) {
+// (A Spacer bound to a repl.Router never needs Rebind: the router
+// re-routes to the promoted primary internally.)
+func (s *Spacer) Rebind(sp SpaceOps) {
 	s.mu.Lock()
 	s.space = sp
 	s.mu.Unlock()
@@ -334,7 +358,7 @@ func (s *Spacer) awaitResult(t *Task, tx *txn.Transaction) error {
 // executes them against its servicer — the worker side of pull-mode
 // federation. Attach one to each provider that should serve space jobs.
 type SpaceWorker struct {
-	space       *space.Space
+	space       SpaceOps
 	servicer    Servicer
 	serviceType string
 	batch       int
@@ -364,7 +388,7 @@ func WithWorkerBatch(n int) WorkerOption {
 }
 
 // NewSpaceWorker starts a worker pulling envelopes of serviceType.
-func NewSpaceWorker(sp *space.Space, servicer Servicer, serviceType string, opts ...WorkerOption) *SpaceWorker {
+func NewSpaceWorker(sp SpaceOps, servicer Servicer, serviceType string, opts ...WorkerOption) *SpaceWorker {
 	w := &SpaceWorker{
 		space:       sp,
 		servicer:    servicer,
@@ -397,7 +421,7 @@ func (w *SpaceWorker) loop() {
 		}
 		envs, err := w.space.TakeAny(tmpl, w.batch, nil, 50*time.Millisecond)
 		if err != nil {
-			if err == space.ErrClosed {
+			if errors.Is(err, space.ErrClosed) {
 				return
 			}
 			continue // timeout: poll the stop channel again

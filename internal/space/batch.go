@@ -68,6 +68,11 @@ func (s *Space) WriteBatch(entries []Entry, tx *txn.Transaction, leaseDur time.D
 		}
 		txnID = tx.ID()
 	}
+	if err := s.checkGuardLocked(); err != nil {
+		s.mu.Unlock()
+		cancelAll()
+		return nil, err
+	}
 	if s.journal != nil {
 		recs := make([]journalRecord, 0, len(entries))
 		id := s.nextID
@@ -192,6 +197,9 @@ func (s *Space) takeBatchLocked(tmpl Entry, max int, tx *txn.Transaction, txnID 
 	}
 	if len(picked) == 0 {
 		return nil, nil
+	}
+	if err := s.checkGuardLocked(); err != nil {
+		return nil, err
 	}
 	var part *spaceTxnPart
 	if tx != nil {

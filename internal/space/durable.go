@@ -7,8 +7,48 @@ import (
 
 	"sensorcer/internal/clockwork"
 	"sensorcer/internal/lease"
-	"sensorcer/internal/wal"
 )
+
+// Journal is the durability contract the space writes through: the subset
+// of *wal.Log the space relies on, lifted to an interface so the
+// replication layer (internal/repl) can substitute a journal that ships
+// every batch to a backup before acknowledging it. A nil Journal field
+// means the space is volatile.
+type Journal interface {
+	// Append durably adds one record and returns its sequence.
+	Append(payload []byte) (uint64, error)
+	// AppendBatch durably adds every payload under one acknowledgement.
+	AppendBatch(payloads [][]byte) (uint64, error)
+	// WriteSnapshot records a point-in-time state and compacts the log.
+	WriteSnapshot(data []byte) error
+	// Snapshot returns the latest snapshot, if any.
+	Snapshot() (data []byte, seq uint64, taken time.Time, ok bool)
+	// Replay streams every record after the snapshot in sequence order.
+	Replay(fn func(seq uint64, payload []byte) error) error
+}
+
+// SetGuard installs a check consulted — under s.mu, before the journal
+// record for any mutation is appended — by every durable mutation path.
+// The replication layer uses it for epoch fencing: a primary that has
+// been superseded installs a guard returning its fencing error, so no
+// write, take, expire, commit or abort can be journaled (and therefore
+// acknowledged) under a stale epoch. A nil guard (the default) admits
+// everything.
+func (s *Space) SetGuard(fn func() error) {
+	s.mu.Lock()
+	s.guard = fn
+	s.mu.Unlock()
+}
+
+// checkGuardLocked consults the mutation guard. Caller holds s.mu. Every
+// function that journals (journalLocked / journalBatchLocked callers)
+// must call this first — the epochguard lint check enforces it.
+func (s *Space) checkGuardLocked() error {
+	if s.guard == nil {
+		return nil
+	}
+	return s.guard()
+}
 
 // Journal operation tags (on-disk format).
 const (
@@ -107,7 +147,7 @@ func (s *Space) journalBatchLocked(recs []journalRecord) error {
 // lease duration d (or holding d-remaining at the last checkpoint) gets a
 // fresh grant of d from now. Rebasing is conservative — recovery never
 // shortens a lease below what was promised, it restarts it.
-func Recover(clock clockwork.Clock, policy lease.Policy, log *wal.Log) (*Space, error) {
+func Recover(clock clockwork.Clock, policy lease.Policy, log Journal) (*Space, error) {
 	s := New(clock, policy)
 	staged := make(map[uint64]*entryWire)
 	var order []uint64 // ids in first-seen order, for deterministic FIFO

@@ -18,7 +18,6 @@ import (
 	"sensorcer/internal/ids"
 	"sensorcer/internal/lease"
 	"sensorcer/internal/txn"
-	"sensorcer/internal/wal"
 )
 
 // Entry is a tuple: a kind plus named fields. Template matching follows
@@ -145,7 +144,10 @@ type Space struct {
 	// journal, when set, is the write-ahead log every mutation is recorded
 	// in before it is acknowledged (see durable.go). Nil for volatile
 	// spaces. The log's lifecycle belongs to whoever opened it.
-	journal *wal.Log
+	journal Journal
+	// guard, when set, is consulted before any mutation is journaled —
+	// the replication layer's epoch fence (see SetGuard).
+	guard func() error
 
 	// inj, when set, injects faults at sites "<site>/write" and
 	// "<site>/take" (chaos testing only; nil in production).
@@ -325,6 +327,11 @@ func (s *Space) Write(e Entry, tx *txn.Transaction, leaseDur time.Duration) (lea
 			return lease.Lease{}, err
 		}
 		txnID = tx.ID()
+	}
+	if err := s.checkGuardLocked(); err != nil {
+		s.mu.Unlock()
+		_ = lse.Cancel()
+		return lease.Lease{}, err
 	}
 	id := s.nextID + 1
 	if s.journal != nil {
@@ -529,6 +536,9 @@ func (s *Space) claimLocked(se *storedEntry, tx *txn.Transaction, take bool) (En
 	if !take {
 		return se.entry.Clone(), nil
 	}
+	if err := s.checkGuardLocked(); err != nil {
+		return Entry{}, err
+	}
 	if tx == nil {
 		if err := s.journalLocked(journalRecord{Op: opTake, ID: se.id}); err != nil {
 			return Entry{}, err
@@ -617,6 +627,12 @@ func (s *Space) wakeWaitersLocked(se *storedEntry) {
 
 func (s *Space) onLeaseExpired(leaseID uint64) {
 	s.mu.Lock()
+	if err := s.checkGuardLocked(); err != nil {
+		// Fenced: the promoted peer owns expiry now. The entry stays; the
+		// superseded space is about to be closed anyway.
+		s.mu.Unlock()
+		return
+	}
 	if id, ok := s.byLease[leaseID]; ok {
 		// Best-effort journaling: if the expire record fails to land,
 		// replay re-grants the rebased lease and the entry re-expires
@@ -670,6 +686,10 @@ func (p *spaceTxnPart) Prepare(uint64) (txn.Vote, error) {
 // point would do.
 func (p *spaceTxnPart) Commit(txnID uint64) error {
 	p.space.mu.Lock()
+	if err := p.space.checkGuardLocked(); err != nil {
+		p.space.mu.Unlock()
+		return err
+	}
 	if err := p.space.journalLocked(journalRecord{Op: opCommit, Txn: txnID}); err != nil {
 		p.space.mu.Unlock()
 		return err
@@ -701,7 +721,12 @@ func (p *spaceTxnPart) Commit(txnID uint64) error {
 // the same state.
 func (p *spaceTxnPart) Abort(txnID uint64) error {
 	p.space.mu.Lock()
-	_ = p.space.journalLocked(journalRecord{Op: opAbort, Txn: txnID})
+	// The abort record is best-effort and so is the fence: a fenced space
+	// skips the journal (replay aborts unresolved transactions anyway) but
+	// still rolls back its in-memory staging.
+	if err := p.space.checkGuardLocked(); err == nil {
+		_ = p.space.journalLocked(journalRecord{Op: opAbort, Txn: txnID})
+	}
 	for _, id := range p.written {
 		if se, ok := p.space.entries[id]; ok {
 			p.space.removeLocked(se)
