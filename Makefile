@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race short bench bench-smoke chaos chaos-recovery chaos-failover experiments examples cover clean
+.PHONY: all build vet lint test race race-stress short bench bench-smoke bench-compare chaos chaos-recovery chaos-failover experiments examples cover clean
 
 # Seed for the fault-injection suite; override to replay a sequence:
 #   make chaos CHAOS_SEED=42
@@ -15,8 +15,11 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific invariants (clock, goroutine, lock/RPC, fault-site,
-# context, lifecycle-error discipline); see DESIGN.md "Enforced invariants".
-lint:
+# context, lifecycle-error discipline) plus the whole-program analyzers
+# (deepblock, lockorder, noalloc); see DESIGN.md "Enforced invariants"
+# and "Whole-program invariants". `go vet` runs first so the stock
+# checks gate alongside the project-specific ones.
+lint: vet
 	$(GO) run ./cmd/sensorlint ./...
 
 test:
@@ -24,6 +27,16 @@ test:
 
 race:
 	$(GO) test ./... -count=1 -race
+
+# The concurrency hot spots under the race detector: the space stress
+# test plus reduced-iteration (-short) chaos and chaos-failover sweeps.
+# Seeded like the chaos targets — a failure prints the CHAOS_SEED to
+# replay with.
+race-stress:
+	$(GO) test ./internal/space -count=1 -race -run TestSpaceStressIndexedConcurrency
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -tags chaos -race -short ./internal/chaos -count=1
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -tags chaos -race -short ./internal/chaos -count=1 \
+		-run 'FailoverReplicationInvariants|FederationJobSurvivesPrimaryFailover'
 
 short:
 	$(GO) test ./... -count=1 -short
@@ -38,6 +51,19 @@ bench:
 # run, without CI paying for real measurements.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime 1x -benchmem ./... | $(GO) run ./cmd/benchjson -o /dev/null
+
+# Diff a fresh 100x smoke run against the checked-in baseline and fail
+# on regressions past the threshold. 100 iterations amortize cold-start
+# (a 1x run inflates sub-microsecond benchmarks 40x) yet the whole
+# sweep stays under ~10s; the threshold is still loose because the
+# baseline came from full-length runs — this gate catches
+# order-of-magnitude cliffs, not percent-level drift. For the tight
+# version run `make bench` on both commits and
+# `benchjson -compare -threshold 1.2 old.json new.json`.
+BENCH_BASE ?= BENCH_PR6.json
+bench-compare:
+	$(GO) test -run '^$$' -bench=. -benchtime 100x -benchmem ./... | $(GO) run ./cmd/benchjson -o /tmp/bench-head.json
+	$(GO) run ./cmd/benchjson -compare -threshold 10 $(BENCH_BASE) /tmp/bench-head.json
 
 chaos:
 	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -tags chaos -race ./internal/chaos -count=1

@@ -3,6 +3,17 @@
 // (see `make bench`, which writes BENCH_PR4.json). Input is read from
 // stdin and echoed through unchanged, so it can sit at the end of a pipe
 // without hiding the human-readable results.
+//
+// With -compare it instead diffs two such files:
+//
+//	benchjson -compare [-threshold 4.0] old.json new.json
+//
+// Each benchmark present in both files is compared by ns/op; a ratio
+// above the threshold is a regression and the exit code is 1 (so CI can
+// gate on `make bench-compare`). Benchmarks present in only one file are
+// reported but never fail the run — the suite grows between PRs. Alloc
+// count increases are warnings only: single-iteration CI runs are too
+// noisy to gate on, but the jump is worth a line in the log.
 package main
 
 import (
@@ -12,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -64,28 +76,194 @@ func parseLine(fields []string) (string, Result, bool) {
 	return cpuSuffix.ReplaceAllString(fields[0], ""), res, ok
 }
 
+// median returns the middle sample (mean of the middle two for even
+// counts). The input is sorted in place.
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// aggregate collapses repeated samples of the same benchmark (from
+// `go test -count=N`) into one Result per name by taking the median of
+// every metric independently — the standard robust choice for benchmark
+// noise, matching what benchstat centers on.
+func aggregate(samples map[string][]Result) map[string]Result {
+	out := make(map[string]Result, len(samples))
+	for name, ss := range samples {
+		if len(ss) == 1 {
+			out[name] = ss[0]
+			continue
+		}
+		var agg Result
+		pick := func(get func(Result) (float64, bool)) (float64, bool) {
+			var vals []float64
+			for _, s := range ss {
+				if v, ok := get(s); ok {
+					vals = append(vals, v)
+				}
+			}
+			if len(vals) == 0 {
+				return 0, false
+			}
+			return median(vals), true
+		}
+		ns, _ := pick(func(r Result) (float64, bool) { return r.NsPerOp, true })
+		agg.NsPerOp = ns
+		iters, _ := pick(func(r Result) (float64, bool) { return float64(r.Iterations), true })
+		agg.Iterations = int64(iters)
+		if v, ok := pick(func(r Result) (float64, bool) {
+			if r.BytesPerOp == nil {
+				return 0, false
+			}
+			return *r.BytesPerOp, true
+		}); ok {
+			agg.BytesPerOp = &v
+		}
+		if v, ok := pick(func(r Result) (float64, bool) {
+			if r.AllocsPerOp == nil {
+				return 0, false
+			}
+			return *r.AllocsPerOp, true
+		}); ok {
+			agg.AllocsPerOp = &v
+		}
+		units := make(map[string]bool)
+		for _, s := range ss {
+			for u := range s.Metrics {
+				units[u] = true
+			}
+		}
+		for u := range units {
+			if v, ok := pick(func(r Result) (float64, bool) {
+				m, ok := r.Metrics[u]
+				return m, ok
+			}); ok {
+				if agg.Metrics == nil {
+					agg.Metrics = make(map[string]float64)
+				}
+				agg.Metrics[u] = v
+			}
+		}
+		out[name] = agg
+	}
+	return out
+}
+
+func loadResults(path string) (map[string]Result, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]Result
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return m, nil
+}
+
+// compare diffs new against old by ns/op median and writes a report to
+// stdout. It returns the number of regressions past the threshold.
+func compare(old, new map[string]Result, threshold float64) int {
+	names := make([]string, 0, len(new))
+	for name := range new {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	for _, name := range names {
+		n := new[name]
+		o, ok := old[name]
+		if !ok {
+			fmt.Printf("%-60s  new benchmark (%.1f ns/op)\n", name, n.NsPerOp)
+			continue
+		}
+		if o.NsPerOp <= 0 {
+			fmt.Printf("%-60s  baseline has no ns/op, skipped\n", name)
+			continue
+		}
+		ratio := n.NsPerOp / o.NsPerOp
+		status := "ok"
+		if ratio > threshold {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-60s  %12.1f -> %12.1f ns/op  (%.2fx)  %s\n",
+			name, o.NsPerOp, n.NsPerOp, ratio, status)
+		if o.AllocsPerOp != nil && n.AllocsPerOp != nil && *n.AllocsPerOp > *o.AllocsPerOp {
+			fmt.Printf("%-60s  warning: allocs/op rose %.1f -> %.1f\n",
+				name, *o.AllocsPerOp, *n.AllocsPerOp)
+		}
+	}
+	var removed []string
+	for name := range old {
+		if _, ok := new[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Printf("%-60s  missing from new run\n", name)
+	}
+	return regressions
+}
+
 func main() {
-	out := flag.String("o", "", "output JSON file (required)")
+	out := flag.String("o", "", "output JSON file (capture mode)")
+	doCompare := flag.Bool("compare", false, "compare two JSON files: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 4.0, "ns/op ratio past which a benchmark counts as regressed (compare mode); generous because CI smoke runs use -benchtime=1x")
 	flag.Parse()
+
+	if *doCompare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		old, err := loadResults(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		new, err := loadResults(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		if n := compare(old, new, *threshold); n > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.2fx\n", n, *threshold)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no regression past %.2fx across %d benchmark(s)\n", *threshold, len(new))
+		return
+	}
+
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "benchjson: -o <file> is required")
+		fmt.Fprintln(os.Stderr, "benchjson: -o <file> is required (or -compare old.json new.json)")
 		os.Exit(2)
 	}
 
-	results := make(map[string]Result)
+	samples := make(map[string][]Result)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line)
 		if name, res, ok := parseLine(strings.Fields(line)); ok {
-			results[name] = res
+			samples[name] = append(samples[name], res)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
 		os.Exit(1)
 	}
+	results := aggregate(samples)
 
 	// encoding/json writes map keys in sorted order, so the file diffs
 	// cleanly between PRs.

@@ -1,0 +1,94 @@
+package main
+
+import "testing"
+
+func f64(v float64) *float64 { return &v }
+
+func TestParseLineStripsCPUSuffixAndReadsMetrics(t *testing.T) {
+	name, res, ok := parseLine([]string{
+		"BenchmarkSpaceTake-8", "12345", "812.5", "ns/op", "16", "B/op", "1", "allocs/op", "42.5", "B/reading",
+	})
+	if !ok {
+		t.Fatal("expected line to parse")
+	}
+	if name != "BenchmarkSpaceTake" {
+		t.Fatalf("name = %q", name)
+	}
+	if res.Iterations != 12345 || res.NsPerOp != 812.5 {
+		t.Fatalf("iters/ns = %d/%v", res.Iterations, res.NsPerOp)
+	}
+	if res.BytesPerOp == nil || *res.BytesPerOp != 16 || res.AllocsPerOp == nil || *res.AllocsPerOp != 1 {
+		t.Fatalf("B/op allocs/op = %v %v", res.BytesPerOp, res.AllocsPerOp)
+	}
+	if res.Metrics["B/reading"] != 42.5 {
+		t.Fatalf("custom metric = %v", res.Metrics)
+	}
+}
+
+func TestParseLineRejectsNonBenchmarkLines(t *testing.T) {
+	for _, fields := range [][]string{
+		{"ok", "sensorcer/internal/space", "1.2s"},
+		{"BenchmarkX", "notanint", "10", "ns/op"},
+		{"BenchmarkX", "10"},
+	} {
+		if _, _, ok := parseLine(fields); ok {
+			t.Fatalf("expected %v to be rejected", fields)
+		}
+	}
+}
+
+func TestAggregateTakesMedianOfRepeatedSamples(t *testing.T) {
+	samples := map[string][]Result{
+		"BenchmarkX": {
+			{Iterations: 100, NsPerOp: 50, AllocsPerOp: f64(2)},
+			{Iterations: 90, NsPerOp: 500, AllocsPerOp: f64(2)},
+			{Iterations: 110, NsPerOp: 60, AllocsPerOp: f64(2)},
+		},
+	}
+	got := aggregate(samples)["BenchmarkX"]
+	if got.NsPerOp != 60 {
+		t.Fatalf("median ns/op = %v, want 60 (outlier 500 should not dominate)", got.NsPerOp)
+	}
+	if got.Iterations != 100 {
+		t.Fatalf("median iterations = %d, want 100", got.Iterations)
+	}
+	if got.AllocsPerOp == nil || *got.AllocsPerOp != 2 {
+		t.Fatalf("allocs = %v", got.AllocsPerOp)
+	}
+}
+
+func TestAggregateEvenCountAveragesMiddlePair(t *testing.T) {
+	samples := map[string][]Result{
+		"BenchmarkY": {{NsPerOp: 10}, {NsPerOp: 20}, {NsPerOp: 30}, {NsPerOp: 1000}},
+	}
+	if got := aggregate(samples)["BenchmarkY"].NsPerOp; got != 25 {
+		t.Fatalf("median of even count = %v, want 25", got)
+	}
+}
+
+func TestCompareFlagsOnlyPastThreshold(t *testing.T) {
+	old := map[string]Result{
+		"BenchmarkStable":  {NsPerOp: 100},
+		"BenchmarkSlower":  {NsPerOp: 100},
+		"BenchmarkRemoved": {NsPerOp: 100},
+	}
+	new := map[string]Result{
+		"BenchmarkStable": {NsPerOp: 150}, // 1.5x: within a 2x threshold
+		"BenchmarkSlower": {NsPerOp: 300}, // 3x: regression
+		"BenchmarkAdded":  {NsPerOp: 100}, // only in new: never fails
+	}
+	if n := compare(old, new, 2.0); n != 1 {
+		t.Fatalf("regressions = %d, want 1", n)
+	}
+	if n := compare(old, new, 5.0); n != 0 {
+		t.Fatalf("regressions at 5x = %d, want 0", n)
+	}
+}
+
+func TestCompareToleratesZeroBaseline(t *testing.T) {
+	old := map[string]Result{"BenchmarkZ": {NsPerOp: 0}}
+	new := map[string]Result{"BenchmarkZ": {NsPerOp: 100}}
+	if n := compare(old, new, 2.0); n != 0 {
+		t.Fatalf("zero baseline must be skipped, got %d regressions", n)
+	}
+}

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	sensorlint [-checks rawclock,ctxflow] [-list] [packages]
+//	sensorlint [-checks rawclock,ctxflow] [-list] [-why] [packages]
 //
 // Packages default to ./... relative to the enclosing module root. Exit
 // codes compose staticcheck-style: 0 clean, 1 diagnostics reported, 2 the
@@ -32,6 +32,7 @@ func run() int {
 	var (
 		list   = flag.Bool("list", false, "list analyzers and exit")
 		checks = flag.String("checks", "", "comma-separated analyzers to run (default: all)")
+		why    = flag.Bool("why", false, "print the full call chain behind whole-program diagnostics")
 	)
 	flag.Parse()
 
@@ -86,6 +87,11 @@ func run() int {
 			pos.Filename = rel
 		}
 		fmt.Printf("%s: %s (sensorlint/%s)\n", pos, d.Message, d.Analyzer)
+		if *why {
+			for _, hop := range d.Chain {
+				fmt.Printf("\t%s\n", hop)
+			}
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "sensorlint: %d violation(s)\n", len(diags))

@@ -69,6 +69,8 @@ func (b *BoundProgram) NumSlots() int { return b.nslots }
 // references names[i]+"_hist", is that variable's recent-value window
 // (oldest first); pass nil when no history variables are bound. EvalFloats
 // allocates nothing on the success path and is safe for concurrent use.
+//
+//lint:noalloc
 func (b *BoundProgram) EvalFloats(slots []float64, hist [][]float64) (float64, error) {
 	if len(slots) < b.nslots {
 		return 0, evalErrf("bound program wants %d slot(s), got %d", b.nslots, len(slots))

@@ -77,6 +77,8 @@ func (l *Lease) Remaining(now time.Time) time.Duration { return l.Expiration.Sub
 // Renew asks the grantor for an extension and updates Expiration. On a
 // lease whose Cancel has run it returns ErrCanceled without contacting
 // the grantor.
+//
+//lint:blockok st.mu is per-handle: only copies of this one lease handle contend, and serializing renew against cancel across the grantor round-trip is the documented resurrection-prevention contract
 func (l *Lease) Renew(requested time.Duration) error {
 	if l.Grantor == nil {
 		return errors.New("lease: no grantor attached")
@@ -99,6 +101,8 @@ func (l *Lease) Renew(requested time.Duration) error {
 // Cancel relinquishes the lease. It waits out any in-flight renewal of
 // the same handle, then revokes the grant, so the post-condition is
 // unconditional: after Cancel returns, the grant is gone.
+//
+//lint:blockok st.mu is per-handle: only copies of this one lease handle contend, and serializing cancel against renew across the grantor round-trip is the documented resurrection-prevention contract
 func (l *Lease) Cancel() error {
 	if l.Grantor == nil {
 		return errors.New("lease: no grantor attached")

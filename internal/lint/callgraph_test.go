@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadTestdata loads every package under the golden-testdata module.
+func loadTestdata(t *testing.T) (*Loader, []*Package) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "sensorcer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(root, "sensorcer")
+	paths, err := l.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, p := range paths {
+		loaded, err := l.Load(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+	return l, pkgs
+}
+
+// dumpGraph serializes everything diagnostics depend on: node order,
+// call sites with their resolved targets, leaf facts, and the summary
+// witnesses (whose chains -why prints).
+func dumpGraph(g *callGraph) string {
+	var b strings.Builder
+	for _, n := range g.nodes {
+		fmt.Fprintf(&b, "node %d %s noalloc=%v blockok=%v\n", n.id, n.name, n.noalloc, n.blockok)
+		for _, cs := range n.calls {
+			fmt.Fprintf(&b, "  call %s %s rpc=%v fsync=%v park=%v go=%v defer=%v blessed=%v held=%d targets=",
+				g.fset.Position(cs.pos), cs.name, cs.rpc, cs.fsync, cs.park, cs.goStmt, cs.deferred, cs.blessed, len(cs.held))
+			for _, t := range cs.targets {
+				fmt.Fprintf(&b, "%s,", t.name)
+			}
+			b.WriteString("\n")
+		}
+		for _, pf := range n.parks {
+			fmt.Fprintf(&b, "  park %s %s\n", g.fset.Position(pf.pos), pf.desc)
+		}
+		for _, lf := range n.allocs {
+			fmt.Fprintf(&b, "  alloc %s %s\n", g.fset.Position(lf.pos), lf.desc)
+		}
+		for _, a := range n.acquires {
+			fmt.Fprintf(&b, "  acquire %s %s\n", g.fset.Position(a.pos), a.class.id)
+		}
+		for _, kind := range [...]string{"rpc", "fsync", "park", "alloc"} {
+			if w := n.sum.witness(kind); w != nil {
+				fmt.Fprintf(&b, "  sum %s %s | %s\n", kind, w.desc, strings.Join(g.chain(w, kind), " ; "))
+			}
+		}
+		for _, id := range sortedWitnessKeys(n.sum.acquires) {
+			fmt.Fprintf(&b, "  sum acquire %s %s\n", id, n.sum.acquires[id].desc)
+		}
+	}
+	return b.String()
+}
+
+// TestCallGraphDeterministic builds the whole-program graph twice over
+// the same loaded packages and requires byte-identical dumps: map
+// iteration anywhere in construction, widening or summarization would
+// flip diagnostic order or witness chains between runs.
+func TestCallGraphDeterministic(t *testing.T) {
+	l, pkgs := loadTestdata(t)
+	a := dumpGraph(buildCallGraph(l.Fset(), pkgs))
+	b := dumpGraph(buildCallGraph(l.Fset(), pkgs))
+	if a != b {
+		al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+		for i := range al {
+			if i >= len(bl) || al[i] != bl[i] {
+				t.Fatalf("graph dump diverged at line %d:\n  first:  %q\n  second: %q", i+1, al[i], bl[i])
+			}
+		}
+		t.Fatalf("graph dumps differ in length: %d vs %d lines", len(al), len(bl))
+	}
+	if len(a) == 0 {
+		t.Fatal("empty graph dump")
+	}
+}

@@ -1,0 +1,351 @@
+package lint
+
+// The bottom-up half of the call-graph build: interface-implementer
+// widening, Tarjan SCC condensation, and per-function summaries computed
+// callees-first (with a bounded fixpoint inside each SCC so mutual
+// recursion converges). Every summary fact carries a witness chain for
+// `sensorlint -why`.
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// --- interface widening ---
+
+// ifaceShape renders an interface's method set as a stable string, used to
+// cache widening results. Unexported method names are qualified by their
+// package so structural matching cannot cross package boundaries.
+func ifaceShape(iface *types.Interface) string {
+	keys := make([]string, 0, iface.NumMethods())
+	for i := 0; i < iface.NumMethods(); i++ {
+		m := iface.Method(i)
+		keys = append(keys, methodKey(m)+" "+sigKey(m.Type().(*types.Signature)))
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += k + ";"
+	}
+	return out
+}
+
+func methodKey(m *types.Func) string {
+	if m.Exported() || m.Pkg() == nil {
+		return m.Name()
+	}
+	return m.Pkg().Path() + "." + m.Name()
+}
+
+// methodSetOf returns named's full (pointer-receiver) method set keyed by
+// methodKey, promoted methods included.
+func (g *callGraph) methodSetOf(named *types.Named) map[string]*types.Func {
+	if ms, ok := g.methodSets[named]; ok {
+		return ms
+	}
+	ms := make(map[string]*types.Func)
+	set := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < set.Len(); i++ {
+		if fn, ok := set.At(i).Obj().(*types.Func); ok {
+			ms[methodKey(fn)] = fn
+		}
+	}
+	g.methodSets[named] = ms
+	return ms
+}
+
+// implementersOf widens a dynamic dispatch through iface.fn to the
+// matching method of every in-program named type that structurally
+// satisfies the interface. Matching is by method name and receiver-less
+// signature string, which holds across the loader's two type-check
+// universes where types.Implements cannot.
+func (g *callGraph) implementersOf(iface *types.Interface, fn *types.Func) []*funcNode {
+	shape := ifaceShape(iface)
+	byMethod, ok := g.ifaceImpls[shape]
+	if !ok {
+		byMethod = make(map[string][]*funcNode)
+		want := make(map[string]string, iface.NumMethods())
+		for i := 0; i < iface.NumMethods(); i++ {
+			m := iface.Method(i)
+			want[methodKey(m)] = sigKey(m.Type().(*types.Signature))
+		}
+		for _, named := range g.namedTypes {
+			ms := g.methodSetOf(named)
+			satisfies := len(want) > 0
+			for key, sk := range want {
+				m, ok := ms[key]
+				if !ok || sigKey(m.Type().(*types.Signature)) != sk {
+					satisfies = false
+					break
+				}
+			}
+			if !satisfies {
+				continue
+			}
+			for key := range want {
+				if node := g.byKey[ms[key].FullName()]; node != nil {
+					byMethod[key] = append(byMethod[key], node)
+				}
+			}
+		}
+		for key := range byMethod {
+			byMethod[key] = sortNodes(byMethod[key])
+		}
+		g.ifaceImpls[shape] = byMethod
+	}
+	return byMethod[methodKey(fn)]
+}
+
+// --- SCC condensation ---
+
+// sccOrder returns the strongly connected components of the call graph in
+// callees-first order (Tarjan emits an SCC only after every SCC it can
+// reach), iteratively so deep call chains cannot overflow the stack.
+func (g *callGraph) sccOrder() [][]*funcNode {
+	succs := make([][]*funcNode, len(g.nodes))
+	for _, n := range g.nodes {
+		seen := make(map[int]bool)
+		for _, cs := range n.calls {
+			for _, t := range cs.targets {
+				if !seen[t.id] {
+					seen[t.id] = true
+					succs[n.id] = append(succs[n.id], t)
+				}
+			}
+		}
+	}
+	var (
+		sccs  [][]*funcNode
+		stack []*funcNode
+		idx   int
+	)
+	type frame struct {
+		n *funcNode
+		i int
+	}
+	for _, root := range g.nodes {
+		if root.index != 0 {
+			continue
+		}
+		frames := []frame{{n: root}}
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			n := f.n
+			if f.i == 0 {
+				idx++
+				n.index, n.lowlink = idx, idx
+				n.onStack = true
+				stack = append(stack, n)
+			}
+			descended := false
+			for f.i < len(succs[n.id]) {
+				t := succs[n.id][f.i]
+				f.i++
+				if t.index == 0 {
+					frames = append(frames, frame{n: t})
+					descended = true
+					break
+				}
+				if t.onStack && t.index < n.lowlink {
+					n.lowlink = t.index
+				}
+			}
+			if descended {
+				continue
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				if p := frames[len(frames)-1].n; n.lowlink < p.lowlink {
+					p.lowlink = n.lowlink
+				}
+			}
+			if n.lowlink == n.index {
+				var scc []*funcNode
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					m.onStack = false
+					scc = append(scc, m)
+					if m == n {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}
+
+// --- summaries ---
+
+// computeSummaries folds leaf facts and callee summaries into every node,
+// SCC by SCC. Within an SCC the members are re-summarized until nothing
+// changes, so facts flow around mutual-recursion cycles.
+func (g *callGraph) computeSummaries() {
+	for _, scc := range g.sccOrder() {
+		for pass := 0; pass <= len(scc)+1; pass++ {
+			changed := false
+			for i := len(scc) - 1; i >= 0; i-- {
+				if g.summarizeNode(scc[i]) {
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+}
+
+// summarizeNode recomputes one node's summary, reporting whether any new
+// fact appeared. First-witness-wins keeps chains stable and the fold
+// monotone.
+func (g *callGraph) summarizeNode(n *funcNode) bool {
+	changed := false
+	set := func(dst **blockWitness, pos tokenPos, desc string, next *funcNode) {
+		if *dst == nil {
+			*dst = &blockWitness{pos: pos, desc: desc, next: next}
+			changed = true
+		}
+	}
+	if n.sum.acquires == nil {
+		n.sum.acquires = make(map[string]*blockWitness)
+	}
+	if !n.blockok {
+		for _, pf := range n.parks {
+			set(&n.sum.park, pf.pos, pf.desc, nil)
+		}
+	}
+	for _, lf := range n.allocs {
+		set(&n.sum.alloc, lf.pos, lf.desc, nil)
+	}
+	for _, a := range n.acquires {
+		if _, ok := n.sum.acquires[a.class.id]; !ok {
+			n.sum.acquires[a.class.id] = &blockWitness{pos: a.pos, desc: "acquires " + a.class.id, next: nil}
+			changed = true
+		}
+	}
+	for _, cs := range n.calls {
+		if !n.blockok && !cs.goStmt && !cs.blessed {
+			if cs.rpc {
+				set(&n.sum.rpc, cs.pos, "calls "+cs.name+" (RPC boundary)", nil)
+			}
+			if cs.fsync {
+				set(&n.sum.fsync, cs.pos, "calls "+cs.name+" (fsync)", nil)
+			}
+			if cs.park {
+				set(&n.sum.park, cs.pos, "calls "+cs.name+" (parks)", nil)
+			}
+			for _, t := range cs.targets {
+				if t.sum.rpc != nil {
+					set(&n.sum.rpc, cs.pos, "calls "+t.name, t)
+				}
+				if t.sum.fsync != nil {
+					set(&n.sum.fsync, cs.pos, "calls "+t.name, t)
+				}
+				if t.sum.park != nil {
+					set(&n.sum.park, cs.pos, "calls "+t.name, t)
+				}
+			}
+		}
+		for _, t := range cs.targets {
+			if !cs.allocok && t.sum.alloc != nil {
+				set(&n.sum.alloc, cs.pos, "calls "+t.name, t)
+			}
+			if !cs.goStmt {
+				for _, id := range sortedWitnessKeys(t.sum.acquires) {
+					if _, ok := n.sum.acquires[id]; !ok {
+						n.sum.acquires[id] = &blockWitness{pos: cs.pos, desc: "calls " + t.name, next: t}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// tokenPos keeps summarizeNode's helper signature readable.
+type tokenPos = token.Pos
+
+func sortedWitnessKeys(m map[string]*blockWitness) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// witness returns the summary evidence for one fact kind.
+func (sm *summary) witness(kind string) *blockWitness {
+	switch kind {
+	case "rpc":
+		return sm.rpc
+	case "fsync":
+		return sm.fsync
+	case "park":
+		return sm.park
+	case "alloc":
+		return sm.alloc
+	}
+	return nil
+}
+
+// chain renders the full evidence trail for n's kind fact, one
+// "file:line: what" step per hop, for `sensorlint -why`.
+func (g *callGraph) chain(start *blockWitness, kind string) []string {
+	var out []string
+	seen := make(map[*funcNode]bool)
+	w := start
+	for w != nil && len(out) < 32 {
+		out = append(out, fmt.Sprintf("%s: %s", g.fset.Position(w.pos), w.desc))
+		if w.next == nil || seen[w.next] {
+			break
+		}
+		seen[w.next] = true
+		w = w.next.sum.witness(kind)
+	}
+	return out
+}
+
+// acquireChain renders the evidence trail for how n transitively acquires
+// the lock class id.
+func (g *callGraph) acquireChain(n *funcNode, id string) []string {
+	var out []string
+	seen := map[*funcNode]bool{n: true}
+	w := n.sum.acquires[id]
+	for w != nil && len(out) < 32 {
+		out = append(out, fmt.Sprintf("%s: %s", g.fset.Position(w.pos), w.desc))
+		if w.next == nil || seen[w.next] {
+			break
+		}
+		seen[w.next] = true
+		w = w.next.sum.acquires[id]
+	}
+	return out
+}
+
+// pathString renders the compact call path "a -> b -> c: leaf" embedded in
+// diagnostics, starting from the call site's target.
+func (g *callGraph) pathString(t *funcNode, kind string) string {
+	out := t.name
+	seen := map[*funcNode]bool{t: true}
+	w := t.sum.witness(kind)
+	for w != nil && len(out) < 300 {
+		if w.next == nil || seen[w.next] {
+			out += ": " + w.desc
+			break
+		}
+		seen[w.next] = true
+		out += " -> " + w.next.name
+		w = w.next.sum.witness(kind)
+	}
+	return out
+}

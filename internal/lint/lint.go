@@ -39,11 +39,14 @@ type Analyzer struct {
 	RunProgram func(*ProgramPass)
 }
 
-// Diagnostic is one reported violation.
+// Diagnostic is one reported violation. Interprocedural analyzers attach
+// the full evidence chain ("file:line: what", one hop per entry), printed
+// by `sensorlint -why`.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Chain    []string
 }
 
 // String formats the diagnostic the way compilers do.
@@ -89,9 +92,19 @@ func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportChain records a diagnostic with an evidence chain for -why.
+func (p *ProgramPass) ReportChain(pos token.Pos, chain []string, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
+	})
+}
+
 // Analyzers returns every sensorlint analyzer in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{RawClock, GoroLeak, LockRPC, FaultSite, CtxFlow, MustClose, EpochGuard}
+	return []*Analyzer{RawClock, GoroLeak, LockRPC, FaultSite, CtxFlow, MustClose, EpochGuard, DeepBlock, LockOrder, NoAlloc}
 }
 
 // ByName resolves a comma-separated analyzer selection ("rawclock,ctxflow").

@@ -13,10 +13,16 @@ import (
 // federation must not allow.
 //
 // The scan is a straight-line intraprocedural approximation: Lock/RLock
-// raises the held depth, Unlock/RUnlock lowers it, a deferred unlock pins
-// the lock to function end, and nested function literals are scanned as
-// their own scopes. Branchy flows can slip past it; it is a tripwire for
-// the common shapes, not an alias analysis.
+// raises the held depth, Unlock/RUnlock lowers it, a deferred unlock
+// (write or read flavor — `defer mu.Unlock()` after an RLock pins just the
+// same) pins the lock to function end, and nested function literals are
+// scanned as their own scopes. Deferred *calls* run at return, not where
+// they are written, so they are replayed in LIFO order against the depth
+// at return: a deferred RPC registered after `defer mu.Unlock()` runs
+// before the unlock and is flagged; one registered before it runs after
+// the unlock and is not, and a deferred RPC in a function that explicitly
+// released its lock is clean. Branchy flows can slip past the scan; it is
+// a tripwire for the common shapes, not an alias analysis.
 var LockRPC = &Analyzer{
 	Name: "lockrpc",
 	Doc:  "flag srpc/remote calls made while a mutex acquired in the same function is held",
@@ -61,24 +67,45 @@ func syncLockMethod(pass *Pass, call *ast.CallExpr) string {
 	return ""
 }
 
-// lockrpcScan walks one function body in source order tracking lock depth.
+// lockrpcDefer is one deferred statement recorded during the scan: either
+// a lock-state transition that takes effect at return, or a call replayed
+// against the return-time depth.
+type lockrpcDefer struct {
+	method string // "Unlock"/"RUnlock"/"Lock"/"RLock", or "" for a plain call
+	call   *ast.CallExpr
+}
+
+// lockrpcScan walks one function body in source order tracking lock depth,
+// then replays deferred statements LIFO against the depth at return.
 func lockrpcScan(pass *Pass, body *ast.BlockStmt) {
 	if body == nil {
 		return
 	}
 	depth := 0
+	var deferred []lockrpcDefer
+	report := func(v *ast.CallExpr, suffix string) {
+		fn := calleeOf(pass.Pkg.Info, v)
+		if fn == nil {
+			return
+		}
+		if path := pkgPathOf(fn); isRPCPath(path) {
+			pass.Reportf(v.Pos(),
+				"call to %s.%s while a sync lock acquired in this function is still held%s; release the lock before crossing the RPC boundary",
+				path[strings.LastIndex(path, "/")+1:], fn.Name(), suffix)
+		}
+	}
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch v := n.(type) {
 		case *ast.FuncLit:
 			return false // its own scope; scanned separately
 		case *ast.DeferStmt:
-			// A deferred unlock keeps the lock held to function end:
-			// neither decrement nor descend. Other deferred calls are
-			// inspected normally (a deferred RPC still runs under any
-			// lock still held at return).
-			if m := syncLockMethod(pass, v.Call); m == "Unlock" || m == "RUnlock" {
-				return false
-			}
+			// A deferred unlock keeps the lock held to function end.
+			// Other deferred calls do not run here: record them for the
+			// LIFO replay (their arguments carry no lock ops or RPC
+			// receivers in this codebase's shapes, so skipping the
+			// subtree loses nothing the straight-line scan would keep).
+			deferred = append(deferred, lockrpcDefer{method: syncLockMethod(pass, v.Call), call: v.Call})
+			return false
 		case *ast.CallExpr:
 			switch syncLockMethod(pass, v) {
 			case "Lock", "RLock":
@@ -88,20 +115,30 @@ func lockrpcScan(pass *Pass, body *ast.BlockStmt) {
 					depth--
 				}
 			default:
-				if depth == 0 {
-					break
-				}
-				fn := calleeOf(pass.Pkg.Info, v)
-				if fn == nil {
-					break
-				}
-				if path := pkgPathOf(fn); isRPCPath(path) {
-					pass.Reportf(v.Pos(),
-						"call to %s.%s while a sync lock acquired in this function is still held; release the lock before crossing the RPC boundary",
-						path[strings.LastIndex(path, "/")+1:], fn.Name())
+				if depth > 0 {
+					report(v, "")
 				}
 			}
 		}
 		return true
 	})
+	// Replay: the last-registered defer runs first. Deferred unlocks
+	// (pinned during the scan) release here, so a deferred RPC registered
+	// before the deferred unlock runs after it — unlocked — while one
+	// registered after it is still under the lock.
+	for i := len(deferred) - 1; i >= 0; i-- {
+		d := deferred[i]
+		switch d.method {
+		case "Unlock", "RUnlock":
+			if depth > 0 {
+				depth--
+			}
+		case "Lock", "RLock":
+			depth++
+		default:
+			if depth > 0 {
+				report(d.call, " at return")
+			}
+		}
+	}
 }

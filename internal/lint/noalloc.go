@@ -1,0 +1,57 @@
+package lint
+
+// NoAlloc statically enforces the zero-allocation contract of the hot
+// paths PR 5 bought with pooling and the expression VM: a function whose
+// declaration carries `//lint:noalloc` must be transitively allocation
+// free — no map/slice/closure construction, no interface boxing, no
+// append growth, no call into code that may allocate. The alloc
+// benchmarks prove the property on the benchmarked inputs; this check
+// proves it on every path, and keeps a future edit from silently
+// reintroducing a per-read allocation under million-user load.
+//
+// Escape hatches, each requiring a reason:
+//
+//	//lint:allocok <reason>   on (or above) a line: that allocation is
+//	                          accepted — amortized pooled growth, a cold
+//	                          fallback — and is not propagated to
+//	                          annotated callers either.
+//
+// Two exemptions are built in, because they are the repo's pervasive cold
+// paths: the error-position result of a `return` (e.g. `return 0,
+// evalErrf(...)`) and the arguments of `panic`. Function literals passed
+// directly to a call-only parameter of a statically resolved callee are
+// recognized as non-escaping and exempt (the compiler stack-allocates
+// them); `go` statements and escaping closures are not.
+
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "verify //lint:noalloc functions are transitively allocation-free",
+	RunProgram: func(pp *ProgramPass) {
+		g := programGraph(pp)
+		for _, n := range g.nodes {
+			if !n.noalloc {
+				continue
+			}
+			for _, lf := range n.allocs {
+				pp.Reportf(lf.pos,
+					"%s is marked //lint:noalloc but %s; restructure, or accept it with //lint:allocok <reason>",
+					n.name, lf.desc)
+			}
+			reported := make(map[*funcNode]bool)
+			for _, cs := range n.calls {
+				if cs.allocok {
+					continue
+				}
+				for _, t := range cs.targets {
+					if t.sum.alloc == nil || reported[t] {
+						continue
+					}
+					reported[t] = true
+					pp.ReportChain(cs.pos, g.chain(t.sum.alloc, "alloc"),
+						"%s is marked //lint:noalloc but calls %s, which may allocate (path: %s)",
+						n.name, t.name, g.pathString(t, "alloc"))
+				}
+			}
+		}
+	},
+}

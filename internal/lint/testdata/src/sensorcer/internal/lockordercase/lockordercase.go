@@ -1,0 +1,68 @@
+// Package lockordercase exercises sensorlint/lockorder: mutex classes
+// acquired in conflicting orders form a cycle in the global
+// lock-acquisition-order graph — a potential ABBA deadlock.
+package lockordercase
+
+import "sync"
+
+// A and B are locked in conflicting orders by AB and BA below.
+type A struct{ mu sync.Mutex }
+
+// B conflicts with A.
+type B struct{ mu sync.Mutex }
+
+// AB acquires A then B — the direct edge the cycle report anchors on.
+func AB(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock-order cycle lockordercase\.A\.mu -> lockordercase\.B\.mu -> lockordercase\.A\.mu`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// lockA is the hop BA's conflicting acquisition flows through: the edge
+// B -> A is transitive, proved by the call-graph summary.
+func lockA(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// BA acquires B then — through lockA — A.
+func BA(a *A, b *B) {
+	b.mu.Lock()
+	lockA(a)
+	b.mu.Unlock()
+}
+
+// D and E conflict the same way, but the E->D direction is blessed, so
+// no cycle survives.
+type D struct{ mu sync.Mutex }
+
+// E conflicts with D.
+type E struct{ mu sync.Mutex }
+
+// DE acquires D then E.
+func DE(d *D, e *E) {
+	d.mu.Lock()
+	e.mu.Lock()
+	e.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// ED acquires E then D; the edge annotation removes it from the graph.
+//
+//lint:lockorder allow lockordercase.E.mu->lockordercase.D.mu scenario: the E-side caller provably never races the D-side
+func ED(d *D, e *E) {
+	e.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	e.mu.Unlock()
+}
+
+// Nested reacquires the same class in sequence on two instances:
+// self-edges are skipped (class identity cannot tell instances apart).
+func Nested(x, y *A) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}

@@ -40,3 +40,59 @@ func LiteralScope() func() {
 		srpc.Ping()
 	}
 }
+
+var rw sync.RWMutex
+
+// RLockDeferredHold: a deferred RUnlock pins the read lock to function
+// end; the RPC under it is flagged.
+func RLockDeferredHold() {
+	rw.RLock()
+	defer rw.RUnlock()
+	srpc.Ping() // want `call to srpc\.Ping while a sync lock`
+}
+
+// MismatchedDeferredUnlock: defer rw.Unlock() after an RLock pins just
+// the same — the scan tracks depth, not flavor.
+func MismatchedDeferredUnlock() {
+	rw.RLock()
+	defer rw.Unlock()
+	remote.Fetch() // want `call to remote\.Fetch while a sync lock`
+}
+
+// Relocked: releasing and re-acquiring in the same function re-arms the
+// check; the window between them is clean.
+func Relocked() {
+	mu.Lock()
+	srpc.Ping() // want `call to srpc\.Ping while a sync lock`
+	mu.Unlock()
+	srpc.Ping()
+	mu.Lock()
+	srpc.Ping() // want `call to srpc\.Ping while a sync lock`
+	mu.Unlock()
+}
+
+// DeferredAfterExplicitRelease: the deferred RPC runs at return, after
+// the explicit unlock — clean. (Regression: the old scan checked
+// deferred calls at their registration point, where the lock was still
+// held.)
+func DeferredAfterExplicitRelease() {
+	mu.Lock()
+	defer srpc.Ping()
+	mu.Unlock()
+}
+
+// DeferredLIFOHeld: the RPC deferred after the deferred unlock runs
+// before it (LIFO), with the lock still held.
+func DeferredLIFOHeld() {
+	mu.Lock()
+	defer mu.Unlock()
+	defer srpc.Ping() // want `call to srpc\.Ping while a sync lock acquired in this function is still held at return`
+}
+
+// DeferredLIFOReleased: registered before the deferred unlock, the RPC
+// replays after it — clean.
+func DeferredLIFOReleased() {
+	defer srpc.Ping()
+	mu.Lock()
+	defer mu.Unlock()
+}

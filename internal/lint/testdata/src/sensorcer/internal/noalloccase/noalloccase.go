@@ -1,0 +1,84 @@
+// Package noalloccase exercises sensorlint/noalloc: a function whose
+// declaration carries //lint:noalloc must be transitively
+// allocation-free, with //lint:allocok as the per-line escape hatch and
+// error-position returns exempt as the repo's pervasive cold path.
+package noalloccase
+
+import "fmt"
+
+// Sum is allocation-free: the clean baseline.
+//
+//lint:noalloc
+func Sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Grow allocates two ways.
+//
+//lint:noalloc
+func Grow(xs []int) []int {
+	m := make([]int, 4)   // want `noalloccase\.Grow is marked //lint:noalloc but make allocates`
+	xs = append(xs, m...) // want `noalloccase\.Grow is marked //lint:noalloc but append may grow its backing array`
+	return xs
+}
+
+// helper allocates; annotated callers inherit the fact transitively.
+func helper() []byte {
+	return make([]byte, 16)
+}
+
+// Calls reaches an allocation one call deep.
+//
+//lint:noalloc
+func Calls() {
+	helper() // want `noalloccase\.Calls is marked //lint:noalloc but calls noalloccase\.helper, which may allocate`
+}
+
+// Accepted uses the escape hatch for an amortized growth.
+//
+//lint:noalloc
+func Accepted(xs []int, v int) []int {
+	//lint:allocok scenario: amortized pooled growth
+	return append(xs, v)
+}
+
+// ErrPath allocates only in the error-position return — the built-in
+// cold-path exemption.
+//
+//lint:noalloc
+func ErrPath(x int) (int, error) {
+	if x < 0 {
+		return 0, fmt.Errorf("noalloccase: negative %d", x)
+	}
+	return x * 2, nil
+}
+
+// each calls f on every element; f is used only in call position, so
+// literals passed to it never escape.
+func each(xs []int, f func(int)) {
+	for _, x := range xs {
+		f(x)
+	}
+}
+
+// NonEscaping passes a literal to a call-only parameter: recognized as
+// stack-allocated, no closure-allocation finding.
+//
+//lint:noalloc
+func NonEscaping(xs []int) int {
+	t := 0
+	each(xs, func(x int) { t += x })
+	return t
+}
+
+// Boxed converts a concrete value into an interface argument — a heap
+// box on the hot path.
+//
+//lint:noalloc
+func Boxed(x int) string {
+	return fmt.Sprint(x) // want `noalloccase\.Boxed is marked //lint:noalloc but`
+}

@@ -218,7 +218,13 @@ func (r *Router) OnChange(fn func()) {
 	r.mu.Unlock()
 }
 
-// notify fires the membership-change callback.
+// notify fires the membership-change callback. It must be called with no
+// shard's coordMu held: the callback is arbitrary user code (in-tree it
+// cancels leases over RPC and deregisters from the lookup service), and
+// running it inside the coordination critical section would let one slow
+// observer wedge every subsequent failover on the shard — the exact
+// coupling deepblock exists to flag. The coordinator methods therefore
+// publish the new configuration, release coordMu, and only then notify.
 func (r *Router) notify() {
 	r.mu.Lock()
 	fn := r.onChange
@@ -240,6 +246,18 @@ func (r *Router) Failover(name string) (*space.Space, error) {
 	if sh == nil {
 		return nil, fmt.Errorf("repl: unknown shard %q", name)
 	}
+	sp, err := r.failoverShard(sh, name)
+	if err == nil {
+		r.notify()
+	}
+	return sp, err
+}
+
+// failoverShard is Failover's critical section; the caller notifies after
+// coordMu is released.
+//
+//lint:blockok coordinator path: serializing promotion (log replay, WAL fsync) under coordMu is the failover contract; data-path operations never take coordMu
+func (r *Router) failoverShard(sh *Shard, name string) (*space.Space, error) {
 	sh.coordMu.Lock()
 	defer sh.coordMu.Unlock()
 	sh.mu.Lock()
@@ -273,7 +291,6 @@ func (r *Router) Failover(name string) (*space.Space, error) {
 	sh.down = false
 	sh.publishLocked()
 	sh.mu.Unlock()
-	r.notify()
 	return sp, nil
 }
 
@@ -288,22 +305,37 @@ func (r *Router) Reattach(name string) error {
 	if sh == nil {
 		return fmt.Errorf("repl: unknown shard %q", name)
 	}
+	published, err := r.reattachShard(sh, name)
+	if published {
+		r.notify()
+	}
+	return err
+}
+
+// reattachShard is Reattach's critical section. It reports whether a new
+// configuration was published (a suspended primary's fresh space publishes
+// even when the catch-up fails); the caller notifies after coordMu is
+// released.
+//
+//lint:blockok coordinator path: serializing the attach catch-up (checkpoint, snapshot ship, tail replay) under coordMu is the failover contract; data-path operations never take coordMu
+func (r *Router) reattachShard(sh *Shard, name string) (bool, error) {
 	sh.coordMu.Lock()
 	defer sh.coordMu.Unlock()
 	sh.mu.Lock()
 	epoch, primary, backup := sh.epoch, sh.primary, sh.backup
 	sh.mu.Unlock()
 	if backup == nil {
-		return fmt.Errorf("repl: shard %q has no spare replica", name)
+		return false, fmt.Errorf("repl: shard %q has no spare replica", name)
 	}
 	if backup.Role() == RolePrimary {
 		// A fenced or superseded ex-primary: reclaim it first.
 		if err := backup.Demote(epoch); err != nil {
-			return fmt.Errorf("repl: demoting ex-primary of shard %q: %w", name, err)
+			return false, fmt.Errorf("repl: demoting ex-primary of shard %q: %w", name, err)
 		}
 	}
 	sp, err := primary.AttachBackup(epoch+1, backup, true)
-	if sp != nil {
+	published := sp != nil
+	if published {
 		// A suspended primary re-recovered: publish the fresh space (and
 		// epoch) even if the catch-up itself failed, so clients rebind.
 		sh.mu.Lock()
@@ -312,12 +344,11 @@ func (r *Router) Reattach(name string) error {
 		sh.attached = err == nil
 		sh.publishLocked()
 		sh.mu.Unlock()
-		r.notify()
 	}
 	if err != nil {
-		return fmt.Errorf("repl: reattaching backup of shard %q: %w", name, err)
+		return published, fmt.Errorf("repl: reattaching backup of shard %q: %w", name, err)
 	}
-	return nil
+	return published, nil
 }
 
 // Revive re-promotes the named shard's current primary replica after a
@@ -331,6 +362,18 @@ func (r *Router) Revive(name string) (*space.Space, error) {
 	if sh == nil {
 		return nil, fmt.Errorf("repl: unknown shard %q", name)
 	}
+	sp, err := r.reviveShard(sh, name)
+	if err == nil {
+		r.notify()
+	}
+	return sp, err
+}
+
+// reviveShard is Revive's critical section; the caller notifies after
+// coordMu is released.
+//
+//lint:blockok coordinator path: serializing re-promotion (log replay, WAL fsync) under coordMu is the failover contract; data-path operations never take coordMu
+func (r *Router) reviveShard(sh *Shard, name string) (*space.Space, error) {
 	sh.coordMu.Lock()
 	defer sh.coordMu.Unlock()
 	sh.mu.Lock()
@@ -347,7 +390,6 @@ func (r *Router) Revive(name string) (*space.Space, error) {
 	sh.down = false
 	sh.publishLocked()
 	sh.mu.Unlock()
-	r.notify()
 	return sp, nil
 }
 
@@ -359,6 +401,18 @@ func (r *Router) Detach(name string) error {
 	if sh == nil {
 		return fmt.Errorf("repl: unknown shard %q", name)
 	}
+	err := r.detachShard(sh, name)
+	if err == nil {
+		r.notify()
+	}
+	return err
+}
+
+// detachShard is Detach's critical section; the caller notifies after
+// coordMu is released.
+//
+//lint:blockok coordinator path: serializing the detach (re-recovery, log replay) under coordMu is the failover contract; data-path operations never take coordMu
+func (r *Router) detachShard(sh *Shard, name string) error {
 	sh.coordMu.Lock()
 	defer sh.coordMu.Unlock()
 	sh.mu.Lock()
@@ -374,7 +428,6 @@ func (r *Router) Detach(name string) error {
 	sh.attached = false
 	sh.publishLocked()
 	sh.mu.Unlock()
-	r.notify()
 	return nil
 }
 

@@ -528,9 +528,12 @@ func (c *CSP) GetValue() (probe.Reading, error) {
 
 // evalBound is the full-read fast path: child values into pooled float64
 // slots, history windows into pooled buffers, one EvalFloats call.
+//
+//lint:noalloc
 func (c *CSP) evalBound(sc *readScratch, bound *expr.BoundProgram, histChild []bool) (float64, error) {
 	slots := sc.slots[:0]
 	for i := range sc.results {
+		//lint:allocok amortized: the scratch slot slice is pooled and reaches a steady-state capacity after the first reads
 		slots = append(slots, sc.results[i].reading.Value)
 	}
 	sc.slots = slots
@@ -544,6 +547,7 @@ func (c *CSP) evalBound(sc *readScratch, bound *expr.BoundProgram, histChild []b
 	}
 	if needHist {
 		if cap(sc.histBuf) < len(sc.children) {
+			//lint:allocok amortized: the pooled history buffer grows once to the composite's child count and is reused thereafter
 			grown := make([][]float64, len(sc.children))
 			copy(grown, sc.histBuf)
 			sc.histBuf = grown
@@ -551,6 +555,7 @@ func (c *CSP) evalBound(sc *readScratch, bound *expr.BoundProgram, histChild []b
 		sc.histBuf = sc.histBuf[:len(sc.children)]
 		for i := range sc.children {
 			if !histChild[i] {
+				//lint:allocok amortized: the scratch hist slice is pooled and reaches a steady-state capacity after the first reads
 				hist = append(hist, nil)
 				continue
 			}
@@ -558,13 +563,17 @@ func (c *CSP) evalBound(sc *readScratch, bound *expr.BoundProgram, histChild []b
 			// trend and smoothing expressions like "a - avg(a_hist)".
 			buf := sc.histBuf[i][:0]
 			if vh, ok := sc.children[i].accessor.(ValueHistory); ok {
+				//lint:allocok amortized: AppendValues fills the pooled per-child buffer, which reaches window capacity after the first reads
 				buf = vh.AppendValues(buf, HistoryWindow)
 			} else {
+				//lint:allocok cold fallback for accessors without ValueHistory; the in-process stores on the hot path all implement it
 				for _, r := range sc.children[i].accessor.GetReadings(HistoryWindow) {
+					//lint:allocok cold fallback for accessors without ValueHistory (see GetReadings above)
 					buf = append(buf, r.Value)
 				}
 			}
 			sc.histBuf[i] = buf
+			//lint:allocok amortized: the scratch hist slice is pooled and reaches a steady-state capacity after the first reads
 			hist = append(hist, buf)
 		}
 	}

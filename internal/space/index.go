@@ -118,6 +118,8 @@ func (s *Space) indexRemoveLocked(se *storedEntry) {
 // template, or (nil, false) when the index proves no entry can match: an
 // unknown kind, a pinned field value no entry holds, or a non-comparable
 // template value (which == would never equal anyway). Caller holds s.mu.
+//
+//lint:noalloc
 func (s *Space) candidatesLocked(tmpl Entry) ([]uint64, bool) {
 	ki, ok := s.byKind[tmpl.Kind]
 	if !ok {

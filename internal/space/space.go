@@ -587,6 +587,8 @@ func (s *Space) removeLocked(se *storedEntry) {
 // that kind's queue is consulted — waiters on other kinds cannot match and
 // are not re-scanned, which keeps the wake cost independent of the
 // unrelated waiter population.
+//
+//lint:blockok waiter result channels are buffered (capacity 1) and written at most once per waiter, so the send under s.mu cannot block
 func (s *Space) wakeWaitersLocked(se *storedEntry) {
 	kind := se.entry.Kind
 	q := s.waitq[kind]

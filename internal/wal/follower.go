@@ -111,6 +111,8 @@ func (l *Log) ReplayFrom(from uint64, fn func(seq uint64, payload []byte) error)
 // a crash mid-install can only regress the log to an older (pre-install)
 // state, never leave diverged records layered over the new snapshot; the
 // follower simply resyncs again on restart.
+//
+//lint:blockok full resync: discarding segments and publishing the new snapshot must be atomic under l.mu; the fsyncs inside are the durability point
 func (l *Log) InstallSnapshot(seq uint64, data []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
