@@ -179,3 +179,11 @@ func GoStatement() {
 	go callRPC()
 	mu.Unlock()
 }
+
+// DeferredLIFOReleasedDeep: registered before the deferred unlock, the
+// deferred helper replays after it — should be clean.
+func DeferredLIFOReleasedDeep() {
+	defer syncFile()
+	mu.Lock()
+	defer mu.Unlock()
+}
