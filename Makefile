@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race race-stress short bench bench-smoke bench-compare chaos chaos-recovery chaos-failover experiments examples cover clean
+.PHONY: all build vet lint test race race-stress short bench bench-smoke bench-compare chaos chaos-recovery chaos-failover chaos-coordinator experiments examples cover clean
 
 # Seed for the fault-injection suite; override to replay a sequence:
 #   make chaos CHAOS_SEED=42
@@ -43,7 +43,7 @@ short:
 
 # Full benchmark suite; results land in $(BENCH_OUT) (op name -> ns/op,
 # B/op, allocs/op) so later PRs have a perf trajectory to compare against.
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR7.json
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
@@ -60,7 +60,7 @@ bench-smoke:
 # order-of-magnitude cliffs, not percent-level drift. For the tight
 # version run `make bench` on both commits and
 # `benchjson -compare -threshold 1.2 old.json new.json`.
-BENCH_BASE ?= BENCH_PR6.json
+BENCH_BASE ?= BENCH_PR7.json
 bench-compare:
 	$(GO) test -run '^$$' -bench=. -benchtime 100x -benchmem ./... | $(GO) run ./cmd/benchjson -o /tmp/bench-head.json
 	$(GO) run ./cmd/benchjson -compare -threshold 10 $(BENCH_BASE) /tmp/bench-head.json
@@ -79,6 +79,13 @@ chaos-recovery:
 chaos-failover:
 	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -tags chaos -race ./internal/chaos -count=1 \
 		-run 'FailoverReplicationInvariants|FederationJobSurvivesPrimaryFailover'
+
+# Just the coordination-plane invariant sweeps (a subset of `make chaos`):
+# 200 seeded coordinator-kill / lease-expiry-race / split-brain /
+# mid-handoff-crash iterations plus rebalances racing a leader change.
+chaos-coordinator:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -tags chaos -race ./internal/chaos -count=1 \
+		-run 'CoordinatorChaosInvariants|RebalanceUnderCoordinatorChurn'
 
 experiments:
 	$(GO) run ./cmd/experiments

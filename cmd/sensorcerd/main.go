@@ -9,9 +9,18 @@
 //
 //	sensorcerd esp -name Neem-Sensor -lus 127.0.0.1:4160 -seed 1
 //
+// Host a shard backup replica in its own process (a primary elsewhere
+// ships its journal to it over srpc):
+//
+//	sensorcerd shard -name s0 -listen 127.0.0.1:4170 -dir /var/lib/sensorcer/s0
+//
 // Then browse the network from a third process:
 //
 //	sensorbrowser -lus 127.0.0.1:4160
+//
+// The lus process also hosts coordination leases, so coordinator
+// replicas in other processes can compete for the space-coordinator
+// role with fencing tokens (see internal/repl's coordination plane).
 //
 // Components keep their registration leases renewed; killing an esp
 // process makes its service expire from the lookup service within the
@@ -33,6 +42,7 @@ import (
 	"sensorcer/internal/lease"
 	"sensorcer/internal/registry"
 	"sensorcer/internal/remote"
+	"sensorcer/internal/repl"
 	"sensorcer/internal/sensor"
 	"sensorcer/internal/sensor/probe"
 	"sensorcer/internal/spot"
@@ -48,6 +58,8 @@ func main() {
 		runLUS(os.Args[2:])
 	case "esp":
 		runESP(os.Args[2:])
+	case "shard":
+		runShard(os.Args[2:])
 	default:
 		usage()
 	}
@@ -56,7 +68,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   sensorcerd lus -listen host:port
-  sensorcerd esp -name <name> -lus host:port [-seed n] [-interval 1s]`)
+  sensorcerd esp -name <name> -lus host:port [-seed n] [-interval 1s]
+  sensorcerd shard -name <shard> -listen host:port [-dir path]`)
 	os.Exit(2)
 }
 
@@ -83,6 +96,10 @@ func runLUS(args []string) {
 	}
 	defer server.Close()
 	remote.ServeRegistrar(server, lus)
+	// The lookup service doubles as the coordination-lease host, so
+	// coordinator replicas in other processes can compete for
+	// single-holder roles with fencing tokens.
+	remote.ServeCoordination(server, lus)
 
 	// Sweep expired registrations periodically so crashed providers
 	// disappear even with no lookup traffic.
@@ -181,6 +198,48 @@ func runESP(args []string) {
 	waitForSignal()
 	// Orderly departure.
 	_ = rc.Deregister(reg.ServiceID)
+}
+
+// runShard hosts one shard backup replica as its own process: a
+// repl.Node over a WAL directory, serving the replication endpoints
+// (batch ship, snapshot install, heartbeat) over srpc. A primary in
+// another process attaches it as a follower and ships its journal here,
+// so the shard's redundancy survives the primary's machine.
+func runShard(args []string) {
+	fs := flag.NewFlagSet("shard", flag.ExitOnError)
+	name := fs.String("name", "s0", "shard name the primary dials (must match its shard)")
+	listen := fs.String("listen", "127.0.0.1:0", "srpc listen address")
+	dir := fs.String("dir", "", "WAL directory for the replica (empty = fresh temp dir)")
+	leaseMax := fs.Duration("lease-max", 30*time.Second, "maximum entry lease on the hosted replica")
+	token := fs.String("token", "", "shared secret required from clients (empty = open)")
+	fs.Parse(args)
+
+	clock := clockwork.Real()
+	if *dir == "" {
+		d, err := os.MkdirTemp("", "sensorcerd-shard-*")
+		if err != nil {
+			fatal(err)
+		}
+		*dir = d
+	}
+	node, err := repl.NewNode(*name+"-backup", clock, lease.Policy{Max: *leaseMax}, *dir)
+	if err != nil {
+		fatal(err)
+	}
+	defer node.Close()
+
+	server := srpc.NewServer()
+	if *token != "" {
+		server.SetToken(*token)
+	}
+	if err := server.Listen(*listen); err != nil {
+		fatal(err)
+	}
+	defer server.Close()
+	desc := remote.ServeReplication(server, *name, node)
+
+	fmt.Printf("shard %s backup serving on %s (wal %s)\n", *name, desc.Locator, *dir)
+	waitForSignal()
 }
 
 // dialRegistrar connects to a lookup service, with or without a token.

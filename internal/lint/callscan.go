@@ -294,7 +294,7 @@ func (s *bodyScanner) replayDefers() {
 		e := s.deferred[i]
 		switch {
 		case e.unlock != nil:
-			s.release(*e.unlock)
+			s.releaseAtReturn(*e.unlock)
 		case e.lock != nil:
 			s.held = append(s.held, heldLock{class: *e.lock})
 		default:

@@ -20,7 +20,13 @@ import (
 //     entry point (Append, AppendBatch, AppendAt, InstallSnapshot,
 //     WriteSnapshot, ShipBatch, ShipSnapshot) must first call one of the
 //     requireEpoch* checks that read the node's replication state under
-//     its lock.
+//     its lock;
+//   - in internal/repl, a function that commits a coordinator decision —
+//     publishing a new shard configuration via publishLocked (epoch
+//     bumps, shard-map publications and handoff flips all go through it)
+//     — must first call one of the requireCoord* fencing-token checks,
+//     so a deposed coordinator's stale decisions bounce statically as
+//     well as dynamically.
 //
 // The guard/check implementations themselves are exempt, as are test
 // files (tests exercise unfenced paths deliberately).
@@ -29,22 +35,28 @@ var EpochGuard = &Analyzer{
 	Doc:  "flag durable-mutation entry points that skip the epoch fence check",
 	Run: func(pass *Pass) {
 		path := pass.Pkg.Path
-		var mutations map[string]bool
-		var guardOK func(name string) bool
-		var guardDesc string
+		var rules []epochguardRule
 		switch {
 		case strings.HasSuffix(path, "/space"):
-			mutations = map[string]bool{"journalLocked": true, "journalBatchLocked": true}
-			guardOK = func(name string) bool { return name == "checkGuardLocked" }
-			guardDesc = "checkGuardLocked"
+			rules = []epochguardRule{{
+				mutations: map[string]bool{"journalLocked": true, "journalBatchLocked": true},
+				guardOK:   func(name string) bool { return name == "checkGuardLocked" },
+				guardDesc: "checkGuardLocked",
+			}}
 		case strings.HasSuffix(path, "/repl"):
-			mutations = map[string]bool{
-				"Append": true, "AppendBatch": true, "AppendAt": true,
-				"InstallSnapshot": true, "WriteSnapshot": true,
-				"ShipBatch": true, "ShipSnapshot": true,
-			}
-			guardOK = func(name string) bool { return strings.HasPrefix(name, "requireEpoch") }
-			guardDesc = "a requireEpoch* check"
+			rules = []epochguardRule{{
+				mutations: map[string]bool{
+					"Append": true, "AppendBatch": true, "AppendAt": true,
+					"InstallSnapshot": true, "WriteSnapshot": true,
+					"ShipBatch": true, "ShipSnapshot": true,
+				},
+				guardOK:   func(name string) bool { return strings.HasPrefix(name, "requireEpoch") },
+				guardDesc: "a requireEpoch* check",
+			}, {
+				mutations: map[string]bool{"publishLocked": true},
+				guardOK:   func(name string) bool { return strings.HasPrefix(name, "requireCoord") },
+				guardDesc: "a requireCoord* fencing-token check",
+			}}
 		default:
 			return
 		}
@@ -58,16 +70,26 @@ var EpochGuard = &Analyzer{
 					return true
 				}
 				name := fd.Name.Name
-				if guardOK(name) || mutations[name] {
-					// The fence itself, or a mutation primitive whose callers
-					// carry the obligation.
-					return true
+				for _, rule := range rules {
+					if rule.guardOK(name) || rule.mutations[name] {
+						// The fence itself, or a mutation primitive whose
+						// callers carry the obligation.
+						continue
+					}
+					epochguardScan(pass, fd.Body, rule.mutations, rule.guardOK, rule.guardDesc)
 				}
-				epochguardScan(pass, fd.Body, mutations, guardOK, guardDesc)
 				return true
 			})
 		}
 	},
+}
+
+// epochguardRule pairs one set of fence-requiring mutation entry points
+// with the guard calls that discharge them.
+type epochguardRule struct {
+	mutations map[string]bool
+	guardOK   func(name string) bool
+	guardDesc string
 }
 
 // calleeName extracts the bare called name from a call expression

@@ -46,3 +46,54 @@ func (n *node) BadShip(first uint64, payloads [][]byte) (uint64, error) {
 func (n *node) BadInstall(seq uint64, data []byte) error {
 	return n.l.InstallSnapshot(seq, data) // want `durable mutation InstallSnapshot without a preceding epoch fence check`
 }
+
+// shard is a miniature routed shard: publishLocked commits a coordinator
+// decision, requireCoordGen is the fencing-token check.
+type shard struct {
+	gen      uint64
+	epoch    uint64
+	reconfig chan struct{}
+}
+
+// requireCoordGen is the coordinator fence (exempt itself).
+func (sh *shard) requireCoordGen(gen uint64) error {
+	if gen < sh.gen {
+		return errStale
+	}
+	sh.gen = gen
+	return nil
+}
+
+// publishLocked commits a configuration (exempt itself; callers carry
+// the obligation).
+func (sh *shard) publishLocked() {
+	close(sh.reconfig)
+	sh.reconfig = make(chan struct{})
+}
+
+// GoodFailover checks the fencing token before committing the decision.
+func (sh *shard) GoodFailover(gen uint64) error {
+	if err := sh.requireCoordGen(gen); err != nil {
+		return err
+	}
+	sh.epoch++
+	sh.publishLocked()
+	return nil
+}
+
+// BadFailover bumps the epoch and publishes without consulting the
+// fencing token — a deposed coordinator could commit this.
+func (sh *shard) BadFailover() {
+	sh.epoch++
+	sh.publishLocked() // want `durable mutation publishLocked without a preceding epoch fence check`
+}
+
+// BadHandoffFlip publishes a handoff flip under an epoch fence only; the
+// epoch check does not validate the coordinator's token.
+func (n *node) BadHandoffFlip(sh *shard, epoch uint64) error {
+	if err := n.requireEpochBackup(epoch); err != nil {
+		return err
+	}
+	sh.publishLocked() // want `durable mutation publishLocked without a preceding epoch fence check`
+	return nil
+}

@@ -1,0 +1,42 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/lease"
+)
+
+func TestCoordinationLeaseSingleHolderAcrossReplicas(t *testing.T) {
+	fc := clockwork.NewFake(time.Unix(1_700_000_000, 0))
+	l := New("lus-coord", fc, WithCoordLeasePolicy(lease.Policy{Max: 5 * time.Second}))
+	defer l.Close()
+
+	a, err := l.AcquireCoordination("space-coordinator", "coord-a", 5*time.Second)
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if _, err := l.AcquireCoordination("space-coordinator", "coord-b", 5*time.Second); !errors.Is(err, lease.ErrHeld) {
+		t.Fatalf("rival acquire = %v, want ErrHeld", err)
+	}
+	holder, tok, ok := l.CoordinationHolder("space-coordinator")
+	if !ok || holder != "coord-a" || tok != a.Token {
+		t.Fatalf("Holder = %q/%d/%v, want coord-a/%d/true", holder, tok, ok, a.Token)
+	}
+
+	// Once the holder lapses, a standby wins with a dominating token.
+	fc.Advance(6 * time.Second)
+	b, err := l.AcquireCoordination("space-coordinator", "coord-b", 5*time.Second)
+	if err != nil {
+		t.Fatalf("standby acquire after lapse: %v", err)
+	}
+	if b.Token <= a.Token {
+		t.Fatalf("standby token %d does not dominate %d", b.Token, a.Token)
+	}
+	// The deposed holder's renewal bounces rather than resurrecting it.
+	if err := a.Lease.Renew(5 * time.Second); !errors.Is(err, lease.ErrUnknownLease) {
+		t.Fatalf("deposed renewal = %v, want ErrUnknownLease", err)
+	}
+}

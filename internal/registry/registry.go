@@ -153,6 +153,11 @@ type LookupService struct {
 	byType map[string]map[ids.ServiceID]bool
 	closed bool
 
+	// coord is the fenced single-holder ledger behind AcquireCoordination
+	// (see coordination.go); created lazily on first use.
+	coord       *lease.FencedTable
+	coordPolicy lease.Policy
+
 	// journal, when set, is the write-ahead log every registration change
 	// is recorded in before it is acknowledged (see durable.go). Nil for
 	// volatile registries. The log's lifecycle belongs to whoever opened
@@ -181,6 +186,7 @@ type Option func(*config)
 type config struct {
 	itemPolicy  lease.Policy
 	eventPolicy lease.Policy
+	coordPolicy lease.Policy
 }
 
 // WithLeasePolicy sets the policy for registration leases.
@@ -193,12 +199,19 @@ func WithEventLeasePolicy(p lease.Policy) Option {
 	return func(c *config) { c.eventPolicy = p }
 }
 
+// WithCoordLeasePolicy sets the policy for coordination leases (the
+// single-holder fenced grants coordinator replicas compete for).
+func WithCoordLeasePolicy(p lease.Policy) Option {
+	return func(c *config) { c.coordPolicy = p }
+}
+
 // New creates a lookup service. name is administrative (e.g. the host:port
 // string shown in the paper's Fig. 2, "persimmon.cs.ttu.edu:4160").
 func New(name string, clock clockwork.Clock, opts ...Option) *LookupService {
 	cfg := config{
 		itemPolicy:  lease.Policy{Max: lease.DefaultMax},
 		eventPolicy: lease.Policy{Max: lease.DefaultMax},
+		coordPolicy: lease.Policy{Max: lease.DefaultMax},
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -215,6 +228,7 @@ func New(name string, clock clockwork.Clock, opts ...Option) *LookupService {
 		byNLease:    make(map[uint64]uint64),
 		byName:      make(map[string]map[ids.ServiceID]bool),
 		byType:      make(map[string]map[ids.ServiceID]bool),
+		coordPolicy: cfg.coordPolicy,
 	}
 	l.itemLeases.OnExpire(l.onItemLeaseExpired)
 	l.eventLeases.OnExpire(l.onEventLeaseExpired)

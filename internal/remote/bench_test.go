@@ -12,14 +12,12 @@ import (
 	"sensorcer/internal/wal"
 )
 
-// BenchmarkWriteAckReplicatedSRPC is the wire variant of the repl
-// package's write-ack benchmarks: every ack waits for a synchronous
-// ShipBatch across a loopback srpc connection, so the delta against
-// BenchmarkWriteAckReplicated is the wire cost per acknowledged write.
-func BenchmarkWriteAckReplicatedSRPC(b *testing.B) {
+// benchmarkWriteAckSRPC acks writes against a loopback-srpc follower,
+// synchronously or in async-ship mode depending on the node options.
+func benchmarkWriteAckSRPC(b *testing.B, opts ...repl.NodeOption) {
 	policy := lease.Policy{Max: 24 * time.Hour}
 	primary, err := repl.NewNode("p", clockwork.Real(), policy, b.TempDir(),
-		repl.WithWALOptions(wal.WithSyncEveryAppend(false)))
+		append([]repl.NodeOption{repl.WithWALOptions(wal.WithSyncEveryAppend(false))}, opts...)...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -65,4 +63,21 @@ func BenchmarkWriteAckReplicatedSRPC(b *testing.B) {
 			b.StartTimer()
 		}
 	}
+}
+
+// BenchmarkWriteAckReplicatedSRPC is the wire variant of the repl
+// package's write-ack benchmarks: every ack waits for a synchronous
+// ShipBatch across a loopback srpc connection, so the delta against
+// BenchmarkWriteAckReplicated is the wire cost per acknowledged write.
+func BenchmarkWriteAckReplicatedSRPC(b *testing.B) {
+	benchmarkWriteAckSRPC(b)
+}
+
+// BenchmarkWriteAckAsyncShipSRPC is where async-ship pays: the ~30µs
+// wire ship leaves the ack path, so acks run at local-journal speed
+// while the shipper streams batches behind, backlog bounded at 256
+// records. Compare against BenchmarkWriteAckReplicatedSRPC (the sync
+// ceiling) and the repl package's BenchmarkWriteAckSolo (the floor).
+func BenchmarkWriteAckAsyncShipSRPC(b *testing.B) {
+	benchmarkWriteAckSRPC(b, repl.WithAsyncShip(256))
 }

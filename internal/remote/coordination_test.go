@@ -1,0 +1,76 @@
+package remote
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/lease"
+	"sensorcer/internal/registry"
+	"sensorcer/internal/srpc"
+)
+
+// TestCoordinationOverSRPC competes for a coordination lease hosted in
+// another process: acquisition, rival refusal, holder inspection,
+// renewal, deposed-renewal failure and orderly abdication all cross the
+// wire with their sentinels intact.
+func TestCoordinationOverSRPC(t *testing.T) {
+	lus := registry.New("lus", clockwork.Real(),
+		registry.WithCoordLeasePolicy(lease.Policy{Max: time.Minute, Min: time.Millisecond}))
+	defer lus.Close()
+
+	server := srpc.NewServer()
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	ServeCoordination(server, lus)
+
+	ca, err := NewCoordinationClient(server.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	cb, err := NewCoordinationClient(server.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Close()
+
+	a, err := ca.AcquireCoordination("coordinator", "replica-a", 200*time.Millisecond)
+	if err != nil {
+		t.Fatalf("acquire over srpc: %v", err)
+	}
+	if a.Token == 0 || a.Holder != "replica-a" {
+		t.Fatalf("grant = %+v", a)
+	}
+	// A rival's acquire bounces with the sentinel a standby branches on.
+	if _, err := cb.AcquireCoordination("coordinator", "replica-b", 200*time.Millisecond); !errors.Is(err, lease.ErrHeld) {
+		t.Fatalf("rival acquire = %v, want ErrHeld", err)
+	}
+	holder, tok, ok := cb.CoordinationHolder("coordinator")
+	if !ok || holder != "replica-a" || tok != a.Token {
+		t.Fatalf("holder over srpc = %q/%d/%v", holder, tok, ok)
+	}
+	// The grant's lease renews through the wire.
+	if err := a.Lease.Renew(200 * time.Millisecond); err != nil {
+		t.Fatalf("renew over srpc: %v", err)
+	}
+	// Orderly abdication frees the name for the next bid, with a
+	// dominating token.
+	if err := a.Lease.Cancel(); err != nil {
+		t.Fatalf("cancel over srpc: %v", err)
+	}
+	b, err := cb.AcquireCoordination("coordinator", "replica-b", 200*time.Millisecond)
+	if err != nil {
+		t.Fatalf("acquire after abdication: %v", err)
+	}
+	if b.Token <= a.Token {
+		t.Fatalf("successor token %d does not dominate %d", b.Token, a.Token)
+	}
+	// The deposed holder's renewal fails with the deposition sentinel.
+	if err := a.Lease.Renew(200 * time.Millisecond); !errors.Is(err, lease.ErrCanceled) && !errors.Is(err, lease.ErrUnknownLease) {
+		t.Fatalf("deposed renewal = %v, want ErrCanceled/ErrUnknownLease", err)
+	}
+}

@@ -1,0 +1,208 @@
+// Async-ship mode: the latency/durability dial on a replicated primary.
+//
+// In the default synchronous mode an acknowledged write is durable on
+// both replicas — the journal ships inside the ack path. WithAsyncShip
+// moves the ship off the ack path: the primary acknowledges after the
+// local journal append and a background shipper replays the batches to
+// the backup in order, with the acknowledged-but-unshipped backlog
+// bounded by maxLag records. The degradation ladder when the mode's
+// assumptions break:
+//
+//  1. lag bound hit — enqueue blocks until the shipper drains below the
+//     bound: the node transparently degrades to sync-ship pacing.
+//  2. ship error — the shipper records the error, drops its queue (the
+//     records are all in the local log, which any reattach full-resyncs
+//     from) and suspends the node via shipFailed, exactly like a
+//     synchronous ship failure; nothing further is acknowledged.
+//  3. checkpoint — snapshot ships stay synchronous: WriteSnapshot drains
+//     the queue first so the backup never sees a snapshot from the
+//     future of its log.
+//
+// The tradeoff is explicit: in async mode a primary crash can lose up
+// to maxLag acknowledged records on the surviving backup. Deployments
+// that cannot afford that keep the default; the write-ack benchmarks
+// (BenchmarkWriteAckAsyncShip) measure what the relaxation buys.
+package repl
+
+import "sync"
+
+// shipItem is one journaled batch awaiting background shipment.
+type shipItem struct {
+	epoch    uint64
+	f        Follower
+	firstSeq uint64
+	payloads [][]byte
+}
+
+// asyncShipper is the background ship pipeline of one node. All
+// coordination runs over one mutex/cond pair: enqueue blocks while the
+// backlog exceeds the lag bound, drain blocks until it empties, and the
+// run goroutine ships strictly in enqueue (= journal) order.
+type asyncShipper struct {
+	node   *Node
+	maxLag int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []shipItem
+	inFlight int // records journaled locally but not yet shipped
+	err      error
+	stopped  bool
+	done     chan struct{}
+}
+
+// newAsyncShipper starts the pipeline.
+func newAsyncShipper(n *Node, maxLag int) *asyncShipper {
+	s := &asyncShipper{node: n, maxLag: maxLag, done: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	go s.run()
+	return s
+}
+
+// enqueue hands a journaled batch to the shipper, blocking while the
+// acknowledged-but-unshipped backlog exceeds the lag bound (the
+// sync-ship degradation). A non-nil return means the batch will never
+// ship — the caller must not acknowledge.
+//
+//lint:blockok ack-lag backpressure: waiting out the ship backlog under the shipper's own mutex is the bounded-lag contract; the cond is signalled by the run goroutine, which never takes space or node locks while holding it
+func (s *asyncShipper) enqueue(epoch uint64, f Follower, firstSeq uint64, payloads [][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.err == nil && !s.stopped && s.inFlight > s.maxLag {
+		s.cond.Wait()
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if s.stopped {
+		return ErrNodeDown
+	}
+	s.queue = append(s.queue, shipItem{epoch: epoch, f: f, firstSeq: firstSeq, payloads: payloads})
+	s.inFlight += len(payloads)
+	s.cond.Broadcast()
+	return nil
+}
+
+// drain blocks until every enqueued batch has shipped (or the pipeline
+// failed). Checkpoints call it so snapshot ships stay ordered after the
+// record ships they compact.
+//
+//lint:blockok checkpoint ordering: waiting for the ship backlog under the shipper's own mutex keeps snapshot ships behind the record ships they compact; the cond is signalled by the run goroutine, which never takes space or node locks while holding it
+func (s *asyncShipper) drain() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.err == nil && !s.stopped && s.inFlight > 0 {
+		s.cond.Wait()
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if s.stopped {
+		return ErrNodeDown
+	}
+	return nil
+}
+
+// reset clears a latched ship failure after the coordinator has
+// re-established replication (a reattach full-resyncs the backup from
+// the local log, which holds every record the queue dropped).
+func (s *asyncShipper) reset() {
+	s.mu.Lock()
+	s.err = nil
+	s.mu.Unlock()
+}
+
+// stop shuts the pipeline down, failing blocked enqueues; pending
+// batches are dropped (they are all in the local log).
+func (s *asyncShipper) stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	s.stopped = true
+	s.queue = nil
+	s.inFlight = 0
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-s.done
+}
+
+// run ships queued batches in order until stopped.
+//
+//lint:blockok pipeline idle-wait: the run goroutine parks on its own cond until work arrives; it holds no space or node locks, and every signaller takes only s.mu
+func (s *asyncShipper) run() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		for !s.stopped && len(s.queue) == 0 {
+			s.cond.Wait()
+		}
+		if s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		it, n := s.coalesceLocked()
+		s.queue = s.queue[n:]
+		s.mu.Unlock()
+
+		err := s.ship(it)
+
+		s.mu.Lock()
+		s.inFlight -= len(it.payloads)
+		if err != nil && s.err == nil {
+			s.err = err
+			s.queue = nil
+			s.inFlight = 0
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		if err != nil {
+			// Suspend (or fence) the node exactly like a synchronous ship
+			// failure — outside s.mu, since shipFailed takes n.mu.
+			_ = s.node.shipFailed(err)
+		}
+	}
+}
+
+// coalesceLocked merges the contiguous head of the queue — same epoch,
+// same follower, gapless sequence — into one ship, returning it and how
+// many queue items it covers. This is what makes async mode pay under
+// sustained load: while one wire ship is in flight the backlog (bounded
+// by maxLag) accumulates behind it, and the next ship carries the whole
+// backlog in a single round trip instead of replaying the wire latency
+// per journaled batch.
+func (s *asyncShipper) coalesceLocked() (shipItem, int) {
+	it := s.queue[0]
+	n := 1
+	total := len(it.payloads)
+	for ; n < len(s.queue); n++ {
+		nxt := s.queue[n]
+		if nxt.epoch != it.epoch || nxt.f != it.f ||
+			nxt.firstSeq != it.firstSeq+uint64(total) {
+			break
+		}
+		total += len(nxt.payloads)
+	}
+	if n == 1 {
+		return it, 1
+	}
+	combined := make([][]byte, 0, total)
+	for _, q := range s.queue[:n] {
+		combined = append(combined, q.payloads...)
+	}
+	return shipItem{epoch: it.epoch, f: it.f, firstSeq: it.firstSeq, payloads: combined}, n
+}
+
+// ship sends one batch under its enqueue-time epoch. A batch whose
+// epoch the node has moved past is dropped, not failed: the attach that
+// bumped the epoch full-resyncs the backup from the local log, which
+// already holds these records.
+func (s *asyncShipper) ship(it shipItem) error {
+	if err := s.node.requireEpochAttaching(it.epoch); err != nil {
+		return nil
+	}
+	_, err := it.f.ShipBatch(it.epoch, it.firstSeq, it.payloads)
+	return err
+}

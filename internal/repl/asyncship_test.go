@@ -1,0 +1,232 @@
+package repl
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/space"
+	"sensorcer/internal/wal"
+)
+
+// newAsyncPair builds a primary in async-ship mode and a plain backup.
+func newAsyncPair(t *testing.T, maxLag int) (*Node, *Node) {
+	t.Helper()
+	a, err := NewNode("a", clockwork.Real(), testPolicy, t.TempDir(),
+		WithWALOptions(wal.WithSyncEveryAppend(false)), WithAsyncShip(maxLag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNode("b", clockwork.Real(), testPolicy, t.TempDir(),
+		WithWALOptions(wal.WithSyncEveryAppend(false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = a.Close()
+		_ = b.Close()
+	})
+	return a, b
+}
+
+// gatedFollower forwards ships to the inner follower, optionally parking
+// them on a gate channel so tests can hold the pipeline open.
+type gatedFollower struct {
+	Follower
+	mu   sync.Mutex
+	gate chan struct{} // non-nil: ships wait until it closes
+}
+
+func (g *gatedFollower) setGate(ch chan struct{}) {
+	g.mu.Lock()
+	g.gate = ch
+	g.mu.Unlock()
+}
+
+func (g *gatedFollower) ShipBatch(epoch, firstSeq uint64, payloads [][]byte) (uint64, error) {
+	g.mu.Lock()
+	ch := g.gate
+	g.mu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+	return g.Follower.ShipBatch(epoch, firstSeq, payloads)
+}
+
+// failingFollower forwards ships until armed, then fails every one.
+type failingFollower struct {
+	Follower
+	mu    sync.Mutex
+	armed bool
+}
+
+var errShipBoom = errors.New("ship: injected failure")
+
+func (f *failingFollower) arm() {
+	f.mu.Lock()
+	f.armed = true
+	f.mu.Unlock()
+}
+
+func (f *failingFollower) ShipBatch(epoch, firstSeq uint64, payloads [][]byte) (uint64, error) {
+	f.mu.Lock()
+	armed := f.armed
+	f.mu.Unlock()
+	if armed {
+		return 0, errShipBoom
+	}
+	return f.Follower.ShipBatch(epoch, firstSeq, payloads)
+}
+
+func TestAsyncShipAcksLocallyAndConverges(t *testing.T) {
+	a, b := newAsyncPair(t, 1024)
+	sp, err := a.Promote(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AttachBackup(2, b, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := sp.Write(space.NewEntry("job", "n", float64(i)), nil, time.Hour); err != nil {
+			t.Fatalf("async write %d: %v", i, err)
+		}
+	}
+	// The acks ran ahead of the ships; the backlog converges shortly.
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Log().NextSeq() != b.Log().NextSeq() {
+		if time.Now().After(deadline) {
+			t.Fatalf("logs never converged: primary %d, backup %d", a.Log().NextSeq(), b.Log().NextSeq())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Everything shipped is servable from the backup.
+	bsp, err := b.Promote(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bsp.Count(space.NewEntry("job")); got != 200 {
+		t.Fatalf("backup recovered %d entries, want 200", got)
+	}
+}
+
+func TestAsyncShipLagBoundDegradesToSync(t *testing.T) {
+	a, b := newAsyncPair(t, 0)
+	sp, err := a.Promote(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &gatedFollower{Follower: b}
+	if _, err := a.AttachBackup(2, g, false); err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	g.setGate(gate)
+
+	// First write acks immediately (backlog 0 <= bound) and parks in the
+	// gated ship.
+	if _, err := sp.Write(space.NewEntry("job", "n", float64(0)), nil, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	// Second write must block: the backlog exceeds the lag bound, so the
+	// ack degrades to sync-ship pacing until the pipeline drains.
+	done := make(chan error, 1)
+	go func() {
+		_, werr := sp.Write(space.NewEntry("job", "n", float64(1)), nil, time.Hour)
+		done <- werr
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("over-lag write acked while the pipeline was blocked (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(gate)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("write after drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked write never completed after the pipeline drained")
+	}
+}
+
+func TestAsyncShipErrorSuspendsAndReattachRecovers(t *testing.T) {
+	a, b := newAsyncPair(t, 1024)
+	sp, err := a.Promote(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &failingFollower{Follower: b}
+	if _, err := a.AttachBackup(2, f, false); err != nil {
+		t.Fatal(err)
+	}
+	f.arm()
+	// The failing ship happens behind the ack; the node suspends as soon
+	// as the shipper hits it, after which nothing further acknowledges.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, werr := sp.Write(space.NewEntry("job", "n", float64(0)), nil, time.Hour)
+		if werr != nil {
+			if !errors.Is(werr, ErrBackupUnavailable) {
+				t.Fatalf("suspended write = %v, want ErrBackupUnavailable", werr)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ship failure never suspended the primary")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The coordinator's cure — a full-resync reattach — restores service:
+	// the resync replays the log, which holds every record the queue
+	// dropped, and clears the latched pipeline failure.
+	sp2, err := a.AttachBackup(3, b, true)
+	if err != nil {
+		t.Fatalf("reattach after async ship failure: %v", err)
+	}
+	if _, err := sp2.Write(space.NewEntry("job", "n", float64(1)), nil, time.Hour); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+	waitConverged(t, a, b)
+}
+
+// waitConverged polls until both logs sit at the same position.
+func waitConverged(t *testing.T, a, b *Node) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Log().NextSeq() != b.Log().NextSeq() {
+		if time.Now().After(deadline) {
+			t.Fatalf("logs never converged: primary %d, backup %d", a.Log().NextSeq(), b.Log().NextSeq())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAsyncShipCheckpointDrainsBacklog(t *testing.T) {
+	a, b := newAsyncPair(t, 1024)
+	sp, err := a.Promote(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AttachBackup(2, b, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := sp.Write(space.NewEntry("job", "n", float64(i)), nil, time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The checkpoint must drain the async backlog before shipping the
+	// snapshot, so the backup's log never jumps past records it hasn't
+	// received.
+	if err := sp.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint in async mode: %v", err)
+	}
+	waitConverged(t, a, b)
+	if a.Log().SnapshotSeq() != b.Log().SnapshotSeq() {
+		t.Fatalf("snapshot positions diverged: primary %d, backup %d", a.Log().SnapshotSeq(), b.Log().SnapshotSeq())
+	}
+}

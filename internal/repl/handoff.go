@@ -1,0 +1,130 @@
+// Live shard handoff: moving a shard's primary onto a new node while
+// the federation keeps serving.
+//
+// Rebalance reuses the attach machinery end to end — the target is
+// seeded exactly like a reattaching backup (checkpoint → snapshot
+// install → chunked, re-fenced tail), then promoted one epoch above the
+// attach epoch so the old primary's next ship bounces as stale, and
+// finally the shard map entry flips. In-flight Router operations park
+// on the shard's reconfig channel across the flip and retry against the
+// new primary, so clients observe the handoff as at-least-once retries:
+// every acknowledged write was shipped to the target before its
+// promotion, and nothing unacknowledged is lost — it is simply re-run.
+package repl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Rebalance moves the named shard's primary onto target under the
+// router's adopted coordinator generation. To move an entry kind, pass
+// r.ShardFor(kind).Name(). See RebalanceAs.
+func (r *Router) Rebalance(name string, target *Node) (*Node, error) {
+	return r.RebalanceAs(r.Gen(), name, target)
+}
+
+// RebalanceAs hands the named shard off to target: the target is
+// brought to the primary's exact log position, promoted under a fresh
+// epoch, and installed as the shard's primary; the old primary is
+// demoted and kept as the shard's spare (reattachable via Reattach).
+// The previous spare — no longer in the configuration — is returned for
+// the caller to retire. gen is the calling coordinator's fencing token;
+// a deposed coordinator's handoff bounces with ErrStaleEpoch before
+// touching the shard.
+func (r *Router) RebalanceAs(gen uint64, name string, target *Node) (*Node, error) {
+	sh := r.Shard(name)
+	if sh == nil {
+		return nil, fmt.Errorf("repl: unknown shard %q", name)
+	}
+	retired, err := r.rebalanceShard(gen, sh, name, target)
+	r.notify()
+	return retired, err
+}
+
+// rebalanceShard is RebalanceAs's critical section; the caller notifies
+// after coordMu is released.
+//
+//lint:blockok coordinator path: serializing the handoff (checkpoint, snapshot ship, tail replay, promotion) under coordMu is the rebalance contract; data-path operations never take coordMu
+func (r *Router) rebalanceShard(gen uint64, sh *Shard, name string, target *Node) (*Node, error) {
+	sh.coordMu.Lock()
+	defer sh.coordMu.Unlock()
+	if err := sh.requireCoordGen(gen); err != nil {
+		return nil, err
+	}
+	sh.mu.Lock()
+	epoch, primary, spare, down := sh.epoch, sh.primary, sh.backup, sh.down
+	sh.mu.Unlock()
+	if down {
+		return nil, ErrShardDown
+	}
+	if target == nil || target == primary {
+		return nil, fmt.Errorf("repl: rebalance of shard %q needs a distinct target", name)
+	}
+
+	// Phase 1 — seed: the target becomes the primary's (sole) follower
+	// and is brought to its exact log position. From here on every
+	// acknowledged write is durable on the target; the old spare leaves
+	// the ack path. A failure here is non-destructive: the primary keeps
+	// serving solo at the attach epoch.
+	sp, err := primary.AttachBackup(epoch+1, target, true)
+	if sp != nil {
+		// Publish the attach epoch (and, for a re-recovered suspended
+		// primary, the fresh space) so heartbeats and clients track the
+		// node's real state mid-handoff.
+		sh.mu.Lock()
+		sh.sp = sp
+		sh.epoch = epoch + 1
+		sh.attached = err == nil
+		sh.publishLocked()
+		sh.mu.Unlock()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("repl: seeding rebalance target for shard %q: %w", name, err)
+	}
+
+	// Phase 2 — promote the target one epoch above the attach epoch.
+	// The old primary's next ship bounces as stale and fences it, so no
+	// write can be acknowledged twice-owned: acks before this instant
+	// reached the target's log (synchronous ship), acks after it can
+	// only come from the target.
+	sp2, err := target.Promote(epoch + 2)
+	if err != nil {
+		// The target died (or was superseded) mid-handoff: fall back to
+		// the old primary running solo, dropping the dead follower so
+		// writes stop ship-failing.
+		if fsp, ferr := primary.DetachBackup(epoch + 2); ferr == nil {
+			sh.mu.Lock()
+			sh.sp = fsp
+			sh.epoch = epoch + 2
+			sh.attached = false
+			sh.publishLocked()
+			sh.mu.Unlock()
+		} else if !errors.Is(ferr, ErrNodeDown) {
+			sh.mu.Lock()
+			sh.down = true
+			sh.publishLocked()
+			sh.mu.Unlock()
+		}
+		return nil, fmt.Errorf("repl: promoting rebalance target for shard %q: %w", name, err)
+	}
+
+	// Phase 3 — retire the old primary. Demote closes its space, so
+	// operations still blocked on it fail over and re-park; a demote
+	// failure (the node died under us) leaves a space the node's own
+	// death already closed. Either way the flip below must proceed: the
+	// target is promoted, and pointing the shard anywhere else would
+	// only serve stale epochs.
+	_ = primary.Demote(epoch + 2)
+
+	sh.mu.Lock()
+	sh.primary = target
+	sh.backup = primary
+	sh.attached = false
+	sh.sp = sp2
+	sh.epoch = epoch + 2
+	sh.down = false
+	sh.publishLocked()
+	sh.mu.Unlock()
+	return spare, nil
+}

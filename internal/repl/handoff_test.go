@@ -1,0 +1,154 @@
+package repl
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/space"
+	"sensorcer/internal/wal"
+)
+
+// newSpareNode builds an extra node for handoff targets.
+func newSpareNode(t *testing.T, name string) *Node {
+	t.Helper()
+	n, err := NewNode(name, clockwork.Real(), testPolicy, t.TempDir(),
+		WithWALOptions(wal.WithSyncEveryAppend(false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = n.Close() })
+	return n
+}
+
+func TestRebalanceMovesShardWithoutLosingWrites(t *testing.T) {
+	r, a, b := newTestRouter(t)
+	c := newSpareNode(t, "c")
+	for i := 0; i < 300; i++ { // enough to span catch-up chunks
+		if _, err := r.Write(space.NewEntry("job", "n", float64(i)), nil, time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epochBefore := r.Shard("s0").Epoch()
+	retired, err := r.Rebalance("s0", c)
+	if err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if retired != b {
+		t.Fatalf("retired node = %v, want old backup", retired)
+	}
+	sh := r.Shard("s0")
+	if sh.Primary() != c || sh.Backup() != a || sh.BackupAttached() {
+		t.Fatal("handoff did not install target as solo primary with the ex-primary as spare")
+	}
+	if sh.Epoch() != epochBefore+2 {
+		t.Fatalf("epoch = %d, want %d", sh.Epoch(), epochBefore+2)
+	}
+	got, err := r.TakeAny(space.NewEntry("job"), 1000, nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 300 {
+		t.Fatalf("recovered %d entries after handoff, want 300", len(got))
+	}
+	// The shard keeps serving writes on the new primary, and the retired
+	// ex-primary can come back as its live backup.
+	if _, err := r.Write(space.NewEntry("job", "n", float64(1000)), nil, time.Hour); err != nil {
+		t.Fatalf("write after handoff: %v", err)
+	}
+	if err := r.Reattach("s0"); err != nil {
+		t.Fatalf("reattach of ex-primary after handoff: %v", err)
+	}
+	if !sh.BackupAttached() {
+		t.Fatal("ex-primary did not reattach")
+	}
+}
+
+func TestRebalanceUnderLoadLosesNoAckedWrite(t *testing.T) {
+	r, _, _ := newTestRouter(t)
+	c := newSpareNode(t, "c")
+
+	const writers = 4
+	var mu sync.Mutex
+	acked := 0
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e := space.NewEntry("job", "w", float64(w), "i", float64(i))
+				if _, err := r.Write(e, nil, time.Hour); err != nil {
+					// The router retries failover-class errors itself;
+					// anything surfacing here is a real client-visible
+					// failure the handoff contract forbids.
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				mu.Lock()
+				acked++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond) // let load build
+	if _, err := r.Rebalance("s0", c); err != nil {
+		t.Fatalf("rebalance under load: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	mu.Lock()
+	n := acked
+	mu.Unlock()
+	got, err := r.TakeAny(space.NewEntry("job"), n+1000, nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < n {
+		t.Fatalf("recovered %d entries, want at least the %d acked", len(got), n)
+	}
+}
+
+func TestRebalanceTargetDeadFailsNonDestructively(t *testing.T) {
+	r, a, _ := newTestRouter(t)
+	c := newSpareNode(t, "c")
+	if _, err := r.Write(space.NewEntry("job", "n", float64(1)), nil, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	c.Kill()
+	if _, err := r.Rebalance("s0", c); err == nil {
+		t.Fatal("rebalance onto a dead target succeeded")
+	}
+	// The shard still serves from the old primary.
+	if r.Shard("s0").Primary() != a {
+		t.Fatal("failed handoff displaced the primary")
+	}
+	if _, err := r.Read(space.NewEntry("job", "n", float64(1)), nil, time.Second); err != nil {
+		t.Fatalf("read after failed handoff: %v", err)
+	}
+	if _, err := r.Write(space.NewEntry("job", "n", float64(2)), nil, time.Hour); err != nil {
+		t.Fatalf("write after failed handoff: %v", err)
+	}
+}
+
+func TestRebalanceStaleGenerationBounces(t *testing.T) {
+	r, a, _ := newTestRouter(t)
+	c := newSpareNode(t, "c")
+	if err := r.AdoptCoordinator(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RebalanceAs(4, "s0", c); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale RebalanceAs = %v, want ErrStaleEpoch", err)
+	}
+	if r.Shard("s0").Primary() != a {
+		t.Fatal("stale handoff touched the shard")
+	}
+}

@@ -57,6 +57,12 @@ type Node struct {
 	attaching bool // catch-up in flight: mutations blocked
 	down      bool // killed or closed
 
+	// async is the background ship pipeline (asyncship.go), non-nil only
+	// in async-ship mode; asyncOn/asyncLag survive Kill/Restart.
+	async    *asyncShipper
+	asyncOn  bool
+	asyncLag int
+
 	inj     *faults.Injector
 	injSite string
 }
@@ -68,6 +74,21 @@ type NodeOption func(*Node)
 // after Restart).
 func WithWALOptions(opts ...wal.Option) NodeOption {
 	return func(n *Node) { n.walOpts = opts }
+}
+
+// WithAsyncShip puts the node in async-ship mode: writes are
+// acknowledged after the local journal append and shipped to the backup
+// in the background, with the acknowledged-but-unshipped backlog
+// bounded by maxLag records (see asyncship.go for the degradation
+// ladder and the durability tradeoff).
+func WithAsyncShip(maxLag int) NodeOption {
+	return func(n *Node) {
+		n.asyncOn = true
+		if maxLag < 0 {
+			maxLag = 0
+		}
+		n.asyncLag = maxLag
+	}
 }
 
 // NewNode opens (or creates) a replica over the WAL directory dir. The
@@ -85,7 +106,18 @@ func NewNode(name string, clock clockwork.Clock, policy lease.Policy, dir string
 	}
 	n.log = l
 	n.walOpts = walOpts
+	if n.asyncOn {
+		n.async = newAsyncShipper(n, n.asyncLag)
+	}
 	return n, nil
+}
+
+// asyncPipe returns the node's background shipper, nil in sync mode (or
+// after a kill).
+func (n *Node) asyncPipe() *asyncShipper {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.async
 }
 
 // Name returns the node's name.
@@ -356,6 +388,11 @@ func (n *Node) Promote(newEpoch uint64) (*space.Space, error) {
 	n.follower = nil
 	n.fenced = false
 	n.suspended = false
+	if n.async != nil {
+		// A fresh tenure: any ship failure latched by the previous one is
+		// void (the log just recovered from holds every record).
+		n.async.reset()
+	}
 	return sp, nil
 }
 
@@ -394,6 +431,12 @@ func (n *Node) AttachBackup(newEpoch uint64, f Follower, resync bool) (*space.Sp
 	}
 	n.attaching = true
 	n.epoch = newEpoch
+	if n.async != nil {
+		// Clear any latched ship failure up front: the catch-up below
+		// (including its checkpoint, which drains the pipeline) replays
+		// the full log, which holds every record the queue dropped.
+		n.async.reset()
+	}
 	suspended := n.suspended
 	sp := n.space
 	log := n.log
@@ -523,6 +566,11 @@ func (n *Node) DetachBackup(newEpoch uint64) (*space.Space, error) {
 	}
 	n.epoch = newEpoch
 	n.follower = nil
+	if n.async != nil {
+		// No follower, no backlog: clear any latched ship failure so the
+		// solo primary serves again.
+		n.async.reset()
+	}
 	suspended := n.suspended
 	sp := n.space
 	log := n.log
@@ -584,7 +632,12 @@ func (n *Node) Kill() {
 	n.space = nil
 	n.follower = nil
 	log := n.log
+	pipe := n.async
+	n.async = nil
 	n.mu.Unlock()
+	if pipe != nil {
+		pipe.stop()
+	}
 	if sp != nil {
 		sp.Close()
 	}
@@ -614,6 +667,9 @@ func (n *Node) Restart() error {
 	n.role = RoleBackup
 	n.space = nil
 	n.follower = nil
+	if n.asyncOn {
+		n.async = newAsyncShipper(n, n.asyncLag)
+	}
 	return nil
 }
 
@@ -629,7 +685,12 @@ func (n *Node) Close() error {
 	n.space = nil
 	n.follower = nil
 	log := n.log
+	pipe := n.async
+	n.async = nil
 	n.mu.Unlock()
+	if pipe != nil {
+		pipe.stop()
+	}
 	if sp != nil {
 		sp.Close()
 	}

@@ -38,6 +38,7 @@ type Router struct {
 	ring   []ringPoint
 
 	mu       sync.Mutex
+	gen      uint64 // adopted coordinator generation (fencing token)
 	closed   chan struct{}
 	isClosed bool
 	onChange func()
@@ -67,6 +68,7 @@ type Shard struct {
 	coordMu sync.Mutex
 
 	mu       sync.Mutex
+	gen      uint64 // coordinator generation (fencing token) of the last accepted decision
 	epoch    uint64
 	primary  *Node
 	backup   *Node // the other replica; attached as follower unless solo
@@ -99,6 +101,32 @@ func (sh *Shard) Epoch() uint64 {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	return sh.epoch
+}
+
+// Gen returns the coordinator generation of the shard's last accepted
+// coordination decision.
+func (sh *Shard) Gen() uint64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.gen
+}
+
+// requireCoordGen fences a coordinator decision against the shard: a
+// decision carrying a generation below the shard's recorded one comes
+// from a deposed coordinator and bounces with ErrStaleEpoch, exactly
+// like a stale primary's ship does; a newer generation is adopted.
+// Decisions are therefore ordered lexicographically by (generation,
+// epoch) — the coordination lease's fencing token dominates every epoch
+// the holder mints. Must be called (and must succeed) before any
+// membership mutation or shard-map publication.
+func (sh *Shard) requireCoordGen(gen uint64) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if gen < sh.gen {
+		return fmt.Errorf("%w: coordinator generation %d superseded by %d on shard %q", ErrStaleEpoch, gen, sh.gen, sh.name)
+	}
+	sh.gen = gen
+	return nil
 }
 
 // Primary returns the node currently serving the shard.
@@ -236,17 +264,64 @@ func (r *Router) notify() {
 
 // --- coordination: the epoch authority ---
 
-// Failover promotes the named shard's backup and demotes (fences) the
+// Gen returns the router's adopted coordinator generation: the fencing
+// token of the coordination-lease holder it last accepted a decision
+// from (zero until a coordinator adopts it).
+func (r *Router) Gen() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gen
+}
+
+// AdoptCoordinator installs a new coordination-lease holder's fencing
+// token as the generation every subsequent decision must carry. Each
+// shard's recorded generation is raised under its coordination lock, so
+// a deposed holder mid-decision finishes (or bounces) before the
+// takeover lands and every later stale-generation decision is refused.
+// The republished shard map carries the new generation.
+func (r *Router) AdoptCoordinator(token uint64) error {
+	for _, sh := range r.shards {
+		if err := r.adoptShard(token, sh); err != nil {
+			return err
+		}
+	}
+	r.mu.Lock()
+	if token > r.gen {
+		r.gen = token
+	}
+	r.mu.Unlock()
+	r.notify()
+	return nil
+}
+
+// adoptShard is AdoptCoordinator's per-shard critical section.
+//
+//lint:blockok coordinator path: waiting out an in-flight membership change under coordMu is the takeover contract; data-path operations never take coordMu
+func (r *Router) adoptShard(token uint64, sh *Shard) error {
+	sh.coordMu.Lock()
+	defer sh.coordMu.Unlock()
+	return sh.requireCoordGen(token)
+}
+
+// Failover promotes the named shard's backup under the router's adopted
+// generation — the convenience form for deployments without replicated
+// coordinators (and the failure-detector's own promotion path).
+func (r *Router) Failover(name string) (*space.Space, error) {
+	return r.FailoverAs(r.Gen(), name)
+}
+
+// FailoverAs promotes the named shard's backup and demotes (fences) the
 // old primary from the configuration: the new epoch is minted here and
 // carried by the promotion, so the old primary's next ship — if it is
-// alive at all — is rejected as stale and fences it. Returns the
-// promoted space.
-func (r *Router) Failover(name string) (*space.Space, error) {
+// alive at all — is rejected as stale and fences it. gen is the calling
+// coordinator's fencing token; a deposed coordinator's call bounces with
+// ErrStaleEpoch before touching the shard. Returns the promoted space.
+func (r *Router) FailoverAs(gen uint64, name string) (*space.Space, error) {
 	sh := r.Shard(name)
 	if sh == nil {
 		return nil, fmt.Errorf("repl: unknown shard %q", name)
 	}
-	sp, err := r.failoverShard(sh, name)
+	sp, err := r.failoverShard(gen, sh, name)
 	if err == nil {
 		r.notify()
 	}
@@ -257,13 +332,22 @@ func (r *Router) Failover(name string) (*space.Space, error) {
 // coordMu is released.
 //
 //lint:blockok coordinator path: serializing promotion (log replay, WAL fsync) under coordMu is the failover contract; data-path operations never take coordMu
-func (r *Router) failoverShard(sh *Shard, name string) (*space.Space, error) {
+func (r *Router) failoverShard(gen uint64, sh *Shard, name string) (*space.Space, error) {
 	sh.coordMu.Lock()
 	defer sh.coordMu.Unlock()
+	if err := sh.requireCoordGen(gen); err != nil {
+		return nil, err
+	}
 	sh.mu.Lock()
-	epoch, oldPrimary, backup := sh.epoch, sh.primary, sh.backup
+	epoch, oldPrimary, backup, attached := sh.epoch, sh.primary, sh.backup, sh.attached
 	sh.mu.Unlock()
-	if backup == nil {
+	if backup == nil || !attached {
+		// Only a backup that was receiving ships at the moment of the
+		// failure holds every acknowledged mutation. An unattached spare
+		// (parked by an earlier failover, detach or rebalance) has a
+		// stale log: promoting it would resurrect taken entries and drop
+		// acks, so the shard parks instead — Restart plus Revive of the
+		// last primary is the recovery path.
 		sh.mu.Lock()
 		sh.down = true
 		sh.publishLocked()
@@ -301,11 +385,16 @@ func (r *Router) failoverShard(sh *Shard, name string) (*space.Space, error) {
 // check can detect — and mutations retried by the router ride out the
 // catch-up window.
 func (r *Router) Reattach(name string) error {
+	return r.ReattachAs(r.Gen(), name)
+}
+
+// ReattachAs is Reattach fenced by the calling coordinator's generation.
+func (r *Router) ReattachAs(gen uint64, name string) error {
 	sh := r.Shard(name)
 	if sh == nil {
 		return fmt.Errorf("repl: unknown shard %q", name)
 	}
-	published, err := r.reattachShard(sh, name)
+	published, err := r.reattachShard(gen, sh, name)
 	if published {
 		r.notify()
 	}
@@ -318,9 +407,12 @@ func (r *Router) Reattach(name string) error {
 // released.
 //
 //lint:blockok coordinator path: serializing the attach catch-up (checkpoint, snapshot ship, tail replay) under coordMu is the failover contract; data-path operations never take coordMu
-func (r *Router) reattachShard(sh *Shard, name string) (bool, error) {
+func (r *Router) reattachShard(gen uint64, sh *Shard, name string) (bool, error) {
 	sh.coordMu.Lock()
 	defer sh.coordMu.Unlock()
+	if err := sh.requireCoordGen(gen); err != nil {
+		return false, err
+	}
 	sh.mu.Lock()
 	epoch, primary, backup := sh.epoch, sh.primary, sh.backup
 	sh.mu.Unlock()
@@ -358,11 +450,16 @@ func (r *Router) reattachShard(sh *Shard, name string) (bool, error) {
 // primary), so only it may serve again; promoting the spare instead
 // could resurrect a pre-failover state and lose acks.
 func (r *Router) Revive(name string) (*space.Space, error) {
+	return r.ReviveAs(r.Gen(), name)
+}
+
+// ReviveAs is Revive fenced by the calling coordinator's generation.
+func (r *Router) ReviveAs(gen uint64, name string) (*space.Space, error) {
 	sh := r.Shard(name)
 	if sh == nil {
 		return nil, fmt.Errorf("repl: unknown shard %q", name)
 	}
-	sp, err := r.reviveShard(sh, name)
+	sp, err := r.reviveShard(gen, sh, name)
 	if err == nil {
 		r.notify()
 	}
@@ -373,9 +470,12 @@ func (r *Router) Revive(name string) (*space.Space, error) {
 // coordMu is released.
 //
 //lint:blockok coordinator path: serializing re-promotion (log replay, WAL fsync) under coordMu is the failover contract; data-path operations never take coordMu
-func (r *Router) reviveShard(sh *Shard, name string) (*space.Space, error) {
+func (r *Router) reviveShard(gen uint64, sh *Shard, name string) (*space.Space, error) {
 	sh.coordMu.Lock()
 	defer sh.coordMu.Unlock()
+	if err := sh.requireCoordGen(gen); err != nil {
+		return nil, err
+	}
 	sh.mu.Lock()
 	epoch, primary := sh.epoch, sh.primary
 	sh.mu.Unlock()
@@ -397,11 +497,16 @@ func (r *Router) reviveShard(sh *Shard, name string) (*space.Space, error) {
 // primary continues solo under a fresh epoch (acks locally durable
 // only). Used when the backup is unreachable but the primary healthy.
 func (r *Router) Detach(name string) error {
+	return r.DetachAs(r.Gen(), name)
+}
+
+// DetachAs is Detach fenced by the calling coordinator's generation.
+func (r *Router) DetachAs(gen uint64, name string) error {
 	sh := r.Shard(name)
 	if sh == nil {
 		return fmt.Errorf("repl: unknown shard %q", name)
 	}
-	err := r.detachShard(sh, name)
+	err := r.detachShard(gen, sh, name)
 	if err == nil {
 		r.notify()
 	}
@@ -412,9 +517,12 @@ func (r *Router) Detach(name string) error {
 // coordMu is released.
 //
 //lint:blockok coordinator path: serializing the detach (re-recovery, log replay) under coordMu is the failover contract; data-path operations never take coordMu
-func (r *Router) detachShard(sh *Shard, name string) error {
+func (r *Router) detachShard(gen uint64, sh *Shard, name string) error {
 	sh.coordMu.Lock()
 	defer sh.coordMu.Unlock()
+	if err := sh.requireCoordGen(gen); err != nil {
+		return err
+	}
 	sh.mu.Lock()
 	epoch, primary := sh.epoch, sh.primary
 	sh.mu.Unlock()
@@ -457,9 +565,15 @@ func (r *Router) monitorShard(sh *Shard, interval time.Duration, misses int) {
 		primary, epoch, down := sh.primary, sh.epoch, sh.down
 		sh.mu.Unlock()
 		if !down {
-			if err := primary.Heartbeat(epoch); err != nil {
+			switch err := primary.Heartbeat(epoch); {
+			case errors.Is(err, ErrStaleEpoch):
+				// A reconfiguration bumped the node's epoch between the
+				// state read and the probe; the primary answered, so it
+				// is alive — not a miss.
+				consecutive = 0
+			case err != nil:
 				consecutive++
-			} else {
+			default:
 				consecutive = 0
 			}
 			if consecutive >= misses {

@@ -21,6 +21,7 @@ const ShardAttrType = "SpaceShard"
 // ShardInfo is one shard's published configuration.
 type ShardInfo struct {
 	Shard    string
+	Gen      uint64 // coordinator generation the configuration was decided under
 	Epoch    uint64
 	Primary  string
 	Backup   string
@@ -46,6 +47,7 @@ func shardAttrs(name string, r *Router) attr.Set {
 		sh.mu.Lock()
 		info := ShardInfo{
 			Shard:    sh.name,
+			Gen:      sh.gen,
 			Epoch:    sh.epoch,
 			Attached: sh.attached,
 			Down:     sh.down,
@@ -59,6 +61,7 @@ func shardAttrs(name string, r *Router) attr.Set {
 		sh.mu.Unlock()
 		set = append(set, attr.New(ShardAttrType,
 			"shard", info.Shard,
+			"gen", int64(info.Gen),
 			"epoch", int64(info.Epoch),
 			"primary", info.Primary,
 			"backup", info.Backup,
@@ -75,9 +78,19 @@ func shardAttrs(name string, r *Router) attr.Set {
 // alive (e.g. with a lease.RenewalManager) via the returned
 // registration's lease.
 func PublishShardMap(reg registry.Registrar, name string, r *Router, leaseDur time.Duration) (*ShardMapPublication, registry.Registration, error) {
+	return PublishShardMapVia(reg, name, r, r, leaseDur)
+}
+
+// PublishShardMapVia is PublishShardMap with an explicit service value
+// for the registration. An in-process registry accepts the Router
+// itself (the default); a remote registrar requires a proxy descriptor,
+// so a federation publishing its map into a separate-process lookup
+// service passes one here. Consumers only read the attributes either
+// way — LookupShardMap never touches the service value.
+func PublishShardMapVia(reg registry.Registrar, name string, r *Router, svc any, leaseDur time.Duration) (*ShardMapPublication, registry.Registration, error) {
 	item := registry.ServiceItem{
 		ID:         ids.NewServiceID(),
-		Service:    r,
+		Service:    svc,
 		Types:      []string{ShardMapType},
 		Attributes: shardAttrs(name, r),
 	}
@@ -115,6 +128,14 @@ func LookupShardMap(reg registry.Registrar, name string) ([]ShardInfo, error) {
 		info := ShardInfo{}
 		if v, ok := e.Get("shard"); ok {
 			info.Shard, _ = v.(string)
+		}
+		if v, ok := e.Get("gen"); ok {
+			switch n := v.(type) {
+			case int64:
+				info.Gen = uint64(n)
+			case float64:
+				info.Gen = uint64(n)
+			}
 		}
 		if v, ok := e.Get("epoch"); ok {
 			switch n := v.(type) {
