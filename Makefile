@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race race-stress short bench bench-smoke bench-compare chaos chaos-recovery chaos-failover chaos-coordinator experiments examples cover clean
+.PHONY: all build vet lint test race race-stress short fuzz-seeds bench bench-smoke bench-compare chaos chaos-recovery chaos-failover chaos-coordinator experiments examples cover clean
 
 # Seed for the fault-injection suite; override to replay a sequence:
 #   make chaos CHAOS_SEED=42
@@ -41,9 +41,18 @@ race-stress:
 short:
 	$(GO) test ./... -count=1 -short
 
+# Run the wire/srpc fuzz targets over their seed corpora (the checked-in
+# testdata/fuzz files plus the in-code f.Add seeds): the never-panic /
+# bounded-allocation properties of the frame decoder, without paying for
+# open-ended fuzzing. For a real fuzz session:
+#   go test ./internal/srpc -fuzz FuzzDecodeFrame -fuzztime 60s
+fuzz-seeds:
+	$(GO) test ./internal/srpc ./internal/wire -count=1 -run '^Fuzz'
+
 # Full benchmark suite; results land in $(BENCH_OUT) (op name -> ns/op,
-# B/op, allocs/op) so later PRs have a perf trajectory to compare against.
-BENCH_OUT ?= BENCH_PR7.json
+# B/op, allocs/op, custom metrics like wirebytes/op) so later PRs have a
+# perf trajectory to compare against.
+BENCH_OUT ?= BENCH_PR8.json
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 

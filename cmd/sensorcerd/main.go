@@ -67,10 +67,23 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  sensorcerd lus -listen host:port
+  sensorcerd lus -listen host:port [-codec binary|json]
   sensorcerd esp -name <name> -lus host:port [-seed n] [-interval 1s]
-  sensorcerd shard -name <shard> -listen host:port [-dir path]`)
+  sensorcerd shard -name <shard> -listen host:port [-dir path] [-codec binary|json]`)
 	os.Exit(2)
+}
+
+// parseCodec resolves a -codec flag value or exits with usage help. The
+// flag exists for ablation: "json" pins a component to the legacy
+// line-delimited protocol (it never sends the binary preamble, so every
+// peer negotiates down), "binary" is the default length-prefixed codec.
+func parseCodec(v string) srpc.Codec {
+	c, err := srpc.ParseCodec(v)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sensorcerd:", err)
+		os.Exit(2)
+	}
+	return c
 }
 
 func runLUS(args []string) {
@@ -80,6 +93,7 @@ func runLUS(args []string) {
 	token := fs.String("token", "", "shared secret required from clients (empty = open)")
 	announce := fs.String("announce", "", "UDP address to send discovery announcements to (optional)")
 	groups := fs.String("groups", discovery.PublicGroup, "comma-separated discovery groups")
+	codec := fs.String("codec", "binary", "wire codec to offer (binary|json)")
 	fs.Parse(args)
 
 	clock := clockwork.Real()
@@ -88,6 +102,7 @@ func runLUS(args []string) {
 	defer lus.Close()
 
 	server := srpc.NewServer()
+	server.SetCodec(parseCodec(*codec))
 	if *token != "" {
 		server.SetToken(*token)
 	}
@@ -145,6 +160,7 @@ func runESP(args []string) {
 	listen := fs.String("listen", "127.0.0.1:0", "srpc export address")
 	leaseDur := fs.Duration("lease", 10*time.Second, "registration lease to request")
 	token := fs.String("token", "", "shared secret for the deployment (empty = open)")
+	codec := fs.String("codec", "binary", "wire codec to offer (binary|json)")
 	fs.Parse(args)
 
 	clock := clockwork.Real()
@@ -159,6 +175,7 @@ func runESP(args []string) {
 	defer esp.Close()
 
 	server := srpc.NewServer()
+	server.SetCodec(parseCodec(*codec))
 	if *token != "" {
 		server.SetToken(*token)
 	}
@@ -212,6 +229,7 @@ func runShard(args []string) {
 	dir := fs.String("dir", "", "WAL directory for the replica (empty = fresh temp dir)")
 	leaseMax := fs.Duration("lease-max", 30*time.Second, "maximum entry lease on the hosted replica")
 	token := fs.String("token", "", "shared secret required from clients (empty = open)")
+	codec := fs.String("codec", "binary", "wire codec to offer (binary|json)")
 	fs.Parse(args)
 
 	clock := clockwork.Real()
@@ -229,6 +247,7 @@ func runShard(args []string) {
 	defer node.Close()
 
 	server := srpc.NewServer()
+	server.SetCodec(parseCodec(*codec))
 	if *token != "" {
 		server.SetToken(*token)
 	}

@@ -462,6 +462,14 @@ func allowedExternal(fn *types.Func) bool {
 	switch fn.FullName() {
 	case "reflect.TypeOf", "sort.Search", "errors.Is":
 		return true
+	// time.Time / time.Duration value arithmetic: pure integer math on
+	// the wall/monotonic fields, no allocation (unlike Format/String).
+	case "(time.Time).UnixNano", "(time.Time).Unix", "(time.Time).Before",
+		"(time.Time).After", "(time.Time).Sub", "(time.Time).Add",
+		"(time.Time).Equal", "(time.Time).IsZero", "(time.Time).Nanosecond",
+		"(time.Duration).Milliseconds", "(time.Duration).Nanoseconds",
+		"(time.Duration).Seconds":
+		return true
 	}
 	return strings.HasPrefix(fn.FullName(), "(reflect.Type).")
 }

@@ -99,7 +99,7 @@ func ServeAccessor(server *srpc.Server, serviceName string, acc sensor.DataAcces
 	})
 	srpc.HandleFunc(server, "accessor.getReadings."+serviceName, func(p readingsParams) (any, error) {
 		readings := acc.GetReadings(p.N)
-		out := make([]wireReading, len(readings))
+		out := make(wireReadings, len(readings))
 		for i, r := range readings {
 			out[i] = toWire(r)
 		}
@@ -163,7 +163,7 @@ func (a *AccessorClient) GetValue() (probe.Reading, error) {
 
 // GetReadings implements sensor.DataAccessor.
 func (a *AccessorClient) GetReadings(n int) []probe.Reading {
-	var ws []wireReading
+	var ws wireReadings
 	if err := a.call("accessor.getReadings."+a.desc.Service, readingsParams{Service: a.desc.Service, N: n}, &ws); err != nil {
 		return nil
 	}

@@ -1,0 +1,735 @@
+// Hand-written binary fast paths for the hot srpc message shapes: repl
+// ship batches (the write-ack path), registry lookups (the discovery
+// path), accessor readings and exertion envelopes. Each wire struct
+// implements srpc.BinaryMarshaler on its value form and
+// srpc.BinaryUnmarshaler on its pointer form, so the codec picks the
+// fast path automatically on negotiated-binary connections and the same
+// structs still fall back to their JSON tags against legacy peers.
+//
+// Layouts build on internal/wire's Append/Consume primitives. Dynamic
+// values (attr fields, exertion context values) are tagged scalars —
+// strings, bools, int64 and float64 survive a round trip with their Go
+// types intact, unlike JSON, which folds every number into float64 — and
+// anything richer rides as a tagged JSON blob. Decoded shapes own their
+// memory: consuming aliases the frame buffer, so every retained byte
+// slice or string is copied out before the decoder returns (ship-batch
+// payloads into one contiguous block, since the WAL retains them).
+package remote
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"sensorcer/internal/attr"
+	"sensorcer/internal/ids"
+	"sensorcer/internal/wire"
+)
+
+// Payload shape tags owned by this package (srpc reserves 0 for JSON,
+// internal/wire owns 32+). Part of the wire format — append only.
+const (
+	shapeShipBatch    byte = 1
+	shapeShipResult   byte = 2
+	shapeShipSnapshot byte = 3
+	shapeHeartbeat    byte = 4
+	shapeLookupParams byte = 5
+	shapeItems        byte = 6
+	shapeReading      byte = 7
+	shapeReadings     byte = 8
+	shapeReadingsReq  byte = 9
+	shapeServiceReq   byte = 10
+	shapeTask         byte = 11
+	shapeTaskResult   byte = 12
+)
+
+func shapeErr(what string, shape byte) error {
+	return fmt.Errorf("remote: unexpected payload shape %#x for %s", shape, what)
+}
+
+func malformedErr(what string) error {
+	return fmt.Errorf("remote: malformed binary %s payload", what)
+}
+
+// --- dynamic value encoding (attr fields, exertion context) ---
+
+// Value tags: the scalar kinds attr.Value admits, plus a JSON blob
+// fallback for anything richer (lists in exertion contexts).
+const (
+	valString  byte = 0
+	valFalse   byte = 1
+	valTrue    byte = 2
+	valInt64   byte = 3
+	valFloat64 byte = 4
+	valJSON    byte = 5
+)
+
+func appendValue(b []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case string:
+		return wire.AppendString(append(b, valString), x), nil
+	case bool:
+		if x {
+			return append(b, valTrue), nil
+		}
+		return append(b, valFalse), nil
+	case int64:
+		return wire.AppendSvarint(append(b, valInt64), x), nil
+	case float64:
+		return wire.AppendFloat64(append(b, valFloat64), x), nil
+	default:
+		blob, err := json.Marshal(v)
+		if err != nil {
+			return b, err
+		}
+		return wire.AppendBytes(append(b, valJSON), blob), nil
+	}
+}
+
+func consumeValue(b []byte) (any, []byte, bool) {
+	if len(b) < 1 {
+		return nil, b, false
+	}
+	tag, rest := b[0], b[1:]
+	switch tag {
+	case valString:
+		s, rest, ok := wire.ConsumeString(rest)
+		return s, rest, ok
+	case valFalse:
+		return false, rest, true
+	case valTrue:
+		return true, rest, true
+	case valInt64:
+		v, rest, ok := wire.ConsumeSvarint(rest)
+		return v, rest, ok
+	case valFloat64:
+		v, rest, ok := wire.ConsumeFloat64(rest)
+		return v, rest, ok
+	case valJSON:
+		blob, rest, ok := wire.ConsumeBytes(rest)
+		if !ok {
+			return nil, b, false
+		}
+		var v any
+		if err := json.Unmarshal(blob, &v); err != nil {
+			return nil, b, false
+		}
+		return v, rest, true
+	}
+	return nil, b, false
+}
+
+// --- shared sub-encodings ---
+
+func appendTime(b []byte, t time.Time) []byte {
+	b = wire.AppendSvarint(b, t.Unix())
+	return wire.AppendUvarint(b, uint64(t.Nanosecond()))
+}
+
+func consumeTime(b []byte) (time.Time, []byte, bool) {
+	sec, b, ok := wire.ConsumeSvarint(b)
+	if !ok {
+		return time.Time{}, b, false
+	}
+	nsec, b, ok := wire.ConsumeUvarint(b)
+	if !ok || nsec >= 1e9 {
+		return time.Time{}, b, false
+	}
+	return time.Unix(sec, int64(nsec)), b, true
+}
+
+func appendAttrSet(b []byte, set attr.Set) ([]byte, error) {
+	b = wire.AppendUvarint(b, uint64(len(set)))
+	var err error
+	for _, e := range set {
+		b = wire.AppendString(b, e.Type)
+		b = wire.AppendUvarint(b, uint64(len(e.Fields)))
+		for k, v := range e.Fields {
+			b = wire.AppendString(b, k)
+			if b, err = appendValue(b, v); err != nil {
+				return b, err
+			}
+		}
+	}
+	return b, nil
+}
+
+func consumeAttrSet(b []byte) (attr.Set, []byte, bool) {
+	n, b, ok := wire.ConsumeUvarint(b)
+	if !ok || n > uint64(len(b)) {
+		return nil, b, false
+	}
+	var set attr.Set
+	if n > 0 {
+		set = make(attr.Set, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var e attr.Entry
+		if e.Type, b, ok = wire.ConsumeString(b); !ok {
+			return nil, b, false
+		}
+		var nf uint64
+		if nf, b, ok = wire.ConsumeUvarint(b); !ok || nf > uint64(len(b)) {
+			return nil, b, false
+		}
+		if nf > 0 {
+			e.Fields = make(map[string]attr.Value, nf)
+		}
+		for j := uint64(0); j < nf; j++ {
+			var k string
+			var v any
+			if k, b, ok = wire.ConsumeString(b); !ok {
+				return nil, b, false
+			}
+			if v, b, ok = consumeValue(b); !ok {
+				return nil, b, false
+			}
+			e.Fields[k] = v
+		}
+		set = append(set, e)
+	}
+	return set, b, true
+}
+
+func appendContext(b []byte, ctx map[string]any) ([]byte, error) {
+	b = wire.AppendUvarint(b, uint64(len(ctx)))
+	var err error
+	for k, v := range ctx {
+		b = wire.AppendString(b, k)
+		if b, err = appendValue(b, v); err != nil {
+			return b, err
+		}
+	}
+	return b, nil
+}
+
+func consumeContext(b []byte) (map[string]any, []byte, bool) {
+	n, b, ok := wire.ConsumeUvarint(b)
+	if !ok || n > uint64(len(b)) {
+		return nil, b, false
+	}
+	var ctx map[string]any
+	if n > 0 {
+		ctx = make(map[string]any, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var k string
+		var v any
+		if k, b, ok = wire.ConsumeString(b); !ok {
+			return nil, b, false
+		}
+		if v, b, ok = consumeValue(b); !ok {
+			return nil, b, false
+		}
+		ctx[k] = v
+	}
+	return ctx, b, true
+}
+
+func appendID(b []byte, id ids.ServiceID) []byte {
+	//lint:allocok amortized growth of the caller-owned encode buffer
+	return append(b, id[:]...)
+}
+
+func consumeID(b []byte) (ids.ServiceID, []byte, bool) {
+	var id ids.ServiceID
+	if len(b) < len(id) {
+		return id, b, false
+	}
+	copy(id[:], b)
+	return id, b[len(id):], true
+}
+
+func appendProxy(b []byte, p *ProxyDesc) []byte {
+	if p == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = wire.AppendString(b, p.Kind)
+	b = wire.AppendString(b, p.Locator)
+	return wire.AppendString(b, p.Service)
+}
+
+func consumeProxy(b []byte) (*ProxyDesc, []byte, bool) {
+	if len(b) < 1 {
+		return nil, b, false
+	}
+	present, rest := b[0], b[1:]
+	if present == 0 {
+		return nil, rest, true
+	}
+	var p ProxyDesc
+	var ok bool
+	if p.Kind, rest, ok = wire.ConsumeString(rest); !ok {
+		return nil, b, false
+	}
+	if p.Locator, rest, ok = wire.ConsumeString(rest); !ok {
+		return nil, b, false
+	}
+	if p.Service, rest, ok = wire.ConsumeString(rest); !ok {
+		return nil, b, false
+	}
+	return &p, rest, true
+}
+
+// --- replication shapes (the write-ack hot path) ---
+
+// SrpcShape implements srpc.BinaryMarshaler.
+func (w wireShipBatch) SrpcShape() byte { return shapeShipBatch }
+
+// AppendSrpc encodes epoch | firstSeq | count | length-prefixed records.
+// This is the per-acknowledged-write encode path, allocation-free beyond
+// amortized buffer growth.
+//
+//lint:noalloc
+func (w wireShipBatch) AppendSrpc(buf []byte) ([]byte, error) {
+	buf = wire.AppendUvarint(buf, w.Epoch)
+	buf = wire.AppendUvarint(buf, w.FirstSeq)
+	buf = wire.AppendUvarint(buf, uint64(len(w.Payloads)))
+	for _, p := range w.Payloads {
+		buf = wire.AppendBytes(buf, p)
+	}
+	return buf, nil
+}
+
+// UnmarshalSrpc implements srpc.BinaryUnmarshaler. Record payloads are
+// copied out of the frame into one contiguous owned block — the WAL
+// retains them past the handler call.
+func (w *wireShipBatch) UnmarshalSrpc(shape byte, data []byte) error {
+	if shape != shapeShipBatch {
+		return shapeErr("ship batch", shape)
+	}
+	var ok bool
+	if w.Epoch, data, ok = wire.ConsumeUvarint(data); !ok {
+		return malformedErr("ship batch")
+	}
+	if w.FirstSeq, data, ok = wire.ConsumeUvarint(data); !ok {
+		return malformedErr("ship batch")
+	}
+	count, data, ok := wire.ConsumeUvarint(data)
+	if !ok || count > uint64(len(data)) {
+		return malformedErr("ship batch")
+	}
+	views := make([][]byte, count)
+	total := 0
+	for i := range views {
+		if views[i], data, ok = wire.ConsumeBytes(data); !ok {
+			return malformedErr("ship batch")
+		}
+		total += len(views[i])
+	}
+	if len(data) != 0 {
+		return malformedErr("ship batch")
+	}
+	block := make([]byte, 0, total)
+	payloads := make([][]byte, len(views))
+	for i, v := range views {
+		start := len(block)
+		block = append(block, v...)
+		payloads[i] = block[start:len(block):len(block)]
+	}
+	w.Payloads = payloads
+	return nil
+}
+
+// SrpcShape implements srpc.BinaryMarshaler.
+func (w wireShipResult) SrpcShape() byte { return shapeShipResult }
+
+// AppendSrpc implements srpc.BinaryMarshaler.
+//
+//lint:noalloc
+func (w wireShipResult) AppendSrpc(buf []byte) ([]byte, error) {
+	return wire.AppendUvarint(buf, w.NextSeq), nil
+}
+
+// UnmarshalSrpc implements srpc.BinaryUnmarshaler.
+func (w *wireShipResult) UnmarshalSrpc(shape byte, data []byte) error {
+	if shape != shapeShipResult {
+		return shapeErr("ship result", shape)
+	}
+	next, rest, ok := wire.ConsumeUvarint(data)
+	if !ok || len(rest) != 0 {
+		return malformedErr("ship result")
+	}
+	w.NextSeq = next
+	return nil
+}
+
+// SrpcShape implements srpc.BinaryMarshaler.
+func (w wireShipSnapshot) SrpcShape() byte { return shapeShipSnapshot }
+
+// AppendSrpc implements srpc.BinaryMarshaler.
+func (w wireShipSnapshot) AppendSrpc(buf []byte) ([]byte, error) {
+	buf = wire.AppendUvarint(buf, w.Epoch)
+	buf = wire.AppendUvarint(buf, w.Seq)
+	return wire.AppendBytes(buf, w.Data), nil
+}
+
+// UnmarshalSrpc implements srpc.BinaryUnmarshaler; the snapshot bytes are
+// copied out of the frame (the node retains them while installing).
+func (w *wireShipSnapshot) UnmarshalSrpc(shape byte, data []byte) error {
+	if shape != shapeShipSnapshot {
+		return shapeErr("snapshot", shape)
+	}
+	var ok bool
+	if w.Epoch, data, ok = wire.ConsumeUvarint(data); !ok {
+		return malformedErr("snapshot")
+	}
+	if w.Seq, data, ok = wire.ConsumeUvarint(data); !ok {
+		return malformedErr("snapshot")
+	}
+	view, rest, ok := wire.ConsumeBytes(data)
+	if !ok || len(rest) != 0 {
+		return malformedErr("snapshot")
+	}
+	w.Data = append([]byte(nil), view...)
+	return nil
+}
+
+// SrpcShape implements srpc.BinaryMarshaler.
+func (w wireHeartbeat) SrpcShape() byte { return shapeHeartbeat }
+
+// AppendSrpc implements srpc.BinaryMarshaler.
+//
+//lint:noalloc
+func (w wireHeartbeat) AppendSrpc(buf []byte) ([]byte, error) {
+	return wire.AppendUvarint(buf, w.Epoch), nil
+}
+
+// UnmarshalSrpc implements srpc.BinaryUnmarshaler.
+func (w *wireHeartbeat) UnmarshalSrpc(shape byte, data []byte) error {
+	if shape != shapeHeartbeat {
+		return shapeErr("heartbeat", shape)
+	}
+	epoch, rest, ok := wire.ConsumeUvarint(data)
+	if !ok || len(rest) != 0 {
+		return malformedErr("heartbeat")
+	}
+	w.Epoch = epoch
+	return nil
+}
+
+// --- registry lookup shapes (the discovery hot path) ---
+
+// SrpcShape implements srpc.BinaryMarshaler.
+func (p lookupParams) SrpcShape() byte { return shapeLookupParams }
+
+// AppendSrpc implements srpc.BinaryMarshaler.
+func (p lookupParams) AppendSrpc(buf []byte) ([]byte, error) {
+	buf = appendID(buf, p.ID)
+	buf = wire.AppendUvarint(buf, uint64(len(p.Types)))
+	for _, t := range p.Types {
+		buf = wire.AppendString(buf, t)
+	}
+	buf, err := appendAttrSet(buf, p.Attributes)
+	if err != nil {
+		return buf, err
+	}
+	return wire.AppendSvarint(buf, int64(p.Max)), nil
+}
+
+// UnmarshalSrpc implements srpc.BinaryUnmarshaler.
+func (p *lookupParams) UnmarshalSrpc(shape byte, data []byte) error {
+	if shape != shapeLookupParams {
+		return shapeErr("lookup params", shape)
+	}
+	var ok bool
+	if p.ID, data, ok = consumeID(data); !ok {
+		return malformedErr("lookup params")
+	}
+	nt, data, ok := wire.ConsumeUvarint(data)
+	if !ok || nt > uint64(len(data)) {
+		return malformedErr("lookup params")
+	}
+	if nt > 0 {
+		p.Types = make([]string, nt)
+	}
+	for i := range p.Types {
+		if p.Types[i], data, ok = wire.ConsumeString(data); !ok {
+			return malformedErr("lookup params")
+		}
+	}
+	if p.Attributes, data, ok = consumeAttrSet(data); !ok {
+		return malformedErr("lookup params")
+	}
+	max, rest, ok := wire.ConsumeSvarint(data)
+	if !ok || len(rest) != 0 {
+		return malformedErr("lookup params")
+	}
+	p.Max = int(max)
+	return nil
+}
+
+// wireItems is the lookup match list; named so the slice can carry the
+// binary fast path as a response shape.
+type wireItems []wireItem
+
+// SrpcShape implements srpc.BinaryMarshaler.
+func (ws wireItems) SrpcShape() byte { return shapeItems }
+
+// AppendSrpc implements srpc.BinaryMarshaler.
+func (ws wireItems) AppendSrpc(buf []byte) ([]byte, error) {
+	buf = wire.AppendUvarint(buf, uint64(len(ws)))
+	var err error
+	for _, w := range ws {
+		buf = appendID(buf, w.ID)
+		buf = wire.AppendUvarint(buf, uint64(len(w.Types)))
+		for _, t := range w.Types {
+			buf = wire.AppendString(buf, t)
+		}
+		if buf, err = appendAttrSet(buf, w.Attributes); err != nil {
+			return buf, err
+		}
+		buf = appendProxy(buf, w.Proxy)
+	}
+	return buf, nil
+}
+
+// UnmarshalSrpc implements srpc.BinaryUnmarshaler.
+func (ws *wireItems) UnmarshalSrpc(shape byte, data []byte) error {
+	if shape != shapeItems {
+		return shapeErr("lookup matches", shape)
+	}
+	n, data, ok := wire.ConsumeUvarint(data)
+	if !ok || n > uint64(len(data)) {
+		return malformedErr("lookup matches")
+	}
+	out := make(wireItems, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var w wireItem
+		if w.ID, data, ok = consumeID(data); !ok {
+			return malformedErr("lookup matches")
+		}
+		var nt uint64
+		if nt, data, ok = wire.ConsumeUvarint(data); !ok || nt > uint64(len(data)) {
+			return malformedErr("lookup matches")
+		}
+		if nt > 0 {
+			w.Types = make([]string, nt)
+		}
+		for j := range w.Types {
+			if w.Types[j], data, ok = wire.ConsumeString(data); !ok {
+				return malformedErr("lookup matches")
+			}
+		}
+		if w.Attributes, data, ok = consumeAttrSet(data); !ok {
+			return malformedErr("lookup matches")
+		}
+		if w.Proxy, data, ok = consumeProxy(data); !ok {
+			return malformedErr("lookup matches")
+		}
+		out = append(out, w)
+	}
+	if len(data) != 0 {
+		return malformedErr("lookup matches")
+	}
+	*ws = out
+	return nil
+}
+
+// --- accessor shapes (sensor reads) ---
+
+func appendReading(b []byte, w wireReading) []byte {
+	b = wire.AppendString(b, w.Sensor)
+	b = wire.AppendString(b, w.Kind)
+	b = wire.AppendString(b, w.Unit)
+	b = wire.AppendFloat64(b, w.Value)
+	return appendTime(b, w.Timestamp)
+}
+
+func consumeReading(b []byte) (wireReading, []byte, bool) {
+	var w wireReading
+	var ok bool
+	if w.Sensor, b, ok = wire.ConsumeString(b); !ok {
+		return w, b, false
+	}
+	if w.Kind, b, ok = wire.ConsumeString(b); !ok {
+		return w, b, false
+	}
+	if w.Unit, b, ok = wire.ConsumeString(b); !ok {
+		return w, b, false
+	}
+	if w.Value, b, ok = wire.ConsumeFloat64(b); !ok {
+		return w, b, false
+	}
+	if w.Timestamp, b, ok = consumeTime(b); !ok {
+		return w, b, false
+	}
+	return w, b, true
+}
+
+// SrpcShape implements srpc.BinaryMarshaler.
+func (w wireReading) SrpcShape() byte { return shapeReading }
+
+// AppendSrpc implements srpc.BinaryMarshaler.
+//
+//lint:noalloc
+func (w wireReading) AppendSrpc(buf []byte) ([]byte, error) {
+	return appendReading(buf, w), nil
+}
+
+// UnmarshalSrpc implements srpc.BinaryUnmarshaler.
+func (w *wireReading) UnmarshalSrpc(shape byte, data []byte) error {
+	if shape != shapeReading {
+		return shapeErr("reading", shape)
+	}
+	r, rest, ok := consumeReading(data)
+	if !ok || len(rest) != 0 {
+		return malformedErr("reading")
+	}
+	*w = r
+	return nil
+}
+
+// wireReadings is the GetReadings batch; named so the slice can carry
+// the binary fast path as a response shape.
+type wireReadings []wireReading
+
+// SrpcShape implements srpc.BinaryMarshaler.
+func (ws wireReadings) SrpcShape() byte { return shapeReadings }
+
+// AppendSrpc is the probe reading-batch encode path.
+//
+//lint:noalloc
+func (ws wireReadings) AppendSrpc(buf []byte) ([]byte, error) {
+	buf = wire.AppendUvarint(buf, uint64(len(ws)))
+	for _, w := range ws {
+		buf = appendReading(buf, w)
+	}
+	return buf, nil
+}
+
+// UnmarshalSrpc implements srpc.BinaryUnmarshaler.
+func (ws *wireReadings) UnmarshalSrpc(shape byte, data []byte) error {
+	if shape != shapeReadings {
+		return shapeErr("readings", shape)
+	}
+	n, data, ok := wire.ConsumeUvarint(data)
+	if !ok || n > uint64(len(data)) {
+		return malformedErr("readings")
+	}
+	out := make(wireReadings, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var w wireReading
+		if w, data, ok = consumeReading(data); !ok {
+			return malformedErr("readings")
+		}
+		out = append(out, w)
+	}
+	if len(data) != 0 {
+		return malformedErr("readings")
+	}
+	*ws = out
+	return nil
+}
+
+// SrpcShape implements srpc.BinaryMarshaler.
+func (p readingsParams) SrpcShape() byte { return shapeReadingsReq }
+
+// AppendSrpc implements srpc.BinaryMarshaler.
+//
+//lint:noalloc
+func (p readingsParams) AppendSrpc(buf []byte) ([]byte, error) {
+	buf = wire.AppendString(buf, p.Service)
+	return wire.AppendSvarint(buf, int64(p.N)), nil
+}
+
+// UnmarshalSrpc implements srpc.BinaryUnmarshaler.
+func (p *readingsParams) UnmarshalSrpc(shape byte, data []byte) error {
+	if shape != shapeReadingsReq {
+		return shapeErr("readings params", shape)
+	}
+	var ok bool
+	if p.Service, data, ok = wire.ConsumeString(data); !ok {
+		return malformedErr("readings params")
+	}
+	n, rest, ok := wire.ConsumeSvarint(data)
+	if !ok || len(rest) != 0 {
+		return malformedErr("readings params")
+	}
+	p.N = int(n)
+	return nil
+}
+
+// SrpcShape implements srpc.BinaryMarshaler.
+func (p serviceParams) SrpcShape() byte { return shapeServiceReq }
+
+// AppendSrpc implements srpc.BinaryMarshaler.
+//
+//lint:noalloc
+func (p serviceParams) AppendSrpc(buf []byte) ([]byte, error) {
+	return wire.AppendString(buf, p.Service), nil
+}
+
+// UnmarshalSrpc implements srpc.BinaryUnmarshaler.
+func (p *serviceParams) UnmarshalSrpc(shape byte, data []byte) error {
+	if shape != shapeServiceReq {
+		return shapeErr("service params", shape)
+	}
+	var ok bool
+	if p.Service, data, ok = wire.ConsumeString(data); !ok || len(data) != 0 {
+		return malformedErr("service params")
+	}
+	return nil
+}
+
+// --- exertion envelope shapes ---
+
+// SrpcShape implements srpc.BinaryMarshaler.
+func (t wireTask) SrpcShape() byte { return shapeTask }
+
+// AppendSrpc implements srpc.BinaryMarshaler.
+func (t wireTask) AppendSrpc(buf []byte) ([]byte, error) {
+	buf = wire.AppendString(buf, t.Name)
+	buf = wire.AppendString(buf, t.ServiceType)
+	buf = wire.AppendString(buf, t.Selector)
+	buf = wire.AppendString(buf, t.ProviderName)
+	return appendContext(buf, t.Context)
+}
+
+// UnmarshalSrpc implements srpc.BinaryUnmarshaler.
+func (t *wireTask) UnmarshalSrpc(shape byte, data []byte) error {
+	if shape != shapeTask {
+		return shapeErr("task", shape)
+	}
+	var ok bool
+	if t.Name, data, ok = wire.ConsumeString(data); !ok {
+		return malformedErr("task")
+	}
+	if t.ServiceType, data, ok = wire.ConsumeString(data); !ok {
+		return malformedErr("task")
+	}
+	if t.Selector, data, ok = wire.ConsumeString(data); !ok {
+		return malformedErr("task")
+	}
+	if t.ProviderName, data, ok = wire.ConsumeString(data); !ok {
+		return malformedErr("task")
+	}
+	ctx, rest, ok := consumeContext(data)
+	if !ok || len(rest) != 0 {
+		return malformedErr("task")
+	}
+	t.Context = ctx
+	return nil
+}
+
+// SrpcShape implements srpc.BinaryMarshaler.
+func (t wireTaskResult) SrpcShape() byte { return shapeTaskResult }
+
+// AppendSrpc implements srpc.BinaryMarshaler.
+func (t wireTaskResult) AppendSrpc(buf []byte) ([]byte, error) {
+	return appendContext(buf, t.Context)
+}
+
+// UnmarshalSrpc implements srpc.BinaryUnmarshaler.
+func (t *wireTaskResult) UnmarshalSrpc(shape byte, data []byte) error {
+	if shape != shapeTaskResult {
+		return shapeErr("task result", shape)
+	}
+	ctx, rest, ok := consumeContext(data)
+	if !ok || len(rest) != 0 {
+		return malformedErr("task result")
+	}
+	t.Context = ctx
+	return nil
+}

@@ -1,0 +1,164 @@
+// Cross-codec interop: the binary frame protocol must coexist with
+// JSON-only peers in both directions, because a federation upgrades one
+// process at a time. The negotiation contract (see internal/srpc's
+// codec doc) makes this hold by construction; these tests pin it at the
+// stub level, where the hot-shape encoders would otherwise be the first
+// thing to break a mixed deployment.
+package remote
+
+import (
+	"testing"
+	"time"
+
+	"sensorcer/internal/attr"
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/lease"
+	"sensorcer/internal/registry"
+	"sensorcer/internal/repl"
+	"sensorcer/internal/space"
+	"sensorcer/internal/srpc"
+	"sensorcer/internal/wal"
+)
+
+// TestInteropBinaryStubsAgainstJSONServer downgrades the server to the
+// legacy codec: every default (binary-capable) stub must negotiate down
+// and run the whole conversation over JSON lines — registrar lookups,
+// accessor reads, and replicated journal shipping included.
+func TestInteropBinaryStubsAgainstJSONServer(t *testing.T) {
+	server := srpc.NewServer()
+	server.SetCodec(srpc.CodecJSON)
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	// Registrar round trip.
+	lus := registry.New("json-lus", clockwork.Real())
+	defer lus.Close()
+	ServeRegistrar(server, lus)
+	rc, err := NewRegistrarClient(server.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	esp := newESP("Mixed-Sensor", 21.5, 22.5)
+	defer esp.Close()
+	desc := ServeAccessor(server, "Mixed-Sensor", esp)
+	reg, err := rc.Register(registry.ServiceItem{
+		Service:    desc,
+		Types:      []string{"SensorDataAccessor"},
+		Attributes: attr.Set{attr.New("SensorType", "kind", "temperature", "unit", "C")},
+	}, time.Minute)
+	if err != nil {
+		t.Fatalf("register against JSON server: %v", err)
+	}
+	items := rc.Lookup(registry.Template{Types: []string{"SensorDataAccessor"}}, 10)
+	if len(items) != 1 || items[0].ID != reg.ServiceID {
+		t.Fatalf("lookup against JSON server = %+v", items)
+	}
+
+	// Accessor round trip (wireReadings fast path must fall back cleanly).
+	ac, err := NewAccessorClient(desc, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+	if r, err := ac.GetValue(); err != nil || r.Value != 21.5 {
+		t.Fatalf("GetValue against JSON server = %+v, %v", r, err)
+	}
+	if r, err := ac.GetValue(); err != nil || r.Value != 22.5 {
+		t.Fatalf("second GetValue against JSON server = %+v, %v", r, err)
+	}
+	if readings := ac.GetReadings(0); len(readings) != 2 {
+		t.Fatalf("GetReadings against JSON server = %d", len(readings))
+	}
+
+	// Replication round trip: attach resync + synchronous batch shipping
+	// (the wireShipBatch fast path) negotiated down to JSON.
+	policy := lease.Policy{Max: time.Hour}
+	backup, err := repl.NewNode("b", clockwork.Real(), policy, t.TempDir(),
+		repl.WithWALOptions(wal.WithSyncEveryAppend(false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backup.Close()
+	follower, err := NewReplicationClient(ServeReplication(server, "s0", backup), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	primary, err := repl.NewNode("p", clockwork.Real(), policy, t.TempDir(),
+		repl.WithWALOptions(wal.WithSyncEveryAppend(false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	sp, err := primary.Promote(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary.AttachBackup(2, follower, false); err != nil {
+		t.Fatalf("attach against JSON server: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := sp.Write(space.NewEntry("reading", "seq", int64(i)), nil, time.Hour); err != nil {
+			t.Fatalf("replicated write %d against JSON server: %v", i, err)
+		}
+	}
+	if err := follower.Heartbeat(2); err != nil {
+		t.Fatalf("heartbeat against JSON server: %v", err)
+	}
+}
+
+// TestInteropJSONClientAgainstBinaryServer is the other direction: a
+// legacy client that has never heard of binary frames calls handlers
+// registered with hot-shape decoders. The request arrives as shape-0
+// JSON, the response must mirror it — the fast-path result types have to
+// keep their JSON encodings alongside the binary ones.
+func TestInteropJSONClientAgainstBinaryServer(t *testing.T) {
+	server := srpc.NewServer() // binary-capable default
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	lus := registry.New("bin-lus", clockwork.Real())
+	defer lus.Close()
+	ServeRegistrar(server, lus)
+	if _, err := lus.Register(registry.ServiceItem{
+		Types:      []string{"SensorDataAccessor"},
+		Attributes: attr.Set{attr.New("Location", "building", "B1")},
+	}, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	esp := newESP("Legacy-Read", 19.5)
+	defer esp.Close()
+	ServeAccessor(server, "Legacy-Read", esp)
+
+	c, err := srpc.DialCodec(server.Addr(), srpc.CodecJSON, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Lookup: wireItems results travel back as plain JSON.
+	var ws wireItems
+	if err := c.Call("registrar.lookup", lookupParams{Types: []string{"SensorDataAccessor"}, Max: 10}, &ws); err != nil {
+		t.Fatalf("JSON lookup against binary server: %v", err)
+	}
+	if len(ws) != 1 || len(ws[0].Types) != 1 {
+		t.Fatalf("JSON lookup = %+v", ws)
+	}
+	// Accessor: wireReading results likewise.
+	var w wireReading
+	if err := c.Call("accessor.getValue.Legacy-Read", serviceParams{Service: "Legacy-Read"}, &w); err != nil {
+		t.Fatalf("JSON getValue against binary server: %v", err)
+	}
+	if w.Value != 19.5 || w.Unit != "celsius" {
+		t.Fatalf("JSON getValue = %+v", w)
+	}
+	var batch wireReadings
+	if err := c.Call("accessor.getReadings.Legacy-Read", readingsParams{Service: "Legacy-Read", N: 1}, &batch); err != nil || len(batch) != 1 {
+		t.Fatalf("JSON getReadings = %+v, %v", batch, err)
+	}
+}

@@ -159,7 +159,7 @@ func ServeRegistrar(server *srpc.Server, lus registry.Registrar) {
 	srpc.HandleFunc(server, "registrar.lookup", func(p lookupParams) (any, error) {
 		tmpl := registry.Template{ID: p.ID, Types: p.Types, Attributes: p.Attributes}
 		items := lus.Lookup(tmpl, p.Max)
-		out := make([]wireItem, 0, len(items))
+		out := make(wireItems, 0, len(items))
 		for _, item := range items {
 			w := wireItem{ID: item.ID, Types: item.Types, Attributes: item.Attributes}
 			switch svc := item.Service.(type) {
@@ -284,7 +284,7 @@ func (r *RegistrarClient) ModifyAttributes(id ids.ServiceID, attrs attr.Set) err
 // items that carry proxy descriptors.
 func (r *RegistrarClient) Lookup(tmpl registry.Template, maxMatches int) []registry.ServiceItem {
 	p := lookupParams{ID: tmpl.ID, Types: tmpl.Types, Attributes: tmpl.Attributes, Max: maxMatches}
-	var ws []wireItem
+	var ws wireItems
 	if err := r.client.Call("registrar.lookup", p, &ws); err != nil {
 		return nil
 	}

@@ -49,6 +49,12 @@ type asyncShipper struct {
 	err      error
 	stopped  bool
 	done     chan struct{}
+
+	// scratch is the run goroutine's reusable coalesce buffer: ships are
+	// strictly sequential, so the previous ship is done with it by the
+	// time the next coalesce runs. run clears it after each coalesced
+	// ship so payload bytes aren't pinned between ships.
+	scratch [][]byte
 }
 
 // newAsyncShipper starts the pipeline.
@@ -148,6 +154,11 @@ func (s *asyncShipper) run() {
 		s.mu.Unlock()
 
 		err := s.ship(it)
+		if n > 1 {
+			// it.payloads is the scratch buffer; drop the record
+			// references now that the wire is done with them.
+			clear(it.payloads)
+		}
 
 		s.mu.Lock()
 		s.inFlight -= len(it.payloads)
@@ -188,10 +199,14 @@ func (s *asyncShipper) coalesceLocked() (shipItem, int) {
 	if n == 1 {
 		return it, 1
 	}
-	combined := make([][]byte, 0, total)
+	combined := s.scratch[:0]
+	if cap(combined) < total {
+		combined = make([][]byte, 0, total)
+	}
 	for _, q := range s.queue[:n] {
 		combined = append(combined, q.payloads...)
 	}
+	s.scratch = combined
 	return shipItem{epoch: it.epoch, f: it.f, firstSeq: it.firstSeq, payloads: combined}, n
 }
 

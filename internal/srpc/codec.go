@@ -1,0 +1,393 @@
+// The binary frame protocol (ROADMAP item 3): length-prefixed frames
+// replace newline-delimited JSON on the hot wire paths, with per-frame
+// self-description so both codecs coexist on one connection.
+//
+// Negotiation. A binary-capable endpoint writes a 5-byte preamble —
+// 0xBF 's' 'b' '1' '\n' — immediately after the TCP connect (server at
+// accept, client at Dial). To a legacy JSON-only peer the preamble is one
+// garbage line, which the JSON loops have always dropped; to a
+// binary-capable peer it is the capability announcement. An endpoint
+// sends binary frames only after it has seen the peer's preamble, so a
+// binary client interoperates with a JSON-only server (and vice versa) by
+// construction: nothing binary is ever sent at a peer that has not proved
+// it can read it. Because TCP preserves order, the server always sees the
+// client preamble before request #1; the client's first request may still
+// race out as JSON before the server preamble arrives, which is legal —
+// frames are self-describing, and a response always mirrors the codec of
+// its request.
+//
+// Framing. Every binary frame is
+//
+//	tag (1B: 0xB1 request, 0xB2 response) | uvarint body length | body
+//
+// Request body:  uvarint id | 1B method-prefix index (0 = none) |
+//	uvarint suffix len + suffix | uvarint auth len + auth |
+//	1B payload shape | payload (rest of body)
+// Response body: uvarint id | 1B status (0 ok, 1 error) |
+//	error: message (rest) — ok: 1B payload shape | payload (rest)
+//
+// The first byte of every frame (0xB1/0xB2/0xBF) is outside the ASCII
+// range JSON frames start with ('{' = 0x7B), so the read loops dispatch
+// per frame on one peeked byte. Payload shape 0 is the reflection-free
+// generic fallback: the payload bytes are the same JSON the legacy codec
+// would have sent, wrapped in a binary frame. Non-zero shapes are the
+// hand-written fast paths (hot-shape encoders in internal/remote and
+// internal/wire) that never touch encoding/json.
+//
+// Memory. Frames are encoded into and decoded from pooled []byte buffers
+// (oversize ones are discarded rather than pinned by the pool), and the
+// decoders alias the frame buffer instead of copying: a request payload
+// handed to a handler and a response payload handed to a caller are
+// windows into the pooled frame, valid only until the handler/call
+// returns. Hostile length prefixes allocate bounded memory: the body is
+// read in chunks, so allocation tracks bytes actually received, never the
+// claimed length.
+package srpc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"sensorcer/internal/wire"
+)
+
+// Codec selects the wire encoding of a Server or Client.
+type Codec int
+
+const (
+	// CodecBinary announces binary capability and uses binary frames with
+	// any peer that announces it back, JSON otherwise (the default).
+	CodecBinary Codec = iota
+	// CodecJSON speaks only newline-delimited JSON — bit-compatible with
+	// the pre-binary protocol, kept for ablation (-codec=json) and legacy
+	// peers.
+	CodecJSON
+)
+
+// String names the codec for flags and logs.
+func (c Codec) String() string {
+	if c == CodecJSON {
+		return "json"
+	}
+	return "binary"
+}
+
+// ParseCodec parses a -codec flag value.
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "binary", "":
+		return CodecBinary, nil
+	case "json":
+		return CodecJSON, nil
+	}
+	return 0, fmt.Errorf("srpc: unknown codec %q (want binary or json)", s)
+}
+
+const (
+	// preambleByte opens the capability announcement line.
+	preambleByte byte = 0xBF
+	// frameRequest and frameResponse tag binary frames.
+	frameRequest  byte = 0xB1
+	frameResponse byte = 0xB2
+)
+
+// preamble is the capability announcement: a garbage line to a JSON-only
+// peer, a binary-capability proof to anyone else.
+var preamble = [5]byte{preambleByte, 's', 'b', '1', '\n'}
+
+// MaxFrame bounds a binary frame body (64 MiB) — snapshots ship well
+// under it, and a hostile length prefix past it drops the connection
+// before a single byte of body is read.
+const MaxFrame = 64 << 20
+
+// ShapeJSON is the payload shape of the generic fallback: the payload is
+// the JSON the legacy codec would have sent.
+const ShapeJSON byte = 0
+
+// BinaryMarshaler is the fast-path encode side of a hot message shape.
+// Implemented on value types passed as srpc params or returned as srpc
+// results; everything else falls back to JSON-in-a-binary-frame.
+type BinaryMarshaler interface {
+	// SrpcShape tags the payload (never ShapeJSON).
+	SrpcShape() byte
+	// AppendSrpc appends the binary payload to buf.
+	AppendSrpc(buf []byte) ([]byte, error)
+}
+
+// BinaryUnmarshaler is the decode side, implemented on *T. data aliases
+// the frame buffer: anything retained must be copied.
+type BinaryUnmarshaler interface {
+	UnmarshalSrpc(shape byte, data []byte) error
+}
+
+// errFrameTooBig drops connections advertising implausible frames.
+var errFrameTooBig = errors.New("srpc: frame exceeds MaxFrame")
+
+// maxPooledBuf is the oversize-discard cap: one giant ShipBatch must not
+// pin a quarter-megabyte buffer in the pool forever.
+const maxPooledBuf = 256 << 10
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(b *[]byte) {
+	if b == nil || cap(*b) > maxPooledBuf {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// frameHeadroom reserves room at the front of an encode buffer for the
+// frame tag plus a worst-case uvarint body length, so a frame is built in
+// place and stamped backwards — no shifting, no second buffer.
+const frameHeadroom = 11
+
+var headZeros [frameHeadroom]byte
+
+// beginFrame resets buf and reserves the headroom.
+func beginFrame(buf []byte) []byte {
+	return append(buf[:0], headZeros[:]...)
+}
+
+// finishFrame stamps tag and body length immediately before the body and
+// returns the whole wire frame (an alias into buf).
+func finishFrame(buf []byte, tag byte) []byte {
+	body := uint64(len(buf) - frameHeadroom)
+	var tmp [frameHeadroom - 1]byte
+	n := 0
+	for v := body; ; n++ {
+		if v < 0x80 {
+			tmp[n] = byte(v)
+			n++
+			break
+		}
+		tmp[n] = byte(v) | 0x80
+		v >>= 7
+	}
+	start := frameHeadroom - 1 - n
+	buf[start] = tag
+	copy(buf[start+1:frameHeadroom], tmp[:n])
+	return buf[start:]
+}
+
+// readFrameBody reads one uvarint-prefixed frame body into *buf after the
+// caller consumed the tag byte. Allocation is bounded by bytes actually
+// received: the body is read in 64 KiB chunks, so a hostile length prefix
+// costs at most one chunk beyond what the peer really sent.
+func readFrameBody(r *bufio.Reader, buf *[]byte) error {
+	n64, err := readUvarint(r)
+	if err != nil {
+		return err
+	}
+	if n64 > MaxFrame {
+		return errFrameTooBig
+	}
+	n := int(n64)
+	const chunk = 64 << 10
+	b := (*buf)[:0]
+	for len(b) < n {
+		want := n - len(b)
+		if want > chunk {
+			want = chunk
+		}
+		if cap(b)-len(b) < want {
+			grown := make([]byte, len(b), growCap(len(b)+want, n))
+			copy(grown, b)
+			b = grown
+		}
+		seg := b[len(b) : len(b)+want]
+		if _, err := io.ReadFull(r, seg); err != nil {
+			*buf = b[:0]
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return err
+		}
+		b = b[:len(b)+want]
+	}
+	*buf = b
+	return nil
+}
+
+// growCap doubles toward the known final size without overshooting it.
+func growCap(need, final int) int {
+	c := need * 2
+	if c > final {
+		c = final
+	}
+	if c < need {
+		c = need
+	}
+	return c
+}
+
+// readUvarint is binary.ReadUvarint over the bufio.Reader, rejecting
+// overlong encodings.
+func readUvarint(r *bufio.Reader) (uint64, error) {
+	var v uint64
+	var shift uint
+	for i := 0; ; i++ {
+		c, err := r.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		if i >= 10 || (i == 9 && c > 1) {
+			return 0, errors.New("srpc: uvarint overflows 64 bits")
+		}
+		if c < 0x80 {
+			return v | uint64(c)<<shift, nil
+		}
+		v |= uint64(c&0x7f) << shift
+		shift += 7
+	}
+}
+
+// methodPrefixes is the static method-name dictionary: every hot method
+// family's common prefix encodes as one byte, leaving only the short
+// dynamic suffix (shard name, service id) on the wire. Index 0 means "no
+// prefix"; the table is part of the wire format — append only.
+var methodPrefixes = [...]string{
+	1:  "repl.ship.",
+	2:  "repl.snapshot.",
+	3:  "repl.heartbeat.",
+	4:  "registrar.lookup",
+	5:  "registrar.",
+	6:  "coord.",
+	7:  "accessor.getValue.",
+	8:  "accessor.getReadings.",
+	9:  "accessor.describe.",
+	10: "servicer.service.",
+}
+
+// splitMethod finds the longest dictionary prefix of method.
+func splitMethod(method string) (idx byte, suffix string) {
+	best := 0
+	for i := 1; i < len(methodPrefixes); i++ {
+		p := methodPrefixes[i]
+		if len(p) > len(methodPrefixes[best]) && len(method) >= len(p) && method[:len(p)] == p {
+			best = i
+		}
+	}
+	return byte(best), method[len(methodPrefixes[best]):]
+}
+
+// appendMethod appends the full method name for prefix index idx and
+// suffix bytes to dst (the per-connection scratch buffer).
+func appendMethod(dst []byte, idx byte, suffix []byte) ([]byte, bool) {
+	if int(idx) >= len(methodPrefixes) {
+		return dst, false
+	}
+	dst = append(dst, methodPrefixes[idx]...)
+	return append(dst, suffix...), true
+}
+
+// binPayload is a decoded payload: shape tag plus bytes aliasing the
+// frame buffer.
+type binPayload struct {
+	shape byte
+	data  []byte
+}
+
+// binRequest is a decoded request frame. method aliases the scratch
+// buffer passed to decodeRequest; auth and payload alias the frame body.
+type binRequest struct {
+	id      uint64
+	method  []byte
+	auth    []byte
+	payload binPayload
+}
+
+// appendRequest encodes a request body after beginFrame; finishFrame with
+// frameRequest completes it. payload follows the fast path when params
+// implements BinaryMarshaler, otherwise jsonParams (pre-marshalled by the
+// caller) rides as ShapeJSON.
+func appendRequest(buf []byte, id uint64, method, auth string, params BinaryMarshaler, jsonParams []byte) ([]byte, error) {
+	buf = wire.AppendUvarint(buf, id)
+	idx, suffix := splitMethod(method)
+	buf = append(buf, idx)
+	buf = wire.AppendString(buf, suffix)
+	buf = wire.AppendString(buf, auth)
+	if params != nil {
+		buf = append(buf, params.SrpcShape())
+		return params.AppendSrpc(buf)
+	}
+	buf = append(buf, ShapeJSON)
+	return append(buf, jsonParams...), nil
+}
+
+// decodeRequest parses a request body. scratch backs the reassembled
+// method name and is returned (possibly regrown) for reuse.
+func decodeRequest(body, scratch []byte) (req binRequest, scratchOut []byte, ok bool) {
+	scratchOut = scratch
+	id, rest, ok := wire.ConsumeUvarint(body)
+	if !ok || len(rest) < 1 {
+		return binRequest{}, scratchOut, false
+	}
+	idx := rest[0]
+	suffix, rest, ok := wire.ConsumeBytes(rest[1:])
+	if !ok {
+		return binRequest{}, scratchOut, false
+	}
+	method, ok := appendMethod(scratch[:0], idx, suffix)
+	scratchOut = method
+	if !ok {
+		return binRequest{}, scratchOut, false
+	}
+	auth, rest, ok := wire.ConsumeBytes(rest)
+	if !ok || len(rest) < 1 {
+		return binRequest{}, scratchOut, false
+	}
+	return binRequest{
+		id:      id,
+		method:  method,
+		auth:    auth,
+		payload: binPayload{shape: rest[0], data: rest[1:]},
+	}, scratchOut, true
+}
+
+// binResponse is a decoded response frame; errMsg and payload alias the
+// frame body.
+type binResponse struct {
+	id      uint64
+	errMsg  []byte
+	isErr   bool
+	payload binPayload
+}
+
+// appendResponse encodes a response body after beginFrame. On errMsg !=
+// "" the payload is ignored; otherwise result follows the fast path when
+// it implements BinaryMarshaler, else jsonResult rides as ShapeJSON.
+func appendResponse(buf []byte, id uint64, errMsg string, result BinaryMarshaler, jsonResult []byte) ([]byte, error) {
+	buf = wire.AppendUvarint(buf, id)
+	if errMsg != "" {
+		buf = append(buf, 1)
+		return append(buf, errMsg...), nil
+	}
+	buf = append(buf, 0)
+	if result != nil {
+		buf = append(buf, result.SrpcShape())
+		return result.AppendSrpc(buf)
+	}
+	buf = append(buf, ShapeJSON)
+	return append(buf, jsonResult...), nil
+}
+
+// decodeResponse parses a response body.
+func decodeResponse(body []byte) (binResponse, bool) {
+	id, rest, ok := wire.ConsumeUvarint(body)
+	if !ok || len(rest) < 1 {
+		return binResponse{}, false
+	}
+	if rest[0] == 1 {
+		return binResponse{id: id, isErr: true, errMsg: rest[1:]}, true
+	}
+	if len(rest) < 2 {
+		return binResponse{}, false
+	}
+	return binResponse{id: id, payload: binPayload{shape: rest[1], data: rest[2:]}}, true
+}

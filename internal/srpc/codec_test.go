@@ -1,0 +1,461 @@
+package srpc
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sensorcer/internal/wire"
+)
+
+// pointShape is a test-only hot shape: both marshal directions plus a
+// hit counter proving the fast path (not the JSON fallback) carried it.
+type pointShape struct {
+	X, Y int64
+}
+
+const shapePoint byte = 200 // test-only tag, outside remote/wire ranges
+
+var pointFastDecodes atomic.Int64
+
+func (p pointShape) SrpcShape() byte { return shapePoint }
+
+func (p pointShape) AppendSrpc(buf []byte) ([]byte, error) {
+	buf = wire.AppendSvarint(buf, p.X)
+	return wire.AppendSvarint(buf, p.Y), nil
+}
+
+func (p *pointShape) UnmarshalSrpc(shape byte, data []byte) error {
+	if shape != shapePoint {
+		return fmt.Errorf("pointShape: unexpected shape %d", shape)
+	}
+	x, rest, ok := wire.ConsumeSvarint(data)
+	if !ok {
+		return fmt.Errorf("pointShape: truncated x")
+	}
+	y, rest, ok := wire.ConsumeSvarint(rest)
+	if !ok || len(rest) != 0 {
+		return fmt.Errorf("pointShape: truncated y")
+	}
+	p.X, p.Y = x, y
+	pointFastDecodes.Add(1)
+	return nil
+}
+
+func TestParseCodec(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Codec
+		err  bool
+	}{
+		{"binary", CodecBinary, false},
+		{"", CodecBinary, false},
+		{"json", CodecJSON, false},
+		{"protobuf", 0, true},
+	} {
+		got, err := ParseCodec(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("ParseCodec(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if CodecBinary.String() != "binary" || CodecJSON.String() != "json" {
+		t.Fatal("Codec.String mismatch")
+	}
+}
+
+func TestSplitMethodLongestPrefix(t *testing.T) {
+	for _, tc := range []struct {
+		method string
+		idx    byte
+		suffix string
+	}{
+		{"repl.ship.s0", 1, "s0"},
+		{"repl.snapshot.s0", 2, "s0"},
+		{"registrar.lookup", 4, ""},
+		{"registrar.register", 5, "register"}, // registrar.lookup is longer but doesn't match
+		{"accessor.getReadings.Neem", 8, "Neem"},
+		{"totally.unknown", 0, "totally.unknown"},
+		{"", 0, ""},
+	} {
+		idx, suffix := splitMethod(tc.method)
+		if idx != tc.idx || suffix != tc.suffix {
+			t.Errorf("splitMethod(%q) = %d, %q; want %d, %q", tc.method, idx, suffix, tc.idx, tc.suffix)
+		}
+		// Reassembly must invert the split.
+		full, ok := appendMethod(nil, idx, []byte(suffix))
+		if !ok || string(full) != tc.method {
+			t.Errorf("appendMethod(%d, %q) = %q, %v", idx, suffix, full, ok)
+		}
+	}
+	if _, ok := appendMethod(nil, byte(len(methodPrefixes)), nil); ok {
+		t.Fatal("appendMethod accepted an out-of-range prefix index")
+	}
+}
+
+// TestRequestFrameRoundTrip drives one request through the full encode
+// path (beginFrame → appendRequest → finishFrame) and back through the
+// wire-read path (readFrameBody → decodeRequest).
+func TestRequestFrameRoundTrip(t *testing.T) {
+	b := beginFrame(nil)
+	b, err := appendRequest(b, 42, "repl.ship.s0", "secret", pointShape{X: -7, Y: 1 << 60}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := finishFrame(b, frameRequest)
+
+	r := bufio.NewReader(bytes.NewReader(frame))
+	tag, _ := r.ReadByte()
+	if tag != frameRequest {
+		t.Fatalf("tag = %#x", tag)
+	}
+	var body []byte
+	if err := readFrameBody(r, &body); err != nil {
+		t.Fatal(err)
+	}
+	req, _, ok := decodeRequest(body, nil)
+	if !ok {
+		t.Fatal("decodeRequest rejected a valid frame")
+	}
+	if req.id != 42 || string(req.method) != "repl.ship.s0" || string(req.auth) != "secret" {
+		t.Fatalf("req = %+v", req)
+	}
+	var p pointShape
+	if err := p.UnmarshalSrpc(req.payload.shape, req.payload.data); err != nil {
+		t.Fatal(err)
+	}
+	if p.X != -7 || p.Y != 1<<60 {
+		t.Fatalf("payload = %+v", p)
+	}
+}
+
+func TestResponseFrameRoundTrip(t *testing.T) {
+	// Success payload.
+	b := beginFrame(nil)
+	b, err := appendResponse(b, 9, "", pointShape{X: 3, Y: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := finishFrame(b, frameResponse)
+	res, ok := decodeResponse(frame[2:]) // 1B tag + 1B length for this small frame
+	if !ok || res.isErr || res.id != 9 || res.payload.shape != shapePoint {
+		t.Fatalf("res = %+v, ok=%v", res, ok)
+	}
+	// Error response.
+	b = beginFrame(nil)
+	b, err = appendResponse(b, 10, "boom", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame = finishFrame(b, frameResponse)
+	res, ok = decodeResponse(frame[2:])
+	if !ok || !res.isErr || res.id != 10 || string(res.errMsg) != "boom" {
+		t.Fatalf("error res = %+v, ok=%v", res, ok)
+	}
+}
+
+// TestDecodeRequestMalformed feeds decodeRequest systematically truncated
+// bodies: every prefix of a valid body must be cleanly rejected (the
+// frame-length byte count makes most prefixes invalid bodies).
+func TestDecodeRequestTruncations(t *testing.T) {
+	b := beginFrame(nil)
+	b, err := appendRequest(b, 7, "registrar.lookup", "tok", nil, []byte(`{"n":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := finishFrame(b, frameRequest)
+	body := frame[2:] // tag + 1B uvarint length
+	if _, _, ok := decodeRequest(body, nil); !ok {
+		t.Fatal("full body must decode")
+	}
+	for i := 0; i < 5 && i < len(body); i++ {
+		if _, _, ok := decodeRequest(body[:i], nil); ok {
+			t.Fatalf("truncated body (%d bytes) decoded", i)
+		}
+	}
+}
+
+func TestReadFrameBodyRejectsOversize(t *testing.T) {
+	var in []byte
+	in = wire.AppendUvarint(in, MaxFrame+1)
+	var buf []byte
+	err := readFrameBody(bufio.NewReader(bytes.NewReader(in)), &buf)
+	if err != errFrameTooBig {
+		t.Fatalf("err = %v, want errFrameTooBig", err)
+	}
+}
+
+// TestReadFrameBodyBoundedByReceived proves a hostile length prefix can't
+// force a large allocation: the claimed length is just under MaxFrame but
+// the peer sends only a few bytes, so the grown buffer must track what
+// actually arrived, not the claim.
+func TestReadFrameBodyBoundedByReceived(t *testing.T) {
+	var in []byte
+	in = wire.AppendUvarint(in, MaxFrame-1)
+	in = append(in, []byte("only a few bytes")...)
+	var buf []byte
+	err := readFrameBody(bufio.NewReader(bytes.NewReader(in)), &buf)
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+	if cap(buf) > 128<<10 {
+		t.Fatalf("hostile prefix allocated %d bytes for a 16-byte body", cap(buf))
+	}
+}
+
+// waitPeerBinary blocks until the client has processed the server's
+// preamble (bounded); after the first response arrives it always has,
+// since the preamble precedes all responses in stream order.
+func waitPeerBinary(t *testing.T, c *Client) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !c.peerBinary.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("client never saw the server preamble")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBinaryNegotiationAndFastPath is the end-to-end binary round trip:
+// both sides binary, second call guaranteed framed, fast-path encoders
+// engaged on both request and response payloads.
+func TestBinaryNegotiationAndFastPath(t *testing.T) {
+	s := NewServer()
+	HandleFunc(s, "swap", func(p pointShape) (any, error) {
+		return pointShape{X: p.Y, Y: p.X}, nil
+	})
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var out pointShape
+	if err := c.Call("swap", pointShape{X: 1, Y: 2}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.X != 2 || out.Y != 1 {
+		t.Fatalf("out = %+v", out)
+	}
+	waitPeerBinary(t, c)
+
+	// From here every frame is binary. The fast-path counter must move by
+	// exactly two per call: request decode at the server, response decode
+	// at the client.
+	before := pointFastDecodes.Load()
+	big := int64(1)<<60 + 3
+	if err := c.Call("swap", pointShape{X: big, Y: -big}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.X != -big || out.Y != big {
+		t.Fatalf("out = %+v", out)
+	}
+	if got := pointFastDecodes.Load() - before; got != 2 {
+		t.Fatalf("fast-path decodes = %d, want 2 (request + response)", got)
+	}
+}
+
+// TestBinaryJSONFallbackShapes: types without hot-shape encoders ride as
+// JSON payloads inside binary frames on the same negotiated connection.
+func TestBinaryJSONFallbackInsideFrames(t *testing.T) {
+	s := newServer(t)
+	c := dial(t, s)
+	var warm float64
+	if err := c.Call("add", addParams{A: 1, B: 1}, &warm); err != nil {
+		t.Fatal(err)
+	}
+	waitPeerBinary(t, c)
+	var out float64
+	if err := c.Call("add", addParams{A: 20, B: 22}, &out); err != nil || out != 42 {
+		t.Fatalf("fallback call = %v, %v", out, err)
+	}
+	// Remote errors survive the binary framing too.
+	if err := c.Call("fail", struct{}{}, nil); err == nil || !strings.Contains(err.Error(), "deliberate failure") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c.Call("nope", nil, nil); err == nil || !strings.Contains(err.Error(), "unknown method") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestJSONClientAgainstBinaryServer: a legacy-codec client never sends
+// the preamble, so the binary-capable server keeps the whole conversation
+// in JSON (its own preamble is dropped as a garbage line).
+func TestJSONClientAgainstBinaryServer(t *testing.T) {
+	s := newServer(t)
+	c, err := DialCodec(s.Addr(), CodecJSON, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		var out float64
+		if err := c.Call("add", addParams{A: float64(i), B: 1}, &out); err != nil || out != float64(i+1) {
+			t.Fatalf("call %d = %v, %v", i, out, err)
+		}
+	}
+	if c.peerBinary.Load() {
+		t.Fatal("JSON client must ignore capability announcements")
+	}
+}
+
+// TestBinaryClientAgainstJSONServer: the server never announces, so the
+// binary-capable client never sends a frame and the connection stays on
+// the legacy protocol end to end.
+func TestBinaryClientAgainstJSONServer(t *testing.T) {
+	s := NewServer()
+	s.SetCodec(CodecJSON)
+	HandleFunc(s, "add", func(p addParams) (any, error) { return p.A + p.B, nil })
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		var out float64
+		if err := c.Call("add", addParams{A: float64(i), B: 2}, &out); err != nil || out != float64(i+2) {
+			t.Fatalf("call %d = %v, %v", i, out, err)
+		}
+	}
+	if c.peerBinary.Load() {
+		t.Fatal("peerBinary flipped against a JSON-only server")
+	}
+}
+
+// TestServerDropsOversizeFrame: a hostile length prefix past MaxFrame
+// drops the connection before any body byte is read; other connections
+// are unaffected.
+func TestServerDropsOversizeFrame(t *testing.T) {
+	s := newServer(t)
+	raw, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	attack := append([]byte{frameRequest}, wire.AppendUvarint(nil, MaxFrame+1)...)
+	if _, err := raw.Write(attack); err != nil {
+		t.Fatal(err)
+	}
+	// The server closes our end; drain until EOF (past its preamble).
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.Copy(io.Discard, raw); err != nil {
+		t.Fatalf("connection not closed cleanly: %v", err)
+	}
+	// A well-behaved client still works.
+	c := dial(t, s)
+	var out float64
+	if err := c.Call("add", addParams{A: 2, B: 3}, &out); err != nil || out != 5 {
+		t.Fatalf("server wedged after oversize frame: %v %v", out, err)
+	}
+}
+
+// TestMixedTrafficOnBinaryConnection: JSON garbage lines interleaved with
+// hand-built binary frames on one raw connection — the server must drop
+// the garbage and answer the frame.
+func TestMixedTrafficOnBinaryConnection(t *testing.T) {
+	s := newServer(t)
+	raw, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+
+	var msg []byte
+	msg = append(msg, preamble[:]...)                  // announce binary
+	msg = append(msg, []byte("this is not json\n")...) // garbage line
+	b := beginFrame(nil)
+	b, err = appendRequest(b, 1, "add", "", nil, []byte(`{"a":4,"b":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg = append(msg, finishFrame(b, frameRequest)...)
+	if _, err := raw.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	r := bufio.NewReader(raw)
+	// First the server preamble, then our binary response.
+	var pre [5]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil || pre != preamble {
+		t.Fatalf("server preamble = %v, %v", pre, err)
+	}
+	tag, err := r.ReadByte()
+	if err != nil || tag != frameResponse {
+		t.Fatalf("tag = %#x, %v", tag, err)
+	}
+	var body []byte
+	if err := readFrameBody(r, &body); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := decodeResponse(body)
+	if !ok || res.isErr || res.id != 1 || res.payload.shape != ShapeJSON {
+		t.Fatalf("res = %+v, ok=%v", res, ok)
+	}
+	if got := string(res.payload.data); got != "9" {
+		t.Fatalf("payload = %q", got)
+	}
+}
+
+// TestBinaryAuth: token auth over binary frames, wrong and right.
+func TestBinaryAuth(t *testing.T) {
+	s := NewServer()
+	s.SetToken("farm-secret")
+	HandleFunc(s, "ping", func(struct{}) (any, error) { return "pong", nil })
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Call("ping", nil, nil); err == nil || !strings.Contains(err.Error(), "authentication failed") {
+		t.Fatalf("err = %v", err)
+	}
+	waitPeerBinary(t, c) // the rejections below travel as binary frames
+	if err := c.Call("ping", nil, nil); err == nil || !strings.Contains(err.Error(), "authentication failed") {
+		t.Fatalf("binary-framed unauthenticated call: err = %v", err)
+	}
+	c.SetToken("farm-secret")
+	var out string
+	if err := c.Call("ping", nil, &out); err != nil || out != "pong" {
+		t.Fatalf("authenticated binary call = %q, %v", out, err)
+	}
+}
+
+// TestFinishFrameLengths: the backward length stamp must be exact for
+// bodies around every uvarint width boundary the headroom covers.
+func TestFinishFrameLengths(t *testing.T) {
+	for _, n := range []int{0, 1, 127, 128, 300, 16383, 16384, 70000} {
+		b := beginFrame(nil)
+		for len(b)-frameHeadroom < n {
+			b = append(b, 0xAB)
+		}
+		frame := finishFrame(b, frameRequest)
+		r := bufio.NewReader(bytes.NewReader(frame))
+		tag, _ := r.ReadByte()
+		if tag != frameRequest {
+			t.Fatalf("n=%d: tag = %#x", n, tag)
+		}
+		var body []byte
+		if err := readFrameBody(r, &body); err != nil || len(body) != n {
+			t.Fatalf("n=%d: body len %d, err %v", n, len(body), err)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package srpc
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRegenerateFuzzCorpus rewrites the checked-in seed corpus under
+// testdata/fuzz from the same builders FuzzDecodeFrame seeds with, so
+// the corpus files and the in-code seeds can't drift. Run it with
+//
+//	SRPC_REGEN_CORPUS=1 go test ./internal/srpc -run TestRegenerateFuzzCorpus
+//
+// after changing the frame format; it is a no-op otherwise.
+func TestRegenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("SRPC_REGEN_CORPUS") == "" {
+		t.Skip("set SRPC_REGEN_CORPUS=1 to rewrite testdata/fuzz")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeFrame")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range fuzzSeedFrames() {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

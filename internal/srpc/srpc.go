@@ -1,10 +1,13 @@
-// Package srpc is the small JSON-over-TCP RPC transport sensorcer uses for
-// cross-process deployments (cmd/sensorcerd): newline-delimited JSON
-// request/response frames with integer correlation ids, concurrent calls
-// multiplexed over one connection. In-process federations never touch this
-// package — proxies registered in the lookup service are the provider
-// objects themselves — but the remote sensor browser and remote registrars
-// are srpc clients. Java dynamic proxies have no Go equivalent, so remote
+// Package srpc is the small RPC transport sensorcer uses for
+// cross-process deployments (cmd/sensorcerd): length-prefixed binary
+// frames (codec.go) with a newline-delimited JSON fallback, integer
+// correlation ids, concurrent calls multiplexed over one connection.
+// The codec is negotiated per connection — see codec.go for the frame
+// layout and the preamble handshake — so binary endpoints interoperate
+// with JSON-only peers. In-process federations never touch this package —
+// proxies registered in the lookup service are the provider objects
+// themselves — but the remote sensor browser and remote registrars are
+// srpc clients. Java dynamic proxies have no Go equivalent, so remote
 // interfaces get small hand-written stubs on top of Client.Call.
 package srpc
 
@@ -17,6 +20,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sensorcer/internal/clockwork"
@@ -28,7 +32,7 @@ import (
 // waits out its deadline exactly like real message loss).
 const FaultSiteSend = "/send"
 
-// request is one call frame.
+// request is one JSON call frame.
 type request struct {
 	ID     uint64          `json:"id"`
 	Method string          `json:"method"`
@@ -39,7 +43,7 @@ type request struct {
 	Auth string `json:"auth,omitempty"`
 }
 
-// response is one reply frame.
+// response is one JSON reply frame.
 type response struct {
 	ID     uint64          `json:"id"`
 	Result json.RawMessage `json:"result,omitempty"`
@@ -47,16 +51,25 @@ type response struct {
 }
 
 // Handler serves one method: params arrive as raw JSON, the return value
-// is marshalled as the result.
+// is marshalled as the result. Raw handlers only see the generic codec;
+// binary fast-path params are rejected before they reach one. The raw
+// bytes may alias a pooled frame buffer — valid only for the duration of
+// the call; retain a copy, not the slice.
 type Handler func(params json.RawMessage) (any, error)
+
+// handlerFunc is the internal, codec-agnostic handler shape: the payload
+// carries its shape tag, and its data alias the connection's frame
+// buffer for the duration of the call.
+type handlerFunc func(p binPayload) (any, error)
 
 // Server dispatches srpc requests to registered handlers.
 type Server struct {
 	mu       sync.RWMutex
-	handlers map[string]Handler
+	handlers map[string]handlerFunc
 	listener net.Listener
 	conns    map[net.Conn]bool
 	token    string
+	codec    Codec
 	closed   bool
 	wg       sync.WaitGroup
 }
@@ -69,31 +82,60 @@ func (s *Server) SetToken(token string) {
 	s.mu.Unlock()
 }
 
+// SetCodec selects the wire codec for subsequently accepted connections
+// (default CodecBinary, which still serves JSON peers). Set before
+// Listen.
+func (s *Server) SetCodec(c Codec) {
+	s.mu.Lock()
+	s.codec = c
+	s.mu.Unlock()
+}
+
 // NewServer creates a server with no handlers.
 func NewServer() *Server {
 	return &Server{
-		handlers: make(map[string]Handler),
+		handlers: make(map[string]handlerFunc),
 		conns:    make(map[net.Conn]bool),
 	}
 }
 
-// Handle registers a method handler.
+// Handle registers a raw JSON method handler.
 func (s *Server) Handle(method string, h Handler) {
+	s.handle(method, func(p binPayload) (any, error) {
+		if p.shape != ShapeJSON {
+			return nil, fmt.Errorf("srpc: method %s accepts only JSON params (got shape %#x)", method, p.shape)
+		}
+		return h(json.RawMessage(p.data))
+	})
+}
+
+func (s *Server) handle(method string, h handlerFunc) {
 	s.mu.Lock()
 	s.handlers[method] = h
 	s.mu.Unlock()
 }
 
-// HandleFunc registers a typed handler: params unmarshal into P.
+// HandleFunc registers a typed handler: JSON params unmarshal into P, and
+// binary fast-path payloads decode through P's BinaryUnmarshaler (a
+// shape-tagged payload for a P without one is an error back to the
+// caller). Decoded params own their memory — P may be retained freely.
 func HandleFunc[P any](s *Server, method string, fn func(P) (any, error)) {
-	s.Handle(method, func(raw json.RawMessage) (any, error) {
-		var p P
-		if len(raw) > 0 {
-			if err := json.Unmarshal(raw, &p); err != nil {
+	s.handle(method, func(p binPayload) (any, error) {
+		var v P
+		if p.shape != ShapeJSON {
+			u, ok := any(&v).(BinaryUnmarshaler)
+			if !ok {
+				return nil, fmt.Errorf("srpc: method %s has no binary decoder for payload shape %#x", method, p.shape)
+			}
+			if err := u.UnmarshalSrpc(p.shape, p.data); err != nil {
+				return nil, fmt.Errorf("srpc: bad params for %s: %w", method, err)
+			}
+		} else if len(p.data) > 0 {
+			if err := json.Unmarshal(p.data, &v); err != nil {
 				return nil, fmt.Errorf("srpc: bad params for %s: %w", method, err)
 			}
 		}
-		return fn(p)
+		return fn(v)
 	})
 }
 
@@ -147,6 +189,31 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
+// connWriter serializes every reply — JSON or binary — onto one buffered
+// writer: each response reaches the wire as a single flush under the
+// mutex, so concurrent handlers never interleave frames.
+type connWriter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder // writes into w
+}
+
+func (cw *connWriter) writeFrame(frame []byte) {
+	cw.mu.Lock()
+	if _, err := cw.w.Write(frame); err == nil {
+		_ = cw.w.Flush()
+	}
+	cw.mu.Unlock()
+}
+
+func (cw *connWriter) writeJSON(resp response) {
+	cw.mu.Lock()
+	if err := cw.enc.Encode(resp); err == nil {
+		_ = cw.w.Flush()
+	}
+	cw.mu.Unlock()
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -155,49 +222,136 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	s.mu.RLock()
+	codec := s.codec
+	s.mu.RUnlock()
+	cw := &connWriter{w: bufio.NewWriter(conn)}
+	cw.enc = json.NewEncoder(cw.w)
+	if codec != CodecJSON {
+		// Announce binary capability; a JSON-only client drops this as a
+		// garbage line.
+		cw.mu.Lock()
+		_, err := cw.w.Write(preamble[:])
+		if err == nil {
+			err = cw.w.Flush()
+		}
+		cw.mu.Unlock()
+		if err != nil {
+			return
+		}
+	}
 	reader := bufio.NewReader(conn)
-	// Responses go through one buffered writer, flushed per response under
-	// the mutex: each response reaches the wire as a single write, and
-	// concurrent handlers never interleave frames.
-	var writeMu sync.Mutex
-	w := bufio.NewWriter(conn)
-	enc := json.NewEncoder(w)
+	// scratch backs reassembled method names across requests; the map
+	// lookup over it never allocates.
+	var scratch []byte
 	for {
+		first, err := reader.Peek(1)
+		if err != nil {
+			return
+		}
+		if first[0] == frameRequest && codec != CodecJSON {
+			_, _ = reader.Discard(1)
+			buf := getBuf()
+			if err := readFrameBody(reader, buf); err != nil {
+				putBuf(buf)
+				return // framing is broken; drop the connection
+			}
+			req, sc, ok := decodeRequest(*buf, scratch)
+			scratch = sc
+			if !ok {
+				putBuf(buf)
+				continue // malformed body; drop the frame like garbage JSON
+			}
+			h, errMsg := s.lookupHandler(req.method, req.auth)
+			// Serve each request on its own goroutine so a slow handler
+			// doesn't head-of-line-block the connection. The goroutine owns
+			// the frame buffer (req.payload aliases it) and returns it to
+			// the pool when the response is on the wire.
+			s.wg.Add(1)
+			go s.serveBinRequest(cw, h, errMsg, req.id, req.payload, buf)
+			continue
+		}
 		line, err := reader.ReadBytes('\n')
 		if err != nil {
 			return
 		}
 		var req request
 		if err := json.Unmarshal(line, &req); err != nil {
-			continue // garbage frame; drop
+			continue // garbage frame (including the peer's preamble); drop
 		}
-		// Serve each request on its own goroutine so a slow handler
-		// doesn't head-of-line-block the connection.
 		s.wg.Add(1)
 		go func(req request) {
 			defer s.wg.Done()
 			resp := s.dispatch(req)
-			writeMu.Lock()
-			if err := enc.Encode(resp); err == nil {
-				_ = w.Flush()
-			}
-			writeMu.Unlock()
+			cw.writeJSON(resp)
 		}(req)
 	}
 }
 
-func (s *Server) dispatch(req request) response {
+// lookupHandler resolves a method and checks auth. method and auth may
+// alias per-connection buffers; nothing is retained.
+func (s *Server) lookupHandler(method, auth []byte) (handlerFunc, string) {
 	s.mu.RLock()
-	h, ok := s.handlers[req.Method]
+	h, ok := s.handlers[string(method)]
 	token := s.token
 	s.mu.RUnlock()
-	if token != "" && subtle.ConstantTimeCompare([]byte(req.Auth), []byte(token)) != 1 {
-		return response{ID: req.ID, Error: "srpc: authentication failed"}
+	if token != "" && subtle.ConstantTimeCompare(auth, []byte(token)) != 1 {
+		return nil, "srpc: authentication failed"
 	}
 	if !ok {
-		return response{ID: req.ID, Error: "srpc: unknown method " + req.Method}
+		return nil, "srpc: unknown method " + string(method)
 	}
-	result, err := h(req.Params)
+	return h, ""
+}
+
+// serveBinRequest runs one binary-framed request to completion: handler,
+// response encode (fast path or JSON fallback), single write. A response
+// to a binary request is always binary — the peer proved it speaks it.
+func (s *Server) serveBinRequest(cw *connWriter, h handlerFunc, errMsg string, id uint64, p binPayload, buf *[]byte) {
+	defer s.wg.Done()
+	var result any
+	if errMsg == "" {
+		var err error
+		result, err = h(p)
+		if err != nil {
+			errMsg = err.Error()
+		}
+	}
+	out := getBuf()
+	full, frame, err := encodeResponseFrame(*out, id, errMsg, result)
+	putBuf(buf) // the handler is done with the request payload
+	if err != nil {
+		full, frame, _ = encodeResponseFrame(full, id, "srpc: marshalling result: "+err.Error(), nil)
+	}
+	*out = full
+	cw.writeFrame(frame)
+	putBuf(out)
+}
+
+// encodeResponseFrame builds a complete binary response frame in buf,
+// returning the (possibly regrown) buffer and the frame window into it.
+func encodeResponseFrame(buf []byte, id uint64, errMsg string, result any) (full, frame []byte, err error) {
+	b := beginFrame(buf)
+	bm, _ := result.(BinaryMarshaler)
+	var jsonResult []byte
+	if errMsg == "" && bm == nil && result != nil {
+		if jsonResult, err = json.Marshal(result); err != nil {
+			return b, nil, err
+		}
+	}
+	if b, err = appendResponse(b, id, errMsg, bm, jsonResult); err != nil {
+		return b, nil, err
+	}
+	return b, finishFrame(b, frameResponse), nil
+}
+
+// dispatch serves one JSON request (the reply mirrors the request codec).
+func (s *Server) dispatch(req request) response {
+	h, errMsg := s.lookupHandler([]byte(req.Method), []byte(req.Auth))
+	if errMsg != "" {
+		return response{ID: req.ID, Error: errMsg}
+	}
+	result, err := h(binPayload{shape: ShapeJSON, data: req.Params})
 	if err != nil {
 		return response{ID: req.ID, Error: err.Error()}
 	}
@@ -246,26 +400,29 @@ var ErrConnClosed = errors.New("srpc: connection closed by peer")
 var ErrTimeout = errors.New("srpc: call timed out")
 
 // callResult is what the read loop (or failAll) delivers to a waiter.
+// Binary results carry the pooled frame buffer their slices alias; the
+// waiter returns it to the pool (an abandoned one is left to the GC).
 type callResult struct {
-	resp response
-	err  error
+	resp   response
+	bin    binResponse
+	binBuf *[]byte
+	err    error
 }
 
 // Client is a connection to an srpc server, safe for concurrent calls.
 type Client struct {
-	conn net.Conn
-	// encMu guards the reusable encode buffer: each request is framed into
-	// encBuf and reaches the wire as a single conn.Write, so concurrent
-	// callers never interleave frames and steady-state calls don't
-	// re-allocate encoder state.
-	encMu   sync.Mutex
-	encBuf  bytes.Buffer
-	enc     *json.Encoder // writes into encBuf
+	conn    net.Conn
 	timeout time.Duration
 	clock   clockwork.Clock
-	token   string
+	codec   Codec
+	// peerBinary flips once the peer's preamble arrives; from then on
+	// requests go out as binary frames. Each frame reaches the wire as a
+	// single conn.Write (which net serializes), so no encode mutex is
+	// needed and concurrent callers never interleave frames.
+	peerBinary atomic.Bool
 
 	mu      sync.Mutex
+	token   string
 	nextID  uint64
 	pending map[uint64]chan callResult
 	closed  bool
@@ -279,8 +436,15 @@ type Client struct {
 	injSite string
 }
 
-// Dial connects to an srpc server. timeout bounds each call (0 = 10s).
+// Dial connects to an srpc server with the default binary-negotiating
+// codec. timeout bounds each call (0 = 10s).
 func Dial(addr string, timeout time.Duration) (*Client, error) {
+	return DialCodec(addr, CodecBinary, timeout)
+}
+
+// DialCodec is Dial with an explicit codec — CodecJSON forces the legacy
+// wire protocol for ablation and for probing old peers.
+func DialCodec(addr string, codec Codec, timeout time.Duration) (*Client, error) {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
@@ -292,10 +456,18 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 		conn:    conn,
 		timeout: timeout,
 		clock:   clockwork.Real(),
+		codec:   codec,
 		pending: make(map[uint64]chan callResult),
 		done:    make(chan struct{}),
 	}
-	c.enc = json.NewEncoder(&c.encBuf)
+	if codec != CodecJSON {
+		// Announce binary capability; a JSON-only server drops this as a
+		// garbage line.
+		if _, err := conn.Write(preamble[:]); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
 	go c.readLoop()
 	return c, nil
 }
@@ -321,24 +493,59 @@ func (c *Client) readLoop() {
 	defer close(c.done)
 	reader := bufio.NewReader(c.conn)
 	for {
+		first, err := reader.Peek(1)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		if first[0] == frameResponse && c.codec != CodecJSON {
+			_, _ = reader.Discard(1)
+			buf := getBuf()
+			if err := readFrameBody(reader, buf); err != nil {
+				putBuf(buf)
+				c.failAll(err)
+				return
+			}
+			resp, ok := decodeResponse(*buf)
+			if !ok {
+				putBuf(buf)
+				continue // malformed body; drop the frame
+			}
+			c.deliver(resp.id, callResult{bin: resp, binBuf: buf})
+			continue
+		}
 		line, err := reader.ReadBytes('\n')
 		if err != nil {
 			c.failAll(err)
 			return
 		}
+		if line[0] == preambleByte {
+			if c.codec != CodecJSON && bytes.Equal(line, preamble[:]) {
+				c.peerBinary.Store(true)
+			}
+			continue
+		}
 		var resp response
 		if err := json.Unmarshal(line, &resp); err != nil {
 			continue
 		}
-		c.mu.Lock()
-		ch, ok := c.pending[resp.ID]
-		if ok {
-			delete(c.pending, resp.ID)
-		}
-		c.mu.Unlock()
-		if ok {
-			ch <- callResult{resp: resp}
-		}
+		c.deliver(resp.ID, callResult{resp: resp})
+	}
+}
+
+// deliver hands a result to the waiter registered for id; an abandoned
+// binary result's frame buffer goes straight back to the pool.
+func (c *Client) deliver(id uint64, res callResult) {
+	c.mu.Lock()
+	ch, ok := c.pending[id]
+	if ok {
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	if ok {
+		ch <- res
+	} else if res.binBuf != nil {
+		putBuf(res.binBuf)
 	}
 }
 
@@ -370,18 +577,6 @@ func (c *Client) CallWithTimeout(method string, params any, out any, timeout tim
 	if timeout <= 0 {
 		timeout = c.timeout
 	}
-	// Marshal params before the call is registered: a marshalling failure
-	// must not leave an orphaned pending-map entry behind (the read loop
-	// would never resolve it, and failAll would signal a channel nobody is
-	// listening on).
-	var raw json.RawMessage
-	if params != nil {
-		b, err := json.Marshal(params)
-		if err != nil {
-			return fmt.Errorf("srpc: marshalling params: %w", err)
-		}
-		raw = b
-	}
 	c.mu.Lock()
 	if c.closed {
 		lost := c.lost
@@ -395,7 +590,61 @@ func (c *Client) CallWithTimeout(method string, params any, out any, timeout tim
 	id := c.nextID
 	token := c.token
 	inj, injSite := c.inj, c.injSite
+	c.mu.Unlock()
+
+	// Encode the whole frame before the call is registered: a marshalling
+	// failure must not leave an orphaned pending-map entry behind (the
+	// read loop would never resolve it, and failAll would signal a channel
+	// nobody is listening on). Binary frames carry the id inside the
+	// frame, so the id above is burnt on encode failure — ids only
+	// correlate, a gap is harmless.
+	var frame []byte
+	var fbuf *[]byte
+	if c.codec != CodecJSON && c.peerBinary.Load() {
+		bm, _ := params.(BinaryMarshaler)
+		var jsonParams []byte
+		if bm == nil && params != nil {
+			jp, err := json.Marshal(params)
+			if err != nil {
+				return fmt.Errorf("srpc: marshalling params: %w", err)
+			}
+			jsonParams = jp
+		}
+		fbuf = getBuf()
+		b, err := appendRequest(beginFrame(*fbuf), id, method, token, bm, jsonParams)
+		if err != nil {
+			putBuf(fbuf)
+			return fmt.Errorf("srpc: marshalling params: %w", err)
+		}
+		*fbuf = b
+		frame = finishFrame(b, frameRequest)
+	} else {
+		var raw json.RawMessage
+		if params != nil {
+			b, err := json.Marshal(params)
+			if err != nil {
+				return fmt.Errorf("srpc: marshalling params: %w", err)
+			}
+			raw = b
+		}
+		b, err := json.Marshal(request{ID: id, Method: method, Params: raw, Auth: token})
+		if err != nil {
+			return fmt.Errorf("srpc: marshalling params: %w", err)
+		}
+		frame = append(b, '\n')
+	}
+
 	ch := make(chan callResult, 1)
+	c.mu.Lock()
+	if c.closed {
+		lost := c.lost
+		c.mu.Unlock()
+		putBuf(fbuf)
+		if lost {
+			return fmt.Errorf("%w: %s not sent", ErrConnClosed, method)
+		}
+		return ErrClientClosed
+	}
 	c.pending[id] = ch
 	c.mu.Unlock()
 
@@ -403,6 +652,7 @@ func (c *Client) CallWithTimeout(method string, params any, out any, timeout tim
 	if inj != nil {
 		if err := inj.Inject(injSite + FaultSiteSend); err != nil {
 			c.abandon(id)
+			putBuf(fbuf)
 			return err
 		}
 		// A dropped request is never written to the wire; the call
@@ -410,39 +660,70 @@ func (c *Client) CallWithTimeout(method string, params any, out any, timeout tim
 		dropped = inj.Drop(injSite + FaultSiteSend)
 	}
 	if !dropped {
-		c.encMu.Lock()
-		c.encBuf.Reset()
-		err := c.enc.Encode(request{ID: id, Method: method, Params: raw, Auth: token})
-		if err == nil {
-			_, err = c.conn.Write(c.encBuf.Bytes())
-		}
-		c.encMu.Unlock()
+		// One conn.Write per frame: net serializes concurrent writes, so
+		// frames from concurrent callers never interleave.
+		_, err := c.conn.Write(frame)
+		putBuf(fbuf)
 		if err != nil {
 			c.abandon(id)
 			return fmt.Errorf("srpc: sending request: %w", err)
 		}
+	} else {
+		putBuf(fbuf)
 	}
 
 	timer := c.clock.NewTimer(timeout)
 	defer timer.Stop()
 	select {
 	case res := <-ch:
-		if res.err != nil {
-			return res.err
-		}
-		if res.resp.Error != "" {
-			return &RemoteError{Message: res.resp.Error}
-		}
-		if out != nil && len(res.resp.Result) > 0 {
-			if err := json.Unmarshal(res.resp.Result, out); err != nil {
-				return fmt.Errorf("srpc: unmarshalling result: %w", err)
-			}
-		}
-		return nil
+		return decodeResult(method, res, out)
 	case <-timer.C():
 		c.abandon(id)
 		return fmt.Errorf("%w: %s after %v", ErrTimeout, method, timeout)
 	}
+}
+
+// decodeResult materializes one delivered result into out, returning the
+// binary frame buffer (if any) to the pool.
+func decodeResult(method string, res callResult, out any) error {
+	if res.err != nil {
+		return res.err
+	}
+	if res.binBuf != nil {
+		defer putBuf(res.binBuf)
+		if res.bin.isErr {
+			return &RemoteError{Message: string(res.bin.errMsg)}
+		}
+		p := res.bin.payload
+		if out == nil {
+			return nil
+		}
+		if p.shape != ShapeJSON {
+			u, ok := out.(BinaryUnmarshaler)
+			if !ok {
+				return fmt.Errorf("srpc: result of %s has payload shape %#x but %T has no binary decoder", method, p.shape, out)
+			}
+			if err := u.UnmarshalSrpc(p.shape, p.data); err != nil {
+				return fmt.Errorf("srpc: unmarshalling result: %w", err)
+			}
+			return nil
+		}
+		if len(p.data) > 0 {
+			if err := json.Unmarshal(p.data, out); err != nil {
+				return fmt.Errorf("srpc: unmarshalling result: %w", err)
+			}
+		}
+		return nil
+	}
+	if res.resp.Error != "" {
+		return &RemoteError{Message: res.resp.Error}
+	}
+	if out != nil && len(res.resp.Result) > 0 {
+		if err := json.Unmarshal(res.resp.Result, out); err != nil {
+			return fmt.Errorf("srpc: unmarshalling result: %w", err)
+		}
+	}
+	return nil
 }
 
 func (c *Client) abandon(id uint64) {

@@ -1,0 +1,115 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"sensorcer/internal/clockwork"
+	"sensorcer/internal/lease"
+	"sensorcer/internal/remote"
+	"sensorcer/internal/repl"
+	"sensorcer/internal/space"
+)
+
+// TestFederationMixedCodec runs a federation whose processes disagree
+// about the wire codec — the rolling-upgrade shape: the lookup service
+// is pinned to the legacy JSON protocol, shard s0's backup process
+// likewise, while shard s1's backup speaks the binary frames. The
+// binary-capable stubs in this process must negotiate per connection:
+// down to JSON lines for the LUS and s0, binary frames for s1 — and a
+// leader-driven failover must ride through the mixed deployment.
+// Skipped under -short (it builds and spawns real processes).
+func TestFederationMixedCodec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process federation skipped in -short mode")
+	}
+	fed, err := StartFederation(FederationConfig{
+		Shards:      []string{"s0", "s1"},
+		Codec:       "json",
+		ShardCodecs: map[string]string{"s1": "binary"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+
+	clock := clockwork.Real()
+	pol := lease.Policy{Max: time.Minute}
+
+	// Journal shipping to both child backups: one connection negotiates
+	// down to JSON, the other runs binary frames; the replication stubs
+	// are identical.
+	for i, shard := range []string{"s0", "s1"} {
+		follower, err := remote.NewReplicationClient(
+			remote.ProxyDesc{Kind: remote.ReplicationKind, Locator: fed.ShardAddrs[i], Service: shard},
+			2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer follower.Close()
+		primary, err := repl.NewNode(shard+"-primary", clock, pol, t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer primary.Close()
+		sp, err := primary.Promote(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 10; j++ {
+			if _, err := sp.Write(space.NewEntry("reading", "seq", float64(j)), nil, time.Minute); err != nil {
+				t.Fatalf("%s pre-attach write %d: %v", shard, j, err)
+			}
+		}
+		if _, err := primary.AttachBackup(2, follower, true); err != nil {
+			t.Fatalf("%s cross-process resync: %v", shard, err)
+		}
+		for j := 10; j < 20; j++ {
+			if _, err := sp.Write(space.NewEntry("reading", "seq", float64(j)), nil, time.Minute); err != nil {
+				t.Fatalf("%s replicated write %d: %v", shard, j, err)
+			}
+		}
+		if err := follower.Heartbeat(2); err != nil {
+			t.Fatalf("%s heartbeat: %v", shard, err)
+		}
+	}
+
+	// Failover under mixed codecs: a coordinator holds its lease at the
+	// JSON-only lookup service (its binary-capable client negotiated
+	// down), supervises an in-process shard pair, and promotes the backup
+	// when the primary dies.
+	g, err := remote.NewCoordinationClient(fed.LUSAddr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	na, err := repl.NewNode("r0-a", clock, pol, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := repl.NewNode("r0-b", clock, pol, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := repl.NewRouter(clock, []repl.ShardSpec{{Name: "r0", Primary: na, Backup: nb}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	co := repl.NewCoordinator("replica-a", clock, g, router,
+		repl.CoordinatorConfig{Term: 300 * time.Millisecond, Interval: 15 * time.Millisecond, Misses: 3})
+	co.Start()
+	defer co.Stop()
+
+	waitUntil(t, "the coordinator to win the JSON-hosted lease", func() bool {
+		_, ok := co.Leading()
+		return ok
+	})
+	na.Kill()
+	waitUntil(t, "leader-driven failover to the backup", func() bool {
+		return router.Shard("r0").Primary() == nb
+	})
+	if _, err := router.Write(space.NewEntry("job", "id", float64(1)), nil, time.Minute); err != nil {
+		t.Fatalf("write after failover in mixed-codec federation: %v", err)
+	}
+}

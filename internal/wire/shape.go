@@ -1,0 +1,40 @@
+// ReadingBatch adapts a []Reading to the srpc binary codec's hot-shape
+// interfaces (srpc.BinaryMarshaler / srpc.BinaryUnmarshaler, satisfied
+// structurally so wire stays dependency-free): on a binary connection a
+// batch travels as the compact encoding instead of JSON. The subscription
+// plane (ROADMAP item 2) will stream these; today the codec tests and
+// benchmarks exercise the shape.
+package wire
+
+import "fmt"
+
+// ShapeReadingBatch is the srpc payload-shape tag for a compact reading
+// batch. Shape tags are allocated per package: srpc reserves 0 for the
+// JSON fallback, internal/remote owns 1..31, wire owns 32+.
+const ShapeReadingBatch byte = 32
+
+// ReadingBatch is a []Reading with srpc fast-path encoding.
+type ReadingBatch []Reading
+
+// SrpcShape tags the binary payload.
+func (rb ReadingBatch) SrpcShape() byte { return ShapeReadingBatch }
+
+// AppendSrpc appends the compact encoding of the batch.
+//
+//lint:noalloc
+func (rb ReadingBatch) AppendSrpc(buf []byte) ([]byte, error) {
+	return AppendCompact(buf, rb)
+}
+
+// UnmarshalSrpc decodes a compact batch payload.
+func (rb *ReadingBatch) UnmarshalSrpc(shape byte, data []byte) error {
+	if shape != ShapeReadingBatch {
+		return fmt.Errorf("wire: unexpected payload shape %#x for ReadingBatch", shape)
+	}
+	rs, err := DecodeCompact(data)
+	if err != nil {
+		return err
+	}
+	*rb = rs
+	return nil
+}

@@ -47,14 +47,23 @@ var ErrBadBatch = errors.New("wire: malformed compact batch")
 // Readings must be in non-decreasing timestamp order (the natural order a
 // collector produces); out-of-order input is rejected.
 func EncodeCompact(readings []Reading) ([]byte, error) {
+	return AppendCompact(make([]byte, 0, 16+6*len(readings)), readings)
+}
+
+// AppendCompact is EncodeCompact into a caller-owned buffer — the
+// reading-batch encode path the srpc binary codec reuses, allocation-free
+// beyond amortized growth of buf.
+//
+//lint:noalloc
+func AppendCompact(buf []byte, readings []Reading) ([]byte, error) {
 	if len(readings) == 0 {
 		return nil, errors.New("wire: empty batch")
 	}
 	base := readings[0].Timestamp
-	buf := make([]byte, 0, 16+6*len(readings))
+	//lint:allocok amortized growth of the caller-owned encode buffer
 	buf = append(buf, compactVersion)
-	buf = binary.AppendUvarint(buf, uint64(len(readings)))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(base.UnixNano()))
+	buf = AppendUvarint(buf, uint64(len(readings)))
+	buf = AppendUint64LE(buf, uint64(base.UnixNano()))
 	prev := base
 	for i, r := range readings {
 		if r.Timestamp.Before(prev) {
@@ -63,9 +72,9 @@ func EncodeCompact(readings []Reading) ([]byte, error) {
 		deltaMS := r.Timestamp.Sub(prev).Milliseconds()
 		prev = r.Timestamp
 		q := int64(math.Round(r.Value / Quantum))
-		buf = binary.AppendUvarint(buf, uint64(r.SensorID))
-		buf = binary.AppendUvarint(buf, uint64(deltaMS))
-		buf = binary.AppendVarint(buf, q)
+		buf = AppendUvarint(buf, uint64(r.SensorID))
+		buf = AppendUvarint(buf, uint64(deltaMS))
+		buf = AppendSvarint(buf, q)
 	}
 	return buf, nil
 }
