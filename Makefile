@@ -52,7 +52,7 @@ fuzz-seeds:
 # Full benchmark suite; results land in $(BENCH_OUT) (op name -> ns/op,
 # B/op, allocs/op, custom metrics like wirebytes/op) so later PRs have a
 # perf trajectory to compare against.
-BENCH_OUT ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR9.json
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
@@ -69,7 +69,7 @@ bench-smoke:
 # order-of-magnitude cliffs, not percent-level drift. For the tight
 # version run `make bench` on both commits and
 # `benchjson -compare -threshold 1.2 old.json new.json`.
-BENCH_BASE ?= BENCH_PR7.json
+BENCH_BASE ?= BENCH_PR8.json
 bench-compare:
 	$(GO) test -run '^$$' -bench=. -benchtime 100x -benchmem ./... | $(GO) run ./cmd/benchjson -o /tmp/bench-head.json
 	$(GO) run ./cmd/benchjson -compare -threshold 10 $(BENCH_BASE) /tmp/bench-head.json

@@ -47,6 +47,7 @@ import (
 	"sensorcer/internal/sensor/probe"
 	"sensorcer/internal/spot"
 	"sensorcer/internal/srpc"
+	"sensorcer/internal/subscribe"
 )
 
 func main() {
@@ -161,6 +162,7 @@ func runESP(args []string) {
 	leaseDur := fs.Duration("lease", 10*time.Second, "registration lease to request")
 	token := fs.String("token", "", "shared secret for the deployment (empty = open)")
 	codec := fs.String("codec", "binary", "wire codec to offer (binary|json)")
+	push := fs.Bool("push", false, "serve push subscriptions (multiplexed streams) alongside polled reads")
 	fs.Parse(args)
 
 	clock := clockwork.Real()
@@ -184,6 +186,19 @@ func runESP(args []string) {
 	}
 	defer server.Close()
 	desc := remote.ServeAccessor(server, *name, esp)
+	if *push {
+		// Subscription plane: every background sample marks the source
+		// dirty; one evaluation fans out to all stream subscribers.
+		hub := subscribe.NewHub(subscribe.WithHubClock(clock))
+		defer hub.Close()
+		src := subscribe.NewSource(hub, esp)
+		src.Start()
+		defer src.Stop()
+		if _, err := esp.Events().Register(sensor.EventReadingUpdate, src.Listener(), 24*time.Hour); err != nil {
+			fatal(err)
+		}
+		remote.ServeSubscriptions(server, hub)
+	}
 
 	rc, err := dialRegistrar(*lusAddr, *token)
 	if err != nil {

@@ -277,6 +277,41 @@ func TestBoxCapacityDropsOldest(t *testing.T) {
 	}
 }
 
+// TestBoxDrainWithDroppedRevealsGap: the dropped count a drain reports
+// matches the SeqNo discontinuity in the drained sequence, and resets
+// between drains.
+func TestBoxDrainWithDroppedRevealsGap(t *testing.T) {
+	_, mb := newMailbox(t) // cap 8
+	box, _ := mb.Register(time.Minute)
+	for i := 1; i <= 11; i++ {
+		box.Notify(RemoteEvent{SeqNo: uint64(i)})
+	}
+	evs, dropped := box.DrainWithDropped(0)
+	if dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", dropped)
+	}
+	// The gap at the front of the window equals the dropped count: the
+	// consumer's last known SeqNo (0) to the first drained one.
+	if gap := evs[0].SeqNo - 1; gap != dropped {
+		t.Fatalf("SeqNo discontinuity %d does not match dropped %d", gap, dropped)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].SeqNo != evs[i-1].SeqNo+1 {
+			t.Fatalf("unexpected interior gap at %d: %v -> %v", i, evs[i-1].SeqNo, evs[i].SeqNo)
+		}
+	}
+	// Already-reported drops are not re-reported.
+	box.Notify(RemoteEvent{SeqNo: 12})
+	evs, dropped = box.DrainWithDropped(0)
+	if dropped != 0 || len(evs) != 1 || evs[0].SeqNo != 12 {
+		t.Fatalf("second drain = %d events, dropped %d", len(evs), dropped)
+	}
+	// Cumulative accounting is untouched.
+	if box.Dropped() != 3 {
+		t.Fatalf("cumulative Dropped = %d, want 3", box.Dropped())
+	}
+}
+
 func TestBoxLeaseExpiry(t *testing.T) {
 	fc, mb := newMailbox(t)
 	box, _ := mb.Register(time.Minute)

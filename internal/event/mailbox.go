@@ -93,8 +93,11 @@ type Box struct {
 	mu      sync.Mutex
 	stored  []RemoteEvent
 	dropped uint64
-	target  Listener
-	expired bool
+	// reported marks how much of dropped has been handed out by
+	// DrainWithDropped, so each drain reports only the gap it observed.
+	reported uint64
+	target   Listener
+	expired  bool
 }
 
 // Notify implements Listener: the event is forwarded if the box is enabled,
@@ -183,6 +186,28 @@ func (b *Box) Drain(max int) []RemoteEvent {
 	copy(out, b.stored[:n])
 	b.stored = append(b.stored[:0], b.stored[n:]...)
 	return out
+}
+
+// DrainWithDropped removes and returns up to max stored events (all if
+// max <= 0) together with the number of events dropped by the capacity
+// bound since the previous DrainWithDropped call. A non-zero dropped
+// count means the drained sequence has a gap — the events' SeqNos jump
+// by more than one where the oldest entries were discarded — and lets a
+// catch-up consumer surface the loss instead of silently papering over
+// it.
+func (b *Box) DrainWithDropped(max int) ([]RemoteEvent, uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := len(b.stored)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]RemoteEvent, n)
+	copy(out, b.stored[:n])
+	b.stored = append(b.stored[:0], b.stored[n:]...)
+	gap := b.dropped - b.reported
+	b.reported = b.dropped
+	return out, gap
 }
 
 // Stored reports the number of buffered events.

@@ -1,0 +1,120 @@
+// Package streampumpcase exercises goroleak and deepblock on the shapes
+// the streaming subscription plane takes: per-subscriber pump goroutines
+// (which must have a visible exit path) and a subscriber registry whose
+// publish path must never send on a channel — and thereby park on a
+// stalled subscriber — while the registry mutex is held. The clean
+// variants are the patterns internal/subscribe actually uses: offers are
+// select-with-default under the lock, deliveries happen outside it.
+package streampumpcase
+
+import "sync"
+
+// sink is one subscriber endpoint: a bounded channel standing in for a
+// credit-limited stream.
+type sink struct {
+	out chan int
+}
+
+// offer is the non-blocking delivery attempt: select-with-default never
+// parks, so it is safe under the registry lock.
+func (s *sink) offer(v int) bool {
+	select {
+	case s.out <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// registry tracks live subscribers, keyed by token.
+type registry struct {
+	mu   sync.Mutex
+	subs map[string]*sink
+}
+
+// BroadcastUnderLock delivers with a blocking send while mu is held: one
+// stalled subscriber wedges every publisher and sibling behind the lock.
+func (r *registry) BroadcastUnderLock(v int) {
+	r.mu.Lock()
+	for _, s := range r.subs {
+		s.out <- v // want `sends on a channel while streampumpcase\.registry\.mu is held`
+	}
+	r.mu.Unlock()
+}
+
+// deliver is the blocking hop deepblock must see through.
+func deliver(s *sink, v int) {
+	s.out <- v
+}
+
+// TransitiveBroadcastUnderLock reaches the blocking send one call deep
+// with the registry lock held.
+func (r *registry) TransitiveBroadcastUnderLock(v int) {
+	r.mu.Lock()
+	for _, s := range r.subs {
+		deliver(s, v) // want `call to streampumpcase\.deliver can park on a channel while streampumpcase\.registry\.mu is held`
+	}
+	r.mu.Unlock()
+}
+
+// OfferUnderLock is the clean variant: the non-blocking offer may run
+// under the lock because a full subscriber loses the value (conflation's
+// job) instead of parking the publisher.
+func (r *registry) OfferUnderLock(v int) {
+	r.mu.Lock()
+	for _, s := range r.subs {
+		_ = s.offer(v)
+	}
+	r.mu.Unlock()
+}
+
+// CollectThenSend is the other clean variant: snapshot the subscriber set
+// under the lock, release it, then block on delivery outside.
+func (r *registry) CollectThenSend(v int) {
+	r.mu.Lock()
+	targets := make([]*sink, 0, len(r.subs))
+	for _, s := range r.subs {
+		targets = append(targets, s)
+	}
+	r.mu.Unlock()
+	for _, s := range targets {
+		s.out <- v
+	}
+}
+
+// spin is busy work with no channel operations, so the leaky pump below
+// has genuinely no visible exit.
+func spin(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// LeakyPump spawns a delivery pump that polls forever: no stop channel,
+// no select, nothing a Close path could use to unplug it.
+func LeakyPump() {
+	go func() { // want `goroutine has no visible exit path`
+		for {
+			spin(64)
+		}
+	}()
+}
+
+// Pump is the clean pump shape internal/subscribe uses: woken by notify,
+// stopped by stop, released when the subscriber's stream ends.
+func Pump(notify, stop, done chan struct{}, s *sink) {
+	go func() {
+		for {
+			select {
+			case <-notify:
+				_ = s.offer(1)
+			case <-stop:
+				return
+			case <-done:
+				return
+			}
+		}
+	}()
+}

@@ -1,0 +1,263 @@
+package remote
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"sensorcer/internal/sensor/probe"
+	"sensorcer/internal/srpc"
+	"sensorcer/internal/subscribe"
+)
+
+// cpuNow reads the process's consumed CPU time (user + system). Both
+// fan-out benchmarks host client and server in one process, so the delta
+// across the loop is the total CPU a propagated delta costs, scheduler
+// idle time excluded — the number the poll→push comparison is about.
+func cpuNow(b *testing.B) time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		b.Fatal(err)
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
+// benchSensor is the upstream source both fan-out benchmarks share: a
+// settable value with an evaluation counter, so the benchmarks can report
+// how many sensor evaluations one propagated delta costs. Poll pays one
+// evaluation per subscriber per delta; the subscription plane pays one
+// per delta, full stop.
+type benchSensor struct {
+	mu    sync.Mutex
+	value float64
+	evals atomic.Int64
+}
+
+func (s *benchSensor) set(v float64) {
+	s.mu.Lock()
+	s.value = v
+	s.mu.Unlock()
+}
+
+func (s *benchSensor) GetValue() (probe.Reading, error) {
+	s.evals.Add(1)
+	s.mu.Lock()
+	v := s.value
+	s.mu.Unlock()
+	return probe.Reading{Sensor: "bench-rtd", Kind: "temperature", Unit: "celsius", Value: v, Timestamp: epoch}, nil
+}
+
+func (s *benchSensor) GetReadings(int) []probe.Reading { return nil }
+
+func (s *benchSensor) SensorName() string { return "bench-rtd" }
+
+func (s *benchSensor) Describe() probe.Info {
+	return probe.Info{Name: "bench-rtd", Technology: "bench", Kind: "temperature", Unit: "celsius"}
+}
+
+// fanoutConns is the connection budget for a subscriber fleet: real
+// deployments multiplex many subscribers over few connections, so the
+// benchmarks do too instead of paying 5000 TCP sockets.
+func fanoutConns(subscribers int) int {
+	if subscribers < 32 {
+		return subscribers
+	}
+	return 32
+}
+
+// fanoutSizes is the subscriber-count sweep: the single-subscriber
+// baseline, a realistic federation, and the scale point where per-
+// subscriber eval cost dominates polling.
+var fanoutSizes = []int{1, 100, 5000}
+
+// BenchmarkPollFanout is the pre-subscription baseline: every subscriber
+// polls GetValue over srpc once per upstream delta — the minimum a
+// polling consumer must do to stay current with each delta. One op =
+// one delta propagated to all N subscribers, so ns/op, wirebytes/op and
+// evals/op all scale linearly with the fleet.
+func BenchmarkPollFanout(b *testing.B) {
+	for _, n := range fanoutSizes {
+		b.Run(fmt.Sprintf("subs=%d", n), func(b *testing.B) {
+			sensorImpl := &benchSensor{}
+			server := srpc.NewServer()
+			if err := server.Listen("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { server.Close() })
+			desc := ServeAccessor(server, "bench-rtd", sensorImpl)
+			proxy := startCountingProxy(b, server.Addr())
+			desc.Locator = proxy.addr()
+
+			conns := fanoutConns(n)
+			clients := make([]*AccessorClient, conns)
+			for i := range clients {
+				ac, err := NewAccessorClient(desc, 5*time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(ac.Close)
+				clients[i] = ac
+			}
+			// Warm the connections, then zero the meters.
+			for _, ac := range clients {
+				if _, err := ac.GetValue(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			proxy.bytes.Store(0)
+			sensorImpl.evals.Store(0)
+			b.ResetTimer()
+			cpu0 := cpuNow(b)
+			for i := 0; i < b.N; i++ {
+				sensorImpl.set(float64(i))
+				// Each connection polls for its share of the fleet, in
+				// parallel — the best case for polling.
+				var wg sync.WaitGroup
+				for w := 0; w < conns; w++ {
+					polls := n / conns
+					if w < n%conns {
+						polls++
+					}
+					if polls == 0 {
+						continue
+					}
+					wg.Add(1)
+					go func(ac *AccessorClient, polls int) {
+						defer wg.Done()
+						for j := 0; j < polls; j++ {
+							if _, err := ac.GetValue(); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(clients[w], polls)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(cpuNow(b)-cpu0)/float64(b.N), "cpu-ns/op")
+			b.ReportMetric(float64(proxy.bytes.Load())/float64(b.N), "wirebytes/op")
+			b.ReportMetric(float64(sensorImpl.evals.Load())/float64(b.N), "evals/op")
+		})
+	}
+}
+
+// BenchmarkSubscribeFanout is the subscription plane on the same
+// contract: N subscribers hold multiplexed streams over the same
+// connection budget, and every upstream delta must leave the whole
+// fleet holding the latest value. One op = one delta, paced on a canary
+// subscriber's receipt so every delta genuinely evaluates and fans out
+// (no wholesale coalescing) while the other deliveries pipeline behind
+// it — the plane's contract is freshness, so a consumer the canary
+// outran receives a conflated update rather than stalling the
+// publisher. The fleet must converge on the final value before the
+// clock stops. evals/op stays at 1 regardless of N, where polling pays
+// one evaluation per subscriber per delta.
+func BenchmarkSubscribeFanout(b *testing.B) {
+	for _, n := range fanoutSizes {
+		b.Run(fmt.Sprintf("subs=%d", n), func(b *testing.B) {
+			sensorImpl := &benchSensor{}
+			hub := subscribe.NewHub()
+			b.Cleanup(hub.Close)
+			src := subscribe.NewSource(hub, sensorImpl)
+			src.Start()
+			b.Cleanup(src.Stop)
+
+			server := srpc.NewServer()
+			if err := server.Listen("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { server.Close() })
+			ServeSubscriptions(server, hub)
+			proxy := startCountingProxy(b, server.Addr())
+
+			conns := fanoutConns(n)
+			clients := make([]*srpc.Client, conns)
+			for i := range clients {
+				c, err := srpc.Dial(proxy.addr(), 5*time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(c.Close)
+				clients[i] = c
+			}
+			// Each subscriber records the latest value it has seen;
+			// convergence means the whole fleet observed the final delta.
+			// Subscriber 0 is the canary: its receipts pace the publisher.
+			lasts := make([]atomic.Int64, n)
+			canary := make(chan struct{}, 1)
+			for i := 0; i < n; i++ {
+				sub, err := Subscribe(clients[i%conns], subscribe.Filter{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(sub.Close)
+				signal := i == 0
+				go func(sub *SubscriberClient, last *atomic.Int64) {
+					for {
+						u, err := sub.Recv(0)
+						if err != nil {
+							return
+						}
+						for _, r := range u.Readings {
+							last.Store(int64(math.Round(r.Value)))
+						}
+						if signal {
+							select {
+							case canary <- struct{}{}:
+							default:
+							}
+						}
+					}
+				}(sub, &lasts[i])
+			}
+			waitConverged := func(v int64) {
+				deadline := time.Now().Add(30 * time.Second)
+				for i := 0; i < n; {
+					if lasts[i].Load() == v {
+						i++
+						continue
+					}
+					if time.Now().After(deadline) {
+						b.Fatalf("subscriber %d stuck at %d, want %d", i, lasts[i].Load(), v)
+					}
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+			// The opens race the first publish: wait for the hub to hold
+			// the full fleet, then verify delivery once and zero the meters.
+			deadline := time.Now().Add(10 * time.Second)
+			for hub.Count() != n {
+				if time.Now().After(deadline) {
+					b.Fatalf("hub never saw %d subscriptions (count %d)", n, hub.Count())
+				}
+				time.Sleep(time.Millisecond)
+			}
+			sensorImpl.set(-1)
+			src.Notify()
+			waitConverged(-1)
+			select {
+			case <-canary:
+			default:
+			}
+			proxy.bytes.Store(0)
+			sensorImpl.evals.Store(0)
+			b.ResetTimer()
+			cpu0 := cpuNow(b)
+			for i := 1; i <= b.N; i++ {
+				sensorImpl.set(float64(i))
+				src.Notify()
+				<-canary
+			}
+			waitConverged(int64(b.N))
+			b.StopTimer()
+			b.ReportMetric(float64(cpuNow(b)-cpu0)/float64(b.N), "cpu-ns/op")
+			b.ReportMetric(float64(proxy.bytes.Load())/float64(b.N), "wirebytes/op")
+			b.ReportMetric(float64(sensorImpl.evals.Load())/float64(b.N), "evals/op")
+		})
+	}
+}

@@ -112,6 +112,10 @@ type CSP struct {
 	// lastQuality qualifies the most recent successful evaluation.
 	lastQuality Quality
 	hasQuality  bool
+	// valueHook, when set, observes every successfully computed value —
+	// the subscription plane's feed, so a single evaluation (whoever
+	// triggered it) reaches every subscriber.
+	valueHook func(probe.Reading)
 }
 
 type childBinding struct {
@@ -519,11 +523,26 @@ func (c *CSP) GetValue() (probe.Reading, error) {
 		Degraded:  len(missing) > 0,
 		Missing:   missing,
 	}
+	hook := c.valueHook
 	c.hasQuality = true
 	c.mu.Unlock()
 	c.store.Add(r)
 	sc.put()
+	// The hook runs outside c.mu: it may fan the value out to
+	// subscribers, which must never hold up or deadlock the composite.
+	if hook != nil {
+		hook(r)
+	}
 	return r, nil
+}
+
+// SetValueHook installs fn to observe every successfully computed
+// composite value (nil removes it). The hook runs on the reading
+// goroutine after the value is stored; it must not block.
+func (c *CSP) SetValueHook(fn func(probe.Reading)) {
+	c.mu.Lock()
+	c.valueHook = fn
+	c.mu.Unlock()
 }
 
 // evalBound is the full-read fast path: child values into pooled float64

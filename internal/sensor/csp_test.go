@@ -32,6 +32,31 @@ func TestCSPAverageDefault(t *testing.T) {
 	}
 }
 
+func TestCSPValueHook(t *testing.T) {
+	c := NewCSP("Composite-Service")
+	e := replayESP("Neem-Sensor", 20)
+	defer e.Close()
+	if _, err := c.AddChild(e); err != nil {
+		t.Fatal(err)
+	}
+	var seen []probe.Reading
+	c.SetValueHook(func(r probe.Reading) { seen = append(seen, r) })
+	r, err := c.GetValue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || seen[0] != r {
+		t.Fatalf("hook saw %+v, read %+v", seen, r)
+	}
+	c.SetValueHook(nil)
+	if _, err := c.GetValue(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 {
+		t.Fatalf("removed hook still fired: %d observations", len(seen))
+	}
+}
+
 func TestCSPVariableBindingOrder(t *testing.T) {
 	c := NewCSP("c")
 	names := []string{"s1", "s2", "s3"}

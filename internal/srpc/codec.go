@@ -262,6 +262,7 @@ var methodPrefixes = [...]string{
 	8:  "accessor.getReadings.",
 	9:  "accessor.describe.",
 	10: "servicer.service.",
+	11: "subscribe.",
 }
 
 // splitMethod finds the longest dictionary prefix of method.

@@ -18,15 +18,21 @@ func TestRegenerateFuzzCorpus(t *testing.T) {
 	if os.Getenv("SRPC_REGEN_CORPUS") == "" {
 		t.Skip("set SRPC_REGEN_CORPUS=1 to rewrite testdata/fuzz")
 	}
-	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeFrame")
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		t.Fatal(err)
+	corpora := map[string][][]byte{
+		"FuzzDecodeFrame":       fuzzSeedFrames(),
+		"FuzzDecodeStreamFrame": fuzzStreamSeedFrames(),
 	}
-	for i, seed := range fuzzSeedFrames() {
-		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
-		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
-		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+	for target, seeds := range corpora {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
 			t.Fatal(err)
+		}
+		for i, seed := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 }

@@ -64,14 +64,24 @@ type handlerFunc func(p binPayload) (any, error)
 
 // Server dispatches srpc requests to registered handlers.
 type Server struct {
-	mu       sync.RWMutex
-	handlers map[string]handlerFunc
-	listener net.Listener
-	conns    map[net.Conn]bool
-	token    string
-	codec    Codec
-	closed   bool
-	wg       sync.WaitGroup
+	mu             sync.RWMutex
+	handlers       map[string]handlerFunc
+	streamHandlers map[string]streamHandlerFunc
+	listener       net.Listener
+	conns          map[net.Conn]bool
+	token          string
+	codec          Codec
+	clock          clockwork.Clock
+	closed         bool
+	wg             sync.WaitGroup
+}
+
+// SetClock injects a clock (tests); the default is the real one. Set
+// before Listen.
+func (s *Server) SetClock(c clockwork.Clock) {
+	s.mu.Lock()
+	s.clock = c
+	s.mu.Unlock()
 }
 
 // SetToken requires every request to carry the shared secret. Set before
@@ -96,6 +106,7 @@ func NewServer() *Server {
 	return &Server{
 		handlers: make(map[string]handlerFunc),
 		conns:    make(map[net.Conn]bool),
+		clock:    clockwork.Real(),
 	}
 }
 
@@ -189,29 +200,152 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// connWriter serializes every reply — JSON or binary — onto one buffered
-// writer: each response reaches the wire as a single flush under the
-// mutex, so concurrent handlers never interleave frames.
+// connWriter serializes every reply — JSON or binary — onto one
+// connection. Writers never touch the socket: they append whole frames
+// to a pending buffer under a short lock and nudge the flusher
+// goroutine, which swaps the buffer out and writes it with a single
+// syscall. Under stream fan-out the frames that accumulate while one
+// write syscall is in flight all leave in the next one, so thousands
+// of small data frames cost a handful of writes — and a peer whose
+// socket has stalled never blocks a producer. The pending buffer stays
+// bounded without any explicit cap: stream data frames are credit-
+// gated by the peer's open windows and responses are matched to
+// in-flight requests, which is the same bound TCP backpressure
+// enforced when writers flushed inline.
 type connWriter struct {
-	mu  sync.Mutex
-	w   *bufio.Writer
-	enc *json.Encoder // writes into w
+	conn  net.Conn
+	clock clockwork.Clock
+	mu    sync.Mutex
+	// pending holds complete frames not yet handed to the kernel.
+	pending []byte
+	// err is the first socket write error; once set, frames are dropped
+	// (the read loop tears the connection down independently).
+	err    error
+	kick   chan struct{} // cap 1: wakes the flusher now
+	lazy   chan struct{} // cap 1: wakes it after a short gather window
+	done   chan struct{} // closed by stop: flusher drains and exits
+	exited chan struct{} // closed by the flusher on return
+}
+
+func newConnWriter(conn net.Conn, clock clockwork.Clock) *connWriter {
+	cw := &connWriter{
+		conn:   conn,
+		clock:  clock,
+		kick:   make(chan struct{}, 1),
+		lazy:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+		exited: make(chan struct{}),
+	}
+	go cw.flusher()
+	return cw
+}
+
+// maxRetainedWriteBuf caps how much a connection's swap buffers keep
+// after a burst; anything larger is released to the collector.
+const maxRetainedWriteBuf = 1 << 20
+
+// streamGatherWindow is how long the flusher lingers after a lazy kick
+// before writing: during a fan-out burst the frames for this
+// connection's other streams land inside the window and leave in the
+// same syscall. It is latency added to a pushed sensor update — three
+// orders of magnitude under any sensor cadence — and never delays a
+// response on a stream-free connection, where only eager kicks occur.
+const streamGatherWindow = 200 * time.Microsecond
+
+func (cw *connWriter) flusher() {
+	defer close(cw.exited)
+	var spare []byte
+	for {
+		select {
+		case <-cw.kick:
+		case <-cw.lazy:
+			// Gather: an eager kick (a response sharing the connection)
+			// cuts the wait short.
+			t := cw.clock.NewTimer(streamGatherWindow)
+			select {
+			case <-cw.kick:
+			case <-t.C():
+			case <-cw.done:
+			}
+			t.Stop()
+		case <-cw.done:
+			cw.flushOnce(&spare) // final drain before the conn closes
+			return
+		}
+		cw.flushOnce(&spare)
+	}
+}
+
+// flushOnce swaps the pending buffer against a flusher-owned spare and
+// writes it outside the lock, so writers keep appending while the
+// syscall is in flight.
+func (cw *connWriter) flushOnce(spare *[]byte) {
+	cw.mu.Lock()
+	buf := cw.pending
+	cw.pending = (*spare)[:0]
+	cw.mu.Unlock()
+	if len(buf) > 0 {
+		if _, err := cw.conn.Write(buf); err != nil {
+			cw.mu.Lock()
+			if cw.err == nil {
+				cw.err = err
+			}
+			cw.mu.Unlock()
+		}
+	}
+	if cap(buf) > maxRetainedWriteBuf {
+		buf = nil
+	}
+	*spare = buf[:0]
+}
+
+// stop drains whatever is pending and shuts the flusher down; the
+// caller closes the conn only after stop returns. Late writers (handler
+// goroutines finishing after the connection dropped) see the error and
+// drop their frames.
+func (cw *connWriter) stop() {
+	close(cw.done)
+	<-cw.exited
+	cw.mu.Lock()
+	if cw.err == nil {
+		cw.err = net.ErrClosed
+	}
+	cw.mu.Unlock()
 }
 
 func (cw *connWriter) writeFrame(frame []byte) {
 	cw.mu.Lock()
-	if _, err := cw.w.Write(frame); err == nil {
-		_ = cw.w.Flush()
+	if cw.err == nil {
+		cw.pending = append(cw.pending, frame...)
 	}
 	cw.mu.Unlock()
+	select {
+	case cw.kick <- struct{}{}:
+	default:
+	}
+}
+
+// writeFrameLazy queues a frame that tolerates the gather window —
+// stream data, where per-update latency is measured against sensor
+// cadence, not request round-trips.
+func (cw *connWriter) writeFrameLazy(frame []byte) {
+	cw.mu.Lock()
+	if cw.err == nil {
+		cw.pending = append(cw.pending, frame...)
+	}
+	cw.mu.Unlock()
+	select {
+	case cw.lazy <- struct{}{}:
+	default:
+	}
 }
 
 func (cw *connWriter) writeJSON(resp response) {
-	cw.mu.Lock()
-	if err := cw.enc.Encode(resp); err == nil {
-		_ = cw.w.Flush()
+	line, err := json.Marshal(resp)
+	if err != nil {
+		return
 	}
-	cw.mu.Unlock()
+	cw.writeFrame(append(line, '\n'))
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -224,23 +358,22 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	s.mu.RLock()
 	codec := s.codec
+	clock := s.clock
 	s.mu.RUnlock()
-	cw := &connWriter{w: bufio.NewWriter(conn)}
-	cw.enc = json.NewEncoder(cw.w)
+	cw := newConnWriter(conn, clock)
+	defer cw.stop()
 	if codec != CodecJSON {
 		// Announce binary capability; a JSON-only client drops this as a
-		// garbage line.
-		cw.mu.Lock()
-		_, err := cw.w.Write(preamble[:])
-		if err == nil {
-			err = cw.w.Flush()
-		}
-		cw.mu.Unlock()
-		if err != nil {
-			return
-		}
+		// garbage line. Written through the flusher like everything else —
+		// nothing else is queued yet, so it is the first bytes on the wire.
+		cw.writeFrame(preamble[:])
 	}
 	reader := bufio.NewReader(conn)
+	// streams tracks this connection's open server streams; whatever is
+	// still open when the connection drops is torn down so producers
+	// observe Done and release their subscriptions.
+	streams := &connStreams{}
+	defer streams.closeAll()
 	// scratch backs reassembled method names across requests; the map
 	// lookup over it never allocates.
 	var scratch []byte
@@ -249,26 +382,56 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if first[0] == frameRequest && codec != CodecJSON {
+		if isServerFrame(first[0]) && codec != CodecJSON {
+			tag := first[0]
 			_, _ = reader.Discard(1)
 			buf := getBuf()
 			if err := readFrameBody(reader, buf); err != nil {
 				putBuf(buf)
 				return // framing is broken; drop the connection
 			}
-			req, sc, ok := decodeRequest(*buf, scratch)
-			scratch = sc
-			if !ok {
+			switch tag {
+			case frameRequest:
+				req, sc, ok := decodeRequest(*buf, scratch)
+				scratch = sc
+				if !ok {
+					putBuf(buf)
+					continue // malformed body; drop the frame like garbage JSON
+				}
+				h, errMsg := s.lookupHandler(req.method, req.auth)
+				// Serve each request on its own goroutine so a slow handler
+				// doesn't head-of-line-block the connection. The goroutine owns
+				// the frame buffer (req.payload aliases it) and returns it to
+				// the pool when the response is on the wire.
+				s.wg.Add(1)
+				go s.serveBinRequest(cw, h, errMsg, req.id, req.payload, buf)
+			case frameStreamOpen:
+				op, sc, ok := decodeStreamOpen(*buf, scratch)
+				scratch = sc
+				if !ok {
+					putBuf(buf)
+					continue
+				}
+				// The handler goroutine owns the frame buffer (the open
+				// payload aliases it).
+				s.serveStreamOpen(cw, streams, op, buf)
+			case frameStreamCredit:
+				if id, n, ok := decodeStreamCredit(*buf); ok {
+					if st := streams.get(id); st != nil {
+						st.grant(n)
+					}
+				}
 				putBuf(buf)
-				continue // malformed body; drop the frame like garbage JSON
+			case frameStreamClose:
+				if cl, ok := decodeStreamClose(*buf); ok {
+					if st := streams.remove(cl.id); st != nil {
+						st.closeRemote()
+					}
+				}
+				putBuf(buf)
+			default:
+				putBuf(buf)
 			}
-			h, errMsg := s.lookupHandler(req.method, req.auth)
-			// Serve each request on its own goroutine so a slow handler
-			// doesn't head-of-line-block the connection. The goroutine owns
-			// the frame buffer (req.payload aliases it) and returns it to
-			// the pool when the response is on the wire.
-			s.wg.Add(1)
-			go s.serveBinRequest(cw, h, errMsg, req.id, req.payload, buf)
 			continue
 		}
 		line, err := reader.ReadBytes('\n')
@@ -288,6 +451,19 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// isServerFrame reports whether tag opens a binary frame kind a server
+// accepts (requests and the client-originated stream kinds).
+func isServerFrame(tag byte) bool {
+	return tag == frameRequest || tag == frameStreamOpen ||
+		tag == frameStreamCredit || tag == frameStreamClose
+}
+
+// authEqual compares a wire auth field against the configured token in
+// constant time.
+func authEqual(auth []byte, token string) bool {
+	return subtle.ConstantTimeCompare(auth, []byte(token)) == 1
+}
+
 // lookupHandler resolves a method and checks auth. method and auth may
 // alias per-connection buffers; nothing is retained.
 func (s *Server) lookupHandler(method, auth []byte) (handlerFunc, string) {
@@ -295,7 +471,7 @@ func (s *Server) lookupHandler(method, auth []byte) (handlerFunc, string) {
 	h, ok := s.handlers[string(method)]
 	token := s.token
 	s.mu.RUnlock()
-	if token != "" && subtle.ConstantTimeCompare(auth, []byte(token)) != 1 {
+	if token != "" && !authEqual(auth, token) {
 		return nil, "srpc: authentication failed"
 	}
 	if !ok {
@@ -421,11 +597,19 @@ type Client struct {
 	// needed and concurrent callers never interleave frames.
 	peerBinary atomic.Bool
 
+	// binReady closes once the peer's preamble arrives — the gate
+	// OpenStream waits behind, since streams have no JSON fallback.
+	binReady chan struct{}
+
 	mu      sync.Mutex
 	token   string
 	nextID  uint64
 	pending map[uint64]chan callResult
-	closed  bool
+	// streams are the open client streams keyed by stream id; the read
+	// loop routes data/close frames to them.
+	streams      map[uint64]*ClientStream
+	nextStreamID uint64
+	closed       bool
 	// lost records that the connection died underneath us (vs an
 	// explicit Close), so later calls fail with ErrConnClosed.
 	lost bool
@@ -453,12 +637,13 @@ func DialCodec(addr string, codec Codec, timeout time.Duration) (*Client, error)
 		return nil, err
 	}
 	c := &Client{
-		conn:    conn,
-		timeout: timeout,
-		clock:   clockwork.Real(),
-		codec:   codec,
-		pending: make(map[uint64]chan callResult),
-		done:    make(chan struct{}),
+		conn:     conn,
+		timeout:  timeout,
+		clock:    clockwork.Real(),
+		codec:    codec,
+		pending:  make(map[uint64]chan callResult),
+		binReady: make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	if codec != CodecJSON {
 		// Announce binary capability; a JSON-only server drops this as a
@@ -498,7 +683,8 @@ func (c *Client) readLoop() {
 			c.failAll(err)
 			return
 		}
-		if first[0] == frameResponse && c.codec != CodecJSON {
+		if isClientFrame(first[0]) && c.codec != CodecJSON {
+			tag := first[0]
 			_, _ = reader.Discard(1)
 			buf := getBuf()
 			if err := readFrameBody(reader, buf); err != nil {
@@ -506,12 +692,34 @@ func (c *Client) readLoop() {
 				c.failAll(err)
 				return
 			}
-			resp, ok := decodeResponse(*buf)
-			if !ok {
+			switch tag {
+			case frameResponse:
+				resp, ok := decodeResponse(*buf)
+				if !ok {
+					putBuf(buf)
+					continue // malformed body; drop the frame
+				}
+				c.deliver(resp.id, callResult{bin: resp, binBuf: buf})
+			case frameStreamData:
+				d, ok := decodeStreamData(*buf)
+				if !ok {
+					putBuf(buf)
+					continue
+				}
+				// Ownership of buf transfers to the stream's queue.
+				c.deliverData(d, buf)
+			case frameStreamClose:
+				if cl, ok := decodeStreamClose(*buf); ok {
+					var err error
+					if cl.isErr {
+						err = &RemoteError{Message: string(cl.errMsg)}
+					}
+					c.finishStream(cl.id, err)
+				}
 				putBuf(buf)
-				continue // malformed body; drop the frame
+			default:
+				putBuf(buf)
 			}
-			c.deliver(resp.id, callResult{bin: resp, binBuf: buf})
 			continue
 		}
 		line, err := reader.ReadBytes('\n')
@@ -521,7 +729,9 @@ func (c *Client) readLoop() {
 		}
 		if line[0] == preambleByte {
 			if c.codec != CodecJSON && bytes.Equal(line, preamble[:]) {
-				c.peerBinary.Store(true)
+				if c.peerBinary.CompareAndSwap(false, true) {
+					close(c.binReady)
+				}
 			}
 			continue
 		}
@@ -549,8 +759,15 @@ func (c *Client) deliver(id uint64, res callResult) {
 	}
 }
 
-// failAll runs when the read loop dies: every pending call fails fast
-// with ErrConnClosed instead of waiting out its deadline.
+// isClientFrame reports whether tag opens a binary frame kind a client
+// accepts (responses and the server-originated stream kinds).
+func isClientFrame(tag byte) bool {
+	return tag == frameResponse || tag == frameStreamData || tag == frameStreamClose
+}
+
+// failAll runs when the read loop dies: every pending call and open
+// stream fails fast with ErrConnClosed instead of waiting out its
+// deadline.
 func (c *Client) failAll(err error) {
 	c.mu.Lock()
 	pending := c.pending
@@ -563,6 +780,7 @@ func (c *Client) failAll(err error) {
 	for _, ch := range pending {
 		ch <- callResult{err: fmt.Errorf("%w: %v", ErrConnClosed, err)}
 	}
+	c.failStreams(err)
 }
 
 // Call invokes method with params, unmarshalling the result into out

@@ -1,0 +1,113 @@
+package subscribe
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sensorcer/internal/event"
+	"sensorcer/internal/sensor/probe"
+)
+
+// Reader is the slice of sensor.DataAccessor the source needs — one
+// evaluated read. Declared locally so this package does not depend on
+// internal/sensor; any ESP or CSP satisfies it.
+type Reader interface {
+	GetValue() (probe.Reading, error)
+}
+
+// Source is the single-eval fan-out point: upstream deltas (ESP
+// reading-update events, or explicit Notify calls) mark it dirty, and
+// its loop evaluates the reader exactly once per dirt burst and
+// publishes the result to the hub. This is where N subscribers stop
+// costing N evaluations — a burst of upstream deltas during one
+// evaluation coalesces into at most one more.
+type Source struct {
+	hub    *Hub
+	reader Reader
+
+	// dirty (capacity 1) coalesces upstream deltas.
+	dirty chan struct{}
+	evals atomic.Uint64
+
+	mu      sync.Mutex
+	running bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewSource creates a source publishing reader's values to hub.
+func NewSource(hub *Hub, reader Reader) *Source {
+	return &Source{
+		hub:    hub,
+		reader: reader,
+		dirty:  make(chan struct{}, 1),
+	}
+}
+
+// Notify marks the upstream dirty; the loop re-evaluates at most once
+// per pending mark. Safe from any goroutine, never blocks.
+func (s *Source) Notify() {
+	select {
+	case s.dirty <- struct{}{}:
+	default:
+	}
+}
+
+// Listener adapts the source to the event model: register it with an
+// ESP's generator and every reading-update marks the source dirty.
+func (s *Source) Listener() event.Listener {
+	return event.ListenerFunc(func(event.RemoteEvent) error {
+		s.Notify()
+		return nil
+	})
+}
+
+// Evals reports how many times the reader was evaluated — the quantity
+// that stays flat as subscribers grow.
+func (s *Source) Evals() uint64 { return s.evals.Load() }
+
+// Start launches the evaluation loop (no-op if running).
+func (s *Source) Start() {
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		return
+	}
+	s.running = true
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	stop, done := s.stop, s.done
+	s.mu.Unlock()
+	go s.loop(stop, done)
+}
+
+func (s *Source) loop(stop, done chan struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-s.dirty:
+		case <-stop:
+			return
+		}
+		r, err := s.reader.GetValue()
+		s.evals.Add(1)
+		if err != nil {
+			continue
+		}
+		s.hub.Publish(r)
+	}
+}
+
+// Stop halts the loop. The source can be restarted.
+func (s *Source) Stop() {
+	s.mu.Lock()
+	if !s.running {
+		s.mu.Unlock()
+		return
+	}
+	s.running = false
+	stop, done := s.stop, s.done
+	s.mu.Unlock()
+	close(stop)
+	<-done
+}

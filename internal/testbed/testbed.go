@@ -22,6 +22,7 @@ import (
 	"sensorcer/internal/sorcer"
 	"sensorcer/internal/space"
 	"sensorcer/internal/spot"
+	"sensorcer/internal/subscribe"
 	"sensorcer/internal/txn"
 	"sensorcer/internal/wal"
 )
@@ -42,6 +43,10 @@ type Config struct {
 	SampleInterval time.Duration
 	// Policy selects the provisioning policy (default least-loaded).
 	Policy rio.SelectionPolicy
+	// Subscriptions stands up the push-based subscription plane: a
+	// subscribe.Hub fed by one single-eval Source per ESP, so reading
+	// updates fan out to subscribers instead of being polled.
+	Subscriptions bool
 	// DurableDir, when non-empty, backs the exertion space and the lookup
 	// service with write-ahead logs under this directory (subdirs "space"
 	// and "registry") so the deployment recovers its state across
@@ -67,6 +72,11 @@ type Deployment struct {
 	Mailbox   *event.Mailbox
 	Space     *space.Space
 	Exerter   *sorcer.Exerter
+
+	// Hub and Sources exist when Config.Subscriptions is set: the hub
+	// fans reading updates out to subscribers, one source per ESP.
+	Hub     *subscribe.Hub
+	Sources []*subscribe.Source
 
 	// SpaceLog and RegistryLog are the write-ahead logs behind the space
 	// and the LUS when Config.DurableDir is set; nil otherwise.
@@ -150,6 +160,20 @@ func New(cfg Config) *Deployment {
 		d.joins = append(d.joins, esp.Publish(cfg.Clock, d.Mgr))
 	}
 
+	// Push-based subscription plane: each ESP's reading-update events
+	// mark a source dirty, which evaluates once and publishes to the hub.
+	if cfg.Subscriptions {
+		d.Hub = subscribe.NewHub(subscribe.WithHubClock(cfg.Clock))
+		for _, esp := range d.ESPs {
+			src := subscribe.NewSource(d.Hub, esp)
+			src.Start()
+			d.Sources = append(d.Sources, src)
+			if _, err := esp.Events().Register(sensor.EventReadingUpdate, src.Listener(), time.Hour); err != nil {
+				panic(fmt.Sprintf("testbed: registering subscription source: %v", err))
+			}
+		}
+	}
+
 	// Façade + Rio provisioning.
 	d.Facade = sensor.NewFacade("SenSORCER Facade", cfg.Clock, d.Mgr)
 	d.joins = append(d.joins, d.Facade.Publish())
@@ -177,6 +201,12 @@ func New(cfg Config) *Deployment {
 func (d *Deployment) Close() {
 	for _, j := range d.joins {
 		j.Terminate()
+	}
+	for _, s := range d.Sources {
+		s.Stop()
+	}
+	if d.Hub != nil {
+		d.Hub.Close()
 	}
 	for _, e := range d.ESPs {
 		// Teardown is best-effort: a provider that fails to close cleanly
